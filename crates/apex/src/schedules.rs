@@ -1,0 +1,100 @@
+//! Module-schedules services (ARINC 653 Part 2 subset; Sect. 4.2 of the
+//! paper): `SET_MODULE_SCHEDULE` and `GET_MODULE_SCHEDULE_STATUS`.
+
+use air_model::partition::Partition;
+use air_model::ScheduleId;
+use air_pmk::{PartitionScheduler, ScheduleStatus};
+
+use crate::return_code::{ApexError, ApexResult, ReturnCode};
+
+/// `SET_MODULE_SCHEDULE`: requests switching to `schedule` at the start of
+/// the next major time frame.
+///
+/// "It must be invoked by an authorized partition, and have the identifier
+/// of an existing schedule as its only parameter. The immediate result is
+/// only that of storing the identifier of the next schedule" (Sect. 4.2).
+///
+/// # Errors
+///
+/// `INVALID_CONFIG` when `requester` lacks module-schedule authority;
+/// `INVALID_PARAM` when the schedule does not exist.
+///
+/// # Examples
+///
+/// ```
+/// use air_apex::schedules::{get_module_schedule_status, set_module_schedule};
+/// use air_model::prototype::{self, CHI_2};
+/// use air_pmk::PartitionScheduler;
+///
+/// let sys = prototype::fig8_system();
+/// let mut scheduler = PartitionScheduler::new(&sys.schedules);
+/// let aocs = &sys.partitions[0]; // holds schedule authority
+/// set_module_schedule(aocs, &mut scheduler, CHI_2)?;
+/// assert_eq!(get_module_schedule_status(&scheduler).next, CHI_2);
+/// # Ok::<(), air_apex::ApexError>(())
+/// ```
+pub fn set_module_schedule(
+    requester: &Partition,
+    scheduler: &mut PartitionScheduler,
+    schedule: ScheduleId,
+) -> ApexResult<()> {
+    const SVC: &str = "SET_MODULE_SCHEDULE";
+    if !requester.may_set_module_schedule() {
+        return Err(ApexError::new(SVC, ReturnCode::InvalidConfig));
+    }
+    scheduler
+        .request_schedule(schedule)
+        .map_err(|_| ApexError::new(SVC, ReturnCode::InvalidParam))
+}
+
+/// `GET_MODULE_SCHEDULE_STATUS` (Sect. 4.2): the time of the last schedule
+/// switch, the current schedule, and the pending next schedule.
+pub fn get_module_schedule_status(scheduler: &PartitionScheduler) -> ScheduleStatus {
+    scheduler.status()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_model::prototype::{self, CHI_1, CHI_2};
+    use air_model::Ticks;
+
+    #[test]
+    fn authorized_partition_switches() {
+        let sys = prototype::fig8_system();
+        let mut sched = PartitionScheduler::new(&sys.schedules);
+        let aocs = &sys.partitions[0];
+        set_module_schedule(aocs, &mut sched, CHI_2).unwrap();
+        let st = get_module_schedule_status(&sched);
+        assert_eq!(st.current, CHI_1);
+        assert_eq!(st.next, CHI_2);
+        assert_eq!(st.last_switch, Ticks(0));
+    }
+
+    #[test]
+    fn unauthorized_partition_rejected() {
+        let sys = prototype::fig8_system();
+        let mut sched = PartitionScheduler::new(&sys.schedules);
+        let obdh = &sys.partitions[1];
+        assert_eq!(
+            set_module_schedule(obdh, &mut sched, CHI_2)
+                .unwrap_err()
+                .code,
+            ReturnCode::InvalidConfig
+        );
+        assert_eq!(get_module_schedule_status(&sched).next, CHI_1);
+    }
+
+    #[test]
+    fn unknown_schedule_rejected() {
+        let sys = prototype::fig8_system();
+        let mut sched = PartitionScheduler::new(&sys.schedules);
+        let aocs = &sys.partitions[0];
+        assert_eq!(
+            set_module_schedule(aocs, &mut sched, ScheduleId(42))
+                .unwrap_err()
+                .code,
+            ReturnCode::InvalidParam
+        );
+    }
+}

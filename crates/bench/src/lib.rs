@@ -1,0 +1,13 @@
+//! Shared helpers for the AIR experiment benches.
+//!
+//! Each bench regenerates one artefact of the paper's evaluation (see
+//! DESIGN.md's per-experiment index): it first prints the experiment's
+//! data series — the part to compare against the paper — and then runs
+//! Criterion timings for the implementation-cost claims.
+
+/// Prints a named experiment header so bench output is self-describing.
+pub fn experiment_header(id: &str, title: &str) {
+    println!("\n==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}

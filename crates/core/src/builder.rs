@@ -1,0 +1,525 @@
+//! The system integrator: builds an [`AirSystem`] from configuration,
+//! performing the verification and initialisation steps the paper assigns
+//! to "system integration time".
+
+use std::collections::HashMap;
+
+use air_apex::{ApexPartition, ErrorHandlerTable};
+use air_hm::{HealthMonitor, HmTables};
+use air_hw::machine::MachineConfig;
+use air_hw::{CpuContext, Machine};
+use air_model::ids::GlobalProcessId;
+use air_model::partition::{OperatingMode, Partition, PosKind, StartCondition};
+use air_model::process::ProcessAttributes;
+use air_model::verify::verify_schedule_set;
+use air_model::{ScheduleSet, Ticks};
+use air_pal::pal::RegistryKind;
+use air_pmk::spatial::standard_application_layout;
+use air_pmk::{PartitionDispatcher, PartitionScheduler, PmkIpc, SpatialManager};
+use air_ports::{ChannelConfig, PortRegistry, QueuingPortConfig, SamplingPortConfig};
+use air_pos::{GenericNonRt, PartitionOs, RtemsLike};
+use air_vitral::Vitral;
+
+use crate::system::{AirSystem, PartitionRuntime};
+use crate::workload::ProcessBody;
+
+/// Configuration of one process: its model attributes, its application
+/// body, and whether it auto-starts when the partition enters normal mode.
+pub struct ProcessConfig {
+    /// Static attributes (Eq. 11).
+    pub attributes: ProcessAttributes,
+    /// The application body driven while the process runs.
+    pub body: Box<dyn ProcessBody>,
+    /// Start automatically on entering normal mode (and on restarts).
+    pub auto_start: bool,
+}
+
+impl ProcessConfig {
+    /// An auto-started process.
+    pub fn new(attributes: ProcessAttributes, body: impl ProcessBody + 'static) -> Self {
+        Self {
+            attributes,
+            body: Box::new(body),
+            auto_start: true,
+        }
+    }
+
+    /// Marks the process as manually started (e.g. a recovery process).
+    #[must_use]
+    pub fn manual_start(mut self) -> Self {
+        self.auto_start = false;
+        self
+    }
+}
+
+/// Configuration of one partition.
+pub struct PartitionConfig {
+    /// The model-level partition descriptor.
+    pub partition: Partition,
+    /// Its processes.
+    pub processes: Vec<ProcessConfig>,
+    /// Error handler to install during initialisation.
+    pub error_handler: Option<ErrorHandlerTable>,
+    /// Sampling ports to create during initialisation.
+    pub sampling_ports: Vec<SamplingPortConfig>,
+    /// Queuing ports to create during initialisation.
+    pub queuing_ports: Vec<QueuingPortConfig>,
+    /// PAL deadline-registry structure (Sect. 5.3 ablation).
+    pub registry_kind: RegistryKind,
+}
+
+impl PartitionConfig {
+    /// A partition with no processes or ports yet.
+    pub fn new(partition: Partition) -> Self {
+        Self {
+            partition,
+            processes: Vec::new(),
+            error_handler: None,
+            sampling_ports: Vec::new(),
+            queuing_ports: Vec::new(),
+            registry_kind: RegistryKind::LinkedList,
+        }
+    }
+
+    /// Adds a process.
+    #[must_use]
+    pub fn with_process(mut self, process: ProcessConfig) -> Self {
+        self.processes.push(process);
+        self
+    }
+
+    /// Installs an error handler table.
+    #[must_use]
+    pub fn with_error_handler(mut self, handler: ErrorHandlerTable) -> Self {
+        self.error_handler = Some(handler);
+        self
+    }
+
+    /// Adds a sampling port.
+    #[must_use]
+    pub fn with_sampling_port(mut self, config: SamplingPortConfig) -> Self {
+        self.sampling_ports.push(config);
+        self
+    }
+
+    /// Adds a queuing port.
+    #[must_use]
+    pub fn with_queuing_port(mut self, config: QueuingPortConfig) -> Self {
+        self.queuing_ports.push(config);
+        self
+    }
+
+    /// Selects the PAL deadline-registry structure.
+    #[must_use]
+    pub fn with_registry_kind(mut self, kind: RegistryKind) -> Self {
+        self.registry_kind = kind;
+        self
+    }
+}
+
+/// Errors from system assembly.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The scheduling tables violate the model conditions (Eq. 21–23);
+    /// the report lists every violation.
+    InvalidSchedules(air_model::verify::Report),
+    /// Partition ids must be contiguous `0..n` in declaration order.
+    NonContiguousPartitionIds,
+    /// A POS/APEX/port initialisation step failed.
+    Initialisation(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::InvalidSchedules(r) => write!(f, "invalid scheduling tables: {r}"),
+            BuildError::NonContiguousPartitionIds => {
+                f.write_str("partition ids must be contiguous from 0 in declaration order")
+            }
+            BuildError::Initialisation(s) => write!(f, "initialisation failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds a complete AIR system.
+///
+/// # Examples
+///
+/// ```
+/// use air_core::{SystemBuilder, PartitionConfig, ProcessConfig};
+/// use air_core::workload::PeriodicCompute;
+/// use air_model::process::{Deadline, ProcessAttributes, Recurrence};
+/// use air_model::schedule::{PartitionRequirement, Schedule, TimeWindow};
+/// use air_model::{Partition, PartitionId, ScheduleId, ScheduleSet, Ticks};
+///
+/// let p0 = PartitionId(0);
+/// let schedule = Schedule::new(
+///     ScheduleId(0), "single", Ticks(100),
+///     vec![PartitionRequirement::new(p0, Ticks(100), Ticks(50))],
+///     vec![TimeWindow::new(p0, Ticks(0), Ticks(50))],
+/// );
+/// let mut system = SystemBuilder::new(ScheduleSet::new(vec![schedule]))
+///     .with_partition(
+///         PartitionConfig::new(Partition::new(p0, "solo")).with_process(
+///             ProcessConfig::new(
+///                 ProcessAttributes::new("work")
+///                     .with_recurrence(Recurrence::Periodic(Ticks(100)))
+///                     .with_deadline(Deadline::relative(Ticks(100))),
+///                 PeriodicCompute::new(10),
+///             ),
+///         ),
+///     )
+///     .build()?;
+/// system.run_for(300);
+/// assert_eq!(system.trace().deadline_miss_count(), 0);
+/// # Ok::<(), air_core::builder::BuildError>(())
+/// ```
+pub struct SystemBuilder {
+    schedules: ScheduleSet,
+    partitions: Vec<PartitionConfig>,
+    channels: Vec<ChannelConfig>,
+    hm_tables: HmTables,
+    machine_config: MachineConfig,
+    vitral: bool,
+}
+
+impl SystemBuilder {
+    /// Starts a build over the given schedule set.
+    pub fn new(schedules: ScheduleSet) -> Self {
+        Self {
+            schedules,
+            partitions: Vec::new(),
+            channels: Vec::new(),
+            hm_tables: HmTables::standard(),
+            machine_config: MachineConfig::default(),
+            vitral: false,
+        }
+    }
+
+    /// Adds a partition (ids must be contiguous in declaration order).
+    #[must_use]
+    pub fn with_partition(mut self, config: PartitionConfig) -> Self {
+        self.partitions.push(config);
+        self
+    }
+
+    /// Adds an interpartition channel.
+    #[must_use]
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channels.push(channel);
+        self
+    }
+
+    /// Replaces the health-monitoring tables.
+    #[must_use]
+    pub fn with_hm_tables(mut self, tables: HmTables) -> Self {
+        self.hm_tables = tables;
+        self
+    }
+
+    /// Replaces the machine configuration.
+    #[must_use]
+    pub fn with_machine_config(mut self, config: MachineConfig) -> Self {
+        self.machine_config = config;
+        self
+    }
+
+    /// Enables the VITRAL screen (one window per partition plus AIR/HM
+    /// windows, Fig. 9).
+    #[must_use]
+    pub fn with_vitral(mut self) -> Self {
+        self.vitral = true;
+        self
+    }
+
+    /// Verifies the configuration and assembles the system: the
+    /// "integration and configuration" the ARINC 653 spec insists on
+    /// (Sect. 6) happens here.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] when the tables fail Eq. (21)–(23) verification, the
+    /// partition ids are not contiguous, or an initialisation step fails.
+    pub fn build(self) -> Result<AirSystem, BuildError> {
+        // 1. Model-level verification of the integrator's tables.
+        let partition_models: Vec<Partition> =
+            self.partitions.iter().map(|p| p.partition.clone()).collect();
+        let report = verify_schedule_set(&self.schedules, &partition_models);
+        if !report.is_ok() {
+            return Err(BuildError::InvalidSchedules(report));
+        }
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.partition.id().as_usize() != i {
+                return Err(BuildError::NonContiguousPartitionIds);
+            }
+        }
+
+        // 2. Machine and PMK components.
+        let mut machine_config = self.machine_config;
+        machine_config.console_channels = machine_config
+            .console_channels
+            .max(self.partitions.len());
+        let machine = Machine::new(machine_config.clone());
+        let scheduler = PartitionScheduler::new(&self.schedules);
+        let mut dispatcher = PartitionDispatcher::new();
+        let mut spatial = SpatialManager::new(machine_config.memory_size as u64);
+
+        // 3. Ports and channels.
+        let mut registry = PortRegistry::new();
+        for p in &self.partitions {
+            for cfg in &p.sampling_ports {
+                registry
+                    .create_sampling_port(p.partition.id(), cfg.clone())
+                    .map_err(|e| BuildError::Initialisation(e.to_string()))?;
+            }
+            for cfg in &p.queuing_ports {
+                registry
+                    .create_queuing_port(p.partition.id(), cfg.clone())
+                    .map_err(|e| BuildError::Initialisation(e.to_string()))?;
+            }
+        }
+        for channel in self.channels {
+            registry
+                .add_channel(channel)
+                .map_err(|e| BuildError::Initialisation(e.to_string()))?;
+        }
+        let ipc = PmkIpc::with_registry(registry);
+
+        // 4. Per-partition spatial configuration, CPU context, APEX boot.
+        let mut partitions = Vec::with_capacity(self.partitions.len());
+        let mut runtime = Vec::with_capacity(self.partitions.len());
+        let mut bodies: HashMap<GlobalProcessId, Box<dyn ProcessBody>> = HashMap::new();
+        let titles: Vec<String> = self
+            .partitions
+            .iter()
+            .map(|p| format!("{} {}", p.partition.id(), p.partition.name()))
+            .collect();
+
+        for config in self.partitions {
+            let m = config.partition.id();
+            let layout = standard_application_layout(0x10000, 0x10000, 0x4000);
+            let context = spatial
+                .configure_partition(m, &layout)
+                .map_err(|e| BuildError::Initialisation(e.to_string()))?;
+            dispatcher.register_partition(
+                m,
+                CpuContext::new(0x4000_0000, 0x6000_0000 + 0x4000, context),
+            );
+
+            let pos: Box<dyn PartitionOs> = match config.partition.pos_kind() {
+                PosKind::RealTime => Box::new(RtemsLike::new()),
+                PosKind::GenericNonRealTime => Box::new(GenericNonRt::new()),
+            };
+            let mut apex =
+                ApexPartition::with_registry_kind(config.partition, pos, config.registry_kind);
+
+            // ARINC 653 initialisation: create processes and the error
+            // handler in coldStart, then transition to normal and start
+            // the auto-start set.
+            let mut auto_start = Vec::new();
+            for proc in config.processes {
+                let pid = apex
+                    .create_process(proc.attributes)
+                    .map_err(|e| BuildError::Initialisation(e.to_string()))?;
+                bodies.insert(GlobalProcessId::new(m, pid), proc.body);
+                if proc.auto_start {
+                    auto_start.push(pid);
+                }
+            }
+            if let Some(handler) = config.error_handler.clone() {
+                apex.create_error_handler(handler)
+                    .map_err(|e| BuildError::Initialisation(e.to_string()))?;
+            }
+            apex.set_partition_mode(OperatingMode::Normal, StartCondition::NormalStart, Ticks(0))
+                .map_err(|e| BuildError::Initialisation(e.to_string()))?;
+            for &pid in &auto_start {
+                apex.start(pid, Ticks(0))
+                    .map_err(|e| BuildError::Initialisation(e.to_string()))?;
+            }
+
+            partitions.push(apex);
+            runtime.push(PartitionRuntime {
+                auto_start,
+                error_handler: config.error_handler,
+            });
+        }
+
+        let vitral = self.vitral.then(|| {
+            let title_refs: Vec<&str> = titles.iter().map(String::as_str).collect();
+            Vitral::fig9_layout(&title_refs)
+        });
+
+        Ok(AirSystem::assemble(
+            machine,
+            scheduler,
+            dispatcher,
+            spatial,
+            ipc,
+            HealthMonitor::new(self.hm_tables),
+            self.schedules,
+            partitions,
+            runtime,
+            bodies,
+            vitral,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::BusyLoop;
+    use air_model::schedule::{PartitionRequirement, Schedule, TimeWindow};
+    use air_model::{PartitionId, ScheduleId};
+
+    fn schedule(windows: Vec<(u32, u64, u64)>) -> ScheduleSet {
+        let reqs: Vec<PartitionRequirement> = windows
+            .iter()
+            .map(|&(m, _, c)| PartitionRequirement::new(PartitionId(m), Ticks(100), Ticks(c)))
+            .collect();
+        ScheduleSet::new(vec![Schedule::new(
+            ScheduleId(0),
+            "t",
+            Ticks(100),
+            reqs,
+            windows
+                .into_iter()
+                .map(|(m, o, c)| TimeWindow::new(PartitionId(m), Ticks(o), Ticks(c)))
+                .collect(),
+        )])
+    }
+
+    #[test]
+    fn invalid_schedules_are_rejected_with_the_report() {
+        // Overlapping windows: the builder refuses before anything runs.
+        let set = schedule(vec![(0, 0, 60), (1, 40, 40)]);
+        let err = SystemBuilder::new(set)
+            .with_partition(PartitionConfig::new(Partition::new(PartitionId(0), "a")))
+            .with_partition(PartitionConfig::new(Partition::new(PartitionId(1), "b")))
+            .build()
+            .unwrap_err();
+        let BuildError::InvalidSchedules(report) = err else {
+            panic!("expected InvalidSchedules, got {err}");
+        };
+        assert!(!report.is_ok());
+        assert!(err_to_string_contains(&BuildError::InvalidSchedules(report), "Eq. 21"));
+    }
+
+    fn err_to_string_contains(e: &BuildError, needle: &str) -> bool {
+        e.to_string().contains(needle)
+    }
+
+    #[test]
+    fn non_contiguous_partition_ids_rejected() {
+        let set = schedule(vec![(0, 0, 40), (2, 40, 40)]);
+        let err = SystemBuilder::new(set)
+            .with_partition(PartitionConfig::new(Partition::new(PartitionId(0), "a")))
+            .with_partition(PartitionConfig::new(Partition::new(PartitionId(2), "c")))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::NonContiguousPartitionIds));
+    }
+
+    #[test]
+    fn duplicate_port_names_fail_initialisation() {
+        let set = schedule(vec![(0, 0, 40)]);
+        let err = SystemBuilder::new(set)
+            .with_partition(
+                PartitionConfig::new(Partition::new(PartitionId(0), "a"))
+                    .with_sampling_port(SamplingPortConfig::source("x", 8))
+                    .with_queuing_port(QueuingPortConfig::source("x", 8, 2)),
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Initialisation(_)), "{err}");
+    }
+
+    #[test]
+    fn duplicate_process_names_fail_initialisation() {
+        let set = schedule(vec![(0, 0, 40)]);
+        let err = SystemBuilder::new(set)
+            .with_partition(
+                PartitionConfig::new(Partition::new(PartitionId(0), "a"))
+                    .with_process(ProcessConfig::new(
+                        ProcessAttributes::new("dup"),
+                        BusyLoop::new(),
+                    ))
+                    .with_process(ProcessConfig::new(
+                        ProcessAttributes::new("dup"),
+                        BusyLoop::new(),
+                    )),
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Initialisation(_)));
+    }
+
+    #[test]
+    fn bad_channel_wiring_fails_initialisation() {
+        let set = schedule(vec![(0, 0, 40)]);
+        let err = SystemBuilder::new(set)
+            .with_partition(PartitionConfig::new(Partition::new(PartitionId(0), "a")))
+            .with_channel(ChannelConfig {
+                id: 1,
+                source: air_ports::PortAddr::new(PartitionId(0), "ghost"),
+                destinations: vec![],
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Initialisation(_)));
+    }
+
+    #[test]
+    fn manual_start_processes_stay_dormant() {
+        let set = schedule(vec![(0, 0, 40)]);
+        let mut system = SystemBuilder::new(set)
+            .with_partition(
+                PartitionConfig::new(Partition::new(PartitionId(0), "a"))
+                    .with_process(ProcessConfig::new(
+                        ProcessAttributes::new("auto"),
+                        BusyLoop::new(),
+                    ))
+                    .with_process(
+                        ProcessConfig::new(ProcessAttributes::new("recovery"), BusyLoop::new())
+                            .manual_start(),
+                    ),
+            )
+            .build()
+            .unwrap();
+        system.run_for(10);
+        let rec = system.partition(PartitionId(0)).process_id("recovery").unwrap();
+        let (status, _) = system.partition(PartitionId(0)).process_status(rec).unwrap();
+        assert_eq!(status.state, air_model::ProcessState::Dormant);
+        let auto = system.partition(PartitionId(0)).process_id("auto").unwrap();
+        let (status, _) = system.partition(PartitionId(0)).process_status(auto).unwrap();
+        assert_ne!(status.state, air_model::ProcessState::Dormant);
+    }
+
+    #[test]
+    fn console_channels_scale_with_partition_count() {
+        // More partitions than the default console channels: the builder
+        // widens the console rather than panicking on writes.
+        let mut windows = Vec::new();
+        for m in 0..10u32 {
+            windows.push((m, u64::from(m) * 10, 10));
+        }
+        let mut b = SystemBuilder::new(schedule(windows)).with_machine_config(
+            air_hw::machine::MachineConfig {
+                console_channels: 2,
+                ..Default::default()
+            },
+        );
+        for m in 0..10u32 {
+            b = b.with_partition(PartitionConfig::new(Partition::new(
+                PartitionId(m),
+                format!("p{m}"),
+            )));
+        }
+        let mut system = b.build().unwrap();
+        system.run_for(100);
+        assert_eq!(system.trace().deadline_miss_count(), 0);
+    }
+}

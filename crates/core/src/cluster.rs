@@ -1,0 +1,137 @@
+//! A two-node AIR cluster: physically separated partitions exchanging
+//! messages over the inter-node communication infrastructure (Sect. 2.1).
+//!
+//! Each node is a complete [`AirSystem`] (its own machine, PMK, schedules,
+//! partitions); the cluster steps both in clock lockstep and shuttles link
+//! frames between them. Each node's [`air_hw::link::InterNodeLink`] models
+//! its network adapter, so the end-to-end latency of a frame is the sum of
+//! the two nodes' configured link latencies.
+//!
+//! Channel identifiers are global integration data: a channel configured
+//! with a [`air_ports::Destination::Remote`] on the sending node must be
+//! configured with the same id and a local destination on the receiving
+//! node (exactly how the Sect. 2.1 transport resolves "partitions remote
+//! to one another").
+
+use air_hw::link::LinkEndpoint;
+use air_model::Ticks;
+
+use crate::system::AirSystem;
+
+/// Which node of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The first node.
+    A,
+    /// The second node.
+    B,
+}
+
+/// Two AIR systems joined by the inter-node link.
+#[derive(Debug)]
+pub struct AirCluster {
+    node_a: AirSystem,
+    node_b: AirSystem,
+    frames_a_to_b: u64,
+    frames_b_to_a: u64,
+}
+
+impl AirCluster {
+    /// Joins two systems into a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two systems' clocks are not aligned (both must be
+    /// freshly built or equally advanced) — lockstep is the whole point.
+    pub fn new(node_a: AirSystem, node_b: AirSystem) -> Self {
+        assert_eq!(
+            node_a.now(),
+            node_b.now(),
+            "cluster nodes must start in clock lockstep"
+        );
+        Self {
+            node_a,
+            node_b,
+            frames_a_to_b: 0,
+            frames_b_to_a: 0,
+        }
+    }
+
+    /// The requested node.
+    pub fn node(&self, node: Node) -> &AirSystem {
+        match node {
+            Node::A => &self.node_a,
+            Node::B => &self.node_b,
+        }
+    }
+
+    /// Mutable access to the requested node.
+    pub fn node_mut(&mut self, node: Node) -> &mut AirSystem {
+        match node {
+            Node::A => &mut self.node_a,
+            Node::B => &mut self.node_b,
+        }
+    }
+
+    /// Frames shuttled A→B so far.
+    pub fn frames_a_to_b(&self) -> u64 {
+        self.frames_a_to_b
+    }
+
+    /// Frames shuttled B→A so far.
+    pub fn frames_b_to_a(&self) -> u64 {
+        self.frames_b_to_a
+    }
+
+    /// Advances both nodes by one clock tick, then shuttles any frames
+    /// that completed their sender-side propagation onto the receiving
+    /// node's inbound queue.
+    pub fn step(&mut self) {
+        self.node_a.step();
+        self.node_b.step();
+        self.shuttle();
+    }
+
+    /// Runs `n` lockstep ticks.
+    pub fn run_for(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    fn shuttle(&mut self) {
+        let now_a = self.node_a.now().as_u64();
+        let now_b = self.node_b.now().as_u64();
+        // Outbound frames of A become inbound frames of B (arriving at B's
+        // endpoint A after B's own adapter latency), and vice versa.
+        while let Some(bytes) = self
+            .node_a
+            .machine_mut()
+            .link
+            .receive(LinkEndpoint::B, now_a)
+        {
+            self.frames_a_to_b += 1;
+            self.node_b
+                .machine_mut()
+                .link
+                .send(LinkEndpoint::B, now_b, bytes);
+        }
+        while let Some(bytes) = self
+            .node_b
+            .machine_mut()
+            .link
+            .receive(LinkEndpoint::B, now_b)
+        {
+            self.frames_b_to_a += 1;
+            self.node_a
+                .machine_mut()
+                .link
+                .send(LinkEndpoint::B, now_a, bytes);
+        }
+    }
+
+    /// The common cluster time.
+    pub fn now(&self) -> Ticks {
+        self.node_a.now()
+    }
+}

@@ -1,0 +1,631 @@
+//! The assembled AIR system and its tick loop.
+
+use std::collections::HashMap;
+
+use air_apex::{ApexPartition, ErrorHandlerTable, RecoveryEscalation};
+use air_hm::{ErrorId, ErrorSource, HealthMonitor, HmDecision, ModuleRecoveryAction,
+             PartitionRecoveryAction};
+use air_hw::console::KeyEvent;
+use air_hw::interrupt::InterruptLine;
+use air_hw::Machine;
+use air_model::ids::{GlobalProcessId, ProcessId};
+use air_model::partition::{OperatingMode, StartCondition};
+use air_model::{PartitionId, ScheduleChangeAction, ScheduleId, ScheduleSet, Ticks};
+use air_pmk::{PartitionDispatcher, PartitionScheduler, PmkIpc, SpatialManager};
+use air_vitral::Vitral;
+
+use crate::trace::{Trace, TraceEvent};
+use crate::workload::{FaultSwitch, ProcessApi, ProcessBody};
+
+/// Per-partition boot/restart recipe retained by the system: which
+/// processes auto-start and which error handler to (re)install.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PartitionRuntime {
+    pub(crate) auto_start: Vec<ProcessId>,
+    pub(crate) error_handler: Option<ErrorHandlerTable>,
+}
+
+/// An action bound to a console key (the Fig. 9 keyboard interaction).
+pub enum KeyAction {
+    /// Request a module schedule switch (effective at the MTF boundary).
+    SwitchSchedule(ScheduleId),
+    /// Toggle a fault switch.
+    ToggleFault(FaultSwitch),
+}
+
+impl std::fmt::Debug for KeyAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyAction::SwitchSchedule(id) => write!(f, "SwitchSchedule({id})"),
+            KeyAction::ToggleFault(s) => write!(f, "ToggleFault(active={})", s.is_active()),
+        }
+    }
+}
+
+/// The complete, running AIR system.
+///
+/// Build one with [`crate::builder::SystemBuilder`]; drive it with
+/// [`step`](AirSystem::step) / [`run_for`](AirSystem::run_for); observe it
+/// through [`trace`](AirSystem::trace), the health-monitor log, per-
+/// partition consoles and the optional VITRAL screen.
+pub struct AirSystem {
+    pub(crate) machine: Machine,
+    pub(crate) scheduler: PartitionScheduler,
+    pub(crate) dispatcher: PartitionDispatcher,
+    pub(crate) spatial: SpatialManager,
+    pub(crate) ipc: PmkIpc,
+    pub(crate) hm: HealthMonitor,
+    pub(crate) schedules: ScheduleSet,
+    pub(crate) partitions: Vec<ApexPartition>,
+    pub(crate) runtime: Vec<PartitionRuntime>,
+    pub(crate) bodies: HashMap<GlobalProcessId, Box<dyn ProcessBody>>,
+    pub(crate) consoles: Vec<String>,
+    key_actions: HashMap<char, KeyAction>,
+    trace: Trace,
+    vitral: Option<Vitral>,
+    /// Trace events already mirrored into the VITRAL status windows.
+    vitral_synced: usize,
+    halted: bool,
+    /// Whether the initial partition (tick-0 heir) was dispatched.
+    booted: bool,
+}
+
+impl std::fmt::Debug for AirSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AirSystem")
+            .field("now", &self.machine.clock.now())
+            .field("partitions", &self.partitions.len())
+            .field("active", &self.dispatcher.active_partition())
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl AirSystem {
+    #[allow(clippy::too_many_arguments)] // one-time internal assembly of the Fig. 1 stack
+    pub(crate) fn assemble(
+        machine: Machine,
+        scheduler: PartitionScheduler,
+        dispatcher: PartitionDispatcher,
+        spatial: SpatialManager,
+        ipc: PmkIpc,
+        hm: HealthMonitor,
+        schedules: ScheduleSet,
+        partitions: Vec<ApexPartition>,
+        runtime: Vec<PartitionRuntime>,
+        bodies: HashMap<GlobalProcessId, Box<dyn ProcessBody>>,
+        vitral: Option<Vitral>,
+    ) -> Self {
+        let consoles = vec![String::new(); partitions.len()];
+        Self {
+            machine,
+            scheduler,
+            dispatcher,
+            spatial,
+            ipc,
+            hm,
+            schedules,
+            partitions,
+            runtime,
+            bodies,
+            consoles,
+            key_actions: HashMap::new(),
+            trace: Trace::new(),
+            vitral,
+            vitral_synced: 0,
+            halted: false,
+            booted: false,
+        }
+    }
+
+    // -- observation --------------------------------------------------------
+
+    /// Current time.
+    pub fn now(&self) -> Ticks {
+        Ticks(self.machine.clock.now())
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The health monitor (tables, log, occurrence counters).
+    pub fn hm(&self) -> &HealthMonitor {
+        &self.hm
+    }
+
+    /// The partition currently holding the CPU.
+    pub fn active_partition(&self) -> Option<PartitionId> {
+        self.dispatcher.active_partition()
+    }
+
+    /// The APEX instance of partition `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a configured partition.
+    pub fn partition(&self, m: PartitionId) -> &ApexPartition {
+        &self.partitions[m.as_usize()]
+    }
+
+    /// Mutable APEX access (test harnesses and demo controls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a configured partition.
+    pub fn partition_mut(&mut self, m: PartitionId) -> &mut ApexPartition {
+        &mut self.partitions[m.as_usize()]
+    }
+
+    /// The module schedule status (`GET_MODULE_SCHEDULE_STATUS`).
+    pub fn schedule_status(&self) -> air_pmk::ScheduleStatus {
+        self.scheduler.status()
+    }
+
+    /// The spatial-partitioning manager.
+    pub fn spatial_mut(&mut self) -> &mut SpatialManager {
+        &mut self.spatial
+    }
+
+    /// The PMK IPC component (port registry access for harnesses).
+    pub fn ipc_mut(&mut self) -> &mut PmkIpc {
+        &mut self.ipc
+    }
+
+    /// The machine (console, link, fault injection against devices).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The AIR Partition Scheduler (APEX module-schedule services take it
+    /// as a parameter; see [`air_apex::set_module_schedule`]).
+    pub fn scheduler_mut(&mut self) -> &mut PartitionScheduler {
+        &mut self.scheduler
+    }
+
+    /// Performs a memory access on behalf of partition `m` through the
+    /// spatial-partitioning MMU. On a fault, the violation is reported to
+    /// health monitoring as a memory protection violation (Sect. 2.4) and
+    /// the configured partition-level recovery action is applied — the
+    /// full containment path of Fig. 3.
+    ///
+    /// # Errors
+    ///
+    /// The [`air_hw::mmu::MmuFault`] exactly as the MMU raised it.
+    pub fn access_memory(
+        &mut self,
+        m: PartitionId,
+        va: u64,
+        kind: air_hw::mmu::AccessKind,
+        privilege: air_hw::mmu::Privilege,
+    ) -> Result<u64, air_hw::mmu::MmuFault> {
+        let now = self.now();
+        match self.spatial.translate(m, va, kind, privilege) {
+            Ok(pa) => Ok(pa),
+            Err(fault) => {
+                let decision = self.hm.report(
+                    now,
+                    ErrorId::MemoryViolation,
+                    ErrorSource::Partition(m),
+                    fault.to_string(),
+                );
+                self.trace.record(TraceEvent::HmReport {
+                    at: now,
+                    error: ErrorId::MemoryViolation,
+                    partition: Some(m),
+                });
+                self.apply_decision(decision, now);
+                Err(fault)
+            }
+        }
+    }
+
+    /// Accumulated console text of partition `m` (drained by VITRAL when
+    /// enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a configured partition.
+    pub fn console_of(&self, m: PartitionId) -> &str {
+        &self.consoles[m.as_usize()]
+    }
+
+    /// Renders the VITRAL screen, if enabled.
+    pub fn render_vitral(&mut self) -> Option<String> {
+        self.sync_vitral();
+        self.vitral.as_ref().map(Vitral::render)
+    }
+
+    /// Whether a module-level HM action halted the system.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    // -- operator interface --------------------------------------------------
+
+    /// Operator-level schedule switch request (the keyboard path of the
+    /// prototype; authority-checked requests go through
+    /// [`air_apex::set_module_schedule`] from a process body instead).
+    ///
+    /// # Errors
+    ///
+    /// [`air_pmk::SchedulerError`] for an unknown schedule.
+    pub fn request_schedule(
+        &mut self,
+        schedule: ScheduleId,
+    ) -> Result<(), air_pmk::SchedulerError> {
+        self.scheduler.request_schedule(schedule)
+    }
+
+    /// Binds console key `key` to `action`.
+    pub fn bind_key(&mut self, key: char, action: KeyAction) {
+        self.key_actions.insert(key, action);
+    }
+
+    /// Injects a keyboard event (as the QEMU console would).
+    pub fn push_key(&mut self, key: char) {
+        self.machine.console.push_key(KeyEvent::Char(key));
+    }
+
+    // -- the tick loop --------------------------------------------------------
+
+    /// Boots the system: dispatches the initial schedule's tick-0 heir.
+    /// Called automatically by the first [`step`](AirSystem::step).
+    fn boot(&mut self) {
+        let heir = self.scheduler.initial_heir();
+        let outcome = self.dispatcher.dispatch(heir, 0, &mut self.machine.cpu);
+        self.trace.record(TraceEvent::PartitionSwitch {
+            at: Ticks(0),
+            from: None,
+            to: heir,
+        });
+        if let Some(m) = heir {
+            let misses = self.partitions[m.as_usize()]
+                .announce_clock_ticks(outcome.elapsed_ticks, Ticks(0));
+            self.handle_misses(m, &misses, Ticks(0));
+        }
+        // The time-0 execution slot belongs to the initial heir: windows
+        // starting at the MTF origin get their full duration even in the
+        // very first frame.
+        self.run_active_process(Ticks(0));
+        self.booted = true;
+    }
+
+    /// Advances the system by one clock tick — the paper's clock ISR:
+    /// scheduler (Algorithm 1), dispatcher (Algorithm 2), PAL announcement
+    /// (Algorithm 3), process scheduling (Eq. 14), application execution,
+    /// and interpartition routing at partition boundaries.
+    pub fn step(&mut self) {
+        if self.halted {
+            return;
+        }
+        if !self.booted {
+            self.boot();
+        }
+        let ticks = self.machine.advance_tick();
+        let now = Ticks(ticks);
+
+        // Service the interrupt controller as the ISR dispatch layer.
+        while let Some(line) = self.machine.intc.acknowledge() {
+            match line {
+                InterruptLine::ClockTick => self.on_clock_tick(ticks),
+                InterruptLine::Link => {
+                    let errors = self.ipc.receive(&mut self.machine.link, now);
+                    for e in errors {
+                        self.hm.report(
+                            now,
+                            ErrorId::HardwareFault,
+                            ErrorSource::Module,
+                            e.to_string(),
+                        );
+                        self.trace.record(TraceEvent::HmReport {
+                            at: now,
+                            error: ErrorId::HardwareFault,
+                            partition: None,
+                        });
+                    }
+                }
+                InterruptLine::ConsoleInput => self.on_console_input(),
+                InterruptLine::Device(_) => {}
+            }
+        }
+
+        // Execute the active partition's heir process for this tick.
+        self.trace
+            .record_occupancy(self.dispatcher.active_partition());
+        self.run_active_process(now);
+    }
+
+    /// Runs `n` ticks.
+    pub fn run_for(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.halted {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs until the clock reaches `t` (inclusive of the tick at `t`).
+    pub fn run_until(&mut self, t: Ticks) {
+        while self.machine.clock.now() < t.as_u64() && !self.halted {
+            self.step();
+        }
+    }
+
+    fn on_clock_tick(&mut self, ticks: u64) {
+        let now = Ticks(ticks);
+        let Some(event) = self.scheduler.tick(ticks) else {
+            // Best/most-frequent case: no preemption point. The active
+            // partition still receives its tick (Fig. 7 announcement with
+            // elapsedTicks = 1).
+            if let Some(m) = self.dispatcher.active_partition() {
+                let misses = self.partitions[m.as_usize()].announce_clock_ticks(1, now);
+                self.handle_misses(m, &misses, now);
+            }
+            return;
+        };
+
+        // A preemption point: a partition boundary. Interpartition traffic
+        // moves here, never inside a window.
+        let frame_errors = self.ipc.service(&mut self.machine);
+        for e in frame_errors {
+            self.hm
+                .report(now, ErrorId::HardwareFault, ErrorSource::Module, e.to_string());
+        }
+
+        if let Some(sid) = event.switched_to {
+            self.trace
+                .record(TraceEvent::ScheduleSwitch { at: now, to: sid });
+            // Queue the new schedule's per-partition change actions, to be
+            // applied at each partition's first dispatch (Sect. 4.3).
+            let schedule = self
+                .schedules
+                .get(sid)
+                .expect("scheduler only switches to configured schedules");
+            let actions: Vec<(PartitionId, ScheduleChangeAction)> = schedule
+                .partitions()
+                .map(|p| (p, schedule.change_action_for(p)))
+                .collect();
+            self.dispatcher.queue_schedule_change_actions(actions);
+        }
+
+        let previous = self.dispatcher.active_partition();
+        let outcome = self
+            .dispatcher
+            .dispatch(event.heir, ticks, &mut self.machine.cpu);
+        if outcome.switched {
+            self.trace.record(TraceEvent::PartitionSwitch {
+                at: now,
+                from: previous,
+                to: event.heir,
+            });
+        }
+        for (partition, action) in &outcome.actions {
+            self.trace.record(TraceEvent::ScheduleChangeActionApplied {
+                at: now,
+                partition: *partition,
+                action: *action,
+            });
+            match action {
+                ScheduleChangeAction::None => {}
+                ScheduleChangeAction::WarmRestart => self.restart_partition(*partition, true, now),
+                ScheduleChangeAction::ColdRestart => {
+                    self.restart_partition(*partition, false, now)
+                }
+                ScheduleChangeAction::Stop => self.stop_partition(*partition, now),
+            }
+        }
+
+        // The dispatched partition's PAL announces the elapsed ticks
+        // (covers the whole inactive interval; Fig. 7) — this is where
+        // deadline misses that occurred while the partition was inactive
+        // are detected (Sect. 5).
+        if let Some(m) = event.heir {
+            let misses =
+                self.partitions[m.as_usize()].announce_clock_ticks(outcome.elapsed_ticks, now);
+            self.handle_misses(m, &misses, now);
+        }
+    }
+
+    fn run_active_process(&mut self, now: Ticks) {
+        let Some(m) = self.dispatcher.active_partition() else {
+            return;
+        };
+        let idx = m.as_usize();
+        let Some(pid) = self.partitions[idx].select_heir(now) else {
+            return;
+        };
+        let gpid = GlobalProcessId::new(m, pid);
+        // Temporarily detach the body so it can borrow the system pieces.
+        let Some(mut body) = self.bodies.remove(&gpid) else {
+            return;
+        };
+        let mut raised = Vec::new();
+        {
+            let mut api = ProcessApi {
+                now,
+                me: pid,
+                apex: &mut self.partitions[idx],
+                ports: self.ipc.registry_mut(),
+                scheduler: &mut self.scheduler,
+                console: &mut self.consoles[idx],
+                raised_errors: &mut raised,
+            };
+            body.on_tick(&mut api);
+        }
+        self.machine.cpu.retire_work(1);
+        self.bodies.insert(gpid, body);
+        // RAISE_APPLICATION_ERROR path: route raised errors through HM.
+        for (raiser, message) in raised {
+            let gp = GlobalProcessId::new(m, raiser);
+            let decision = self.hm.report(
+                now,
+                ErrorId::ApplicationError,
+                ErrorSource::Process(gp),
+                message,
+            );
+            self.trace.record(TraceEvent::HmReport {
+                at: now,
+                error: ErrorId::ApplicationError,
+                partition: Some(m),
+            });
+            self.apply_decision_for(ErrorId::ApplicationError, decision, now);
+        }
+    }
+
+    fn on_console_input(&mut self) {
+        while let Some(key) = self.machine.console.pop_key() {
+            let KeyEvent::Char(c) = key else { continue };
+            match self.key_actions.get(&c) {
+                Some(KeyAction::SwitchSchedule(sid)) => {
+                    let _ = self.scheduler.request_schedule(*sid);
+                }
+                Some(KeyAction::ToggleFault(s)) => {
+                    s.toggle();
+                }
+                None => {}
+            }
+        }
+    }
+
+    fn handle_misses(&mut self, m: PartitionId, misses: &[(ProcessId, Ticks)], now: Ticks) {
+        for &(pid, deadline) in misses {
+            let gpid = GlobalProcessId::new(m, pid);
+            self.trace.record(TraceEvent::DeadlineMiss {
+                at: now,
+                process: gpid,
+                deadline,
+            });
+            let decision = self.hm.report(
+                now,
+                ErrorId::DeadlineMissed,
+                ErrorSource::Process(gpid),
+                format!("deadline {deadline} missed, detected at {now}"),
+            );
+            self.trace.record(TraceEvent::HmReport {
+                at: now,
+                error: ErrorId::DeadlineMissed,
+                partition: Some(m),
+            });
+            self.apply_decision(decision, now);
+        }
+    }
+
+    fn apply_decision(&mut self, decision: HmDecision, now: Ticks) {
+        self.apply_decision_for(ErrorId::DeadlineMissed, decision, now);
+    }
+
+    fn apply_decision_for(&mut self, error: ErrorId, decision: HmDecision, now: Ticks) {
+        match decision {
+            HmDecision::InvokeErrorHandler {
+                process,
+                fallback,
+                occurrences,
+            } => {
+                let apex = &mut self.partitions[process.partition.as_usize()];
+                let escalation = apex.handle_process_error(
+                    process.process,
+                    error,
+                    fallback,
+                    occurrences,
+                    now,
+                );
+                match escalation {
+                    RecoveryEscalation::None => {}
+                    RecoveryEscalation::RestartPartition => {
+                        self.restart_partition(process.partition, true, now)
+                    }
+                    RecoveryEscalation::StopPartition => {
+                        self.stop_partition(process.partition, now)
+                    }
+                }
+            }
+            HmDecision::PartitionAction { partition, action } => match action {
+                PartitionRecoveryAction::Ignore => {}
+                PartitionRecoveryAction::WarmRestart => {
+                    self.restart_partition(partition, true, now)
+                }
+                PartitionRecoveryAction::ColdRestart => {
+                    self.restart_partition(partition, false, now)
+                }
+                PartitionRecoveryAction::Stop => self.stop_partition(partition, now),
+            },
+            HmDecision::ModuleAction { action } => match action {
+                ModuleRecoveryAction::Ignore => {}
+                ModuleRecoveryAction::Shutdown => self.halted = true,
+                ModuleRecoveryAction::Reset => {
+                    let ids: Vec<PartitionId> =
+                        self.partitions.iter().map(ApexPartition::id).collect();
+                    for m in ids {
+                        self.restart_partition(m, false, now);
+                    }
+                }
+            },
+        }
+    }
+
+    /// Restarts partition `m` through its ARINC mode automaton and re-runs
+    /// its boot recipe (error handler + auto-start processes).
+    pub(crate) fn restart_partition(&mut self, m: PartitionId, warm: bool, now: Ticks) {
+        let idx = m.as_usize();
+        let target = if warm {
+            OperatingMode::WarmStart
+        } else {
+            OperatingMode::ColdStart
+        };
+        let condition = StartCondition::HmPartitionRestart;
+        let apex = &mut self.partitions[idx];
+        if apex.set_partition_mode(target, condition, now).is_err() {
+            // coldStart → warmStart is forbidden; degrade to cold.
+            let _ = apex.set_partition_mode(OperatingMode::ColdStart, condition, now);
+        }
+        if let Some(handler) = self.runtime[idx].error_handler.clone() {
+            let _ = apex.create_error_handler(handler);
+        }
+        let _ = apex.set_partition_mode(OperatingMode::Normal, condition, now);
+        let auto = self.runtime[idx].auto_start.clone();
+        for pid in auto {
+            let _ = apex.start(pid, now);
+        }
+        self.trace.record(TraceEvent::PartitionRestart {
+            at: now,
+            partition: m,
+            warm,
+        });
+    }
+
+    pub(crate) fn stop_partition(&mut self, m: PartitionId, now: Ticks) {
+        let _ = self.partitions[m.as_usize()].set_partition_mode(
+            OperatingMode::Idle,
+            StartCondition::HmPartitionRestart,
+            now,
+        );
+        self.trace
+            .record(TraceEvent::PartitionStop { at: now, partition: m });
+    }
+
+    fn sync_vitral(&mut self) {
+        let Some(vitral) = &mut self.vitral else {
+            return;
+        };
+        for (i, console) in self.consoles.iter_mut().enumerate() {
+            if i < vitral.partition_count() && !console.is_empty() {
+                let text = std::mem::take(console);
+                vitral.partition_window_mut(i).write(&text);
+            }
+        }
+        // Mirror trace events not yet shown into the AIR / HM windows.
+        for event in &self.trace.events()[self.vitral_synced..] {
+            let line = format!("{event:?}");
+            match event {
+                TraceEvent::DeadlineMiss { .. } | TraceEvent::HmReport { .. } => {
+                    vitral.hm_window_mut().write_line(&line)
+                }
+                _ => vitral.air_window_mut().write_line(&line),
+            }
+        }
+        self.vitral_synced = self.trace.events().len();
+    }
+}

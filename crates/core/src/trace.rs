@@ -1,0 +1,293 @@
+//! Event trace of a simulation run: the observability layer every
+//! experiment in EXPERIMENTS.md reads its numbers from.
+
+use air_hm::ErrorId;
+use air_model::ids::GlobalProcessId;
+use air_model::{PartitionId, ScheduleChangeAction, ScheduleId, Ticks};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// The dispatcher switched the active partition.
+    PartitionSwitch {
+        /// When.
+        at: Ticks,
+        /// Previous active partition (`None`: idle).
+        from: Option<PartitionId>,
+        /// New active partition (`None`: idle).
+        to: Option<PartitionId>,
+    },
+    /// A pending schedule switch became effective (MTF boundary).
+    ScheduleSwitch {
+        /// When.
+        at: Ticks,
+        /// The newly effective schedule.
+        to: ScheduleId,
+    },
+    /// A schedule-change action was applied to a partition at its first
+    /// dispatch after a switch (Algorithm 2 line 9).
+    ScheduleChangeActionApplied {
+        /// When.
+        at: Ticks,
+        /// The affected partition.
+        partition: PartitionId,
+        /// The applied action.
+        action: ScheduleChangeAction,
+    },
+    /// The PAL detected a process deadline violation (Algorithm 3 line 6).
+    DeadlineMiss {
+        /// Detection instant.
+        at: Ticks,
+        /// The violating process.
+        process: GlobalProcessId,
+        /// The missed absolute deadline `D′`.
+        deadline: Ticks,
+    },
+    /// Health monitoring recorded an error report.
+    HmReport {
+        /// When.
+        at: Ticks,
+        /// The error.
+        error: ErrorId,
+        /// The partition it is contained in, if partition-scoped.
+        partition: Option<PartitionId>,
+    },
+    /// A partition was restarted (HM action or schedule-change action).
+    PartitionRestart {
+        /// When.
+        at: Ticks,
+        /// The restarted partition.
+        partition: PartitionId,
+        /// Whether state was preserved (warm) or not (cold).
+        warm: bool,
+    },
+    /// A partition was stopped (set idle).
+    PartitionStop {
+        /// When.
+        at: Ticks,
+        /// The stopped partition.
+        partition: PartitionId,
+    },
+}
+
+impl TraceEvent {
+    /// The instant of the event.
+    pub fn at(&self) -> Ticks {
+        match self {
+            TraceEvent::PartitionSwitch { at, .. }
+            | TraceEvent::ScheduleSwitch { at, .. }
+            | TraceEvent::ScheduleChangeActionApplied { at, .. }
+            | TraceEvent::DeadlineMiss { at, .. }
+            | TraceEvent::HmReport { at, .. }
+            | TraceEvent::PartitionRestart { at, .. }
+            | TraceEvent::PartitionStop { at, .. } => *at,
+        }
+    }
+}
+
+/// The recorded event stream plus aggregate counters.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    /// Hard cap on retained events (long benches would otherwise grow
+    /// unbounded); counters keep counting past it.
+    retain_limit: usize,
+    partition_switches: u64,
+    deadline_miss_count: u64,
+    schedule_switch_count: u64,
+    /// Run-length-encoded occupancy: who held the CPU, for how long.
+    gantt: Vec<(Option<PartitionId>, u64)>,
+}
+
+impl Trace {
+    /// Default retained-event cap.
+    pub const DEFAULT_RETAIN: usize = 1 << 20;
+
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self {
+            retain_limit: Self::DEFAULT_RETAIN,
+            ..Self::default()
+        }
+    }
+
+    /// Records `event`.
+    pub fn record(&mut self, event: TraceEvent) {
+        match &event {
+            TraceEvent::PartitionSwitch { .. } => self.partition_switches += 1,
+            TraceEvent::DeadlineMiss { .. } => self.deadline_miss_count += 1,
+            TraceEvent::ScheduleSwitch { .. } => self.schedule_switch_count += 1,
+            _ => {}
+        }
+        if self.events.len() < self.retain_limit {
+            self.events.push(event);
+        }
+    }
+
+    /// All retained events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Retained deadline-miss events.
+    pub fn deadline_misses(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DeadlineMiss { .. }))
+            .collect()
+    }
+
+    /// Retained schedule-switch events.
+    pub fn schedule_switches(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ScheduleSwitch { .. }))
+            .collect()
+    }
+
+    /// Total partition context switches (counter, not capped).
+    pub fn partition_switch_count(&self) -> u64 {
+        self.partition_switches
+    }
+
+    /// Total deadline misses (counter, not capped).
+    pub fn deadline_miss_count(&self) -> u64 {
+        self.deadline_miss_count
+    }
+
+    /// Total schedule switches (counter, not capped).
+    pub fn schedule_switch_count(&self) -> u64 {
+        self.schedule_switch_count
+    }
+
+    /// Records one tick of CPU occupancy by `holder` (run-length encoded;
+    /// the simulator calls this every tick).
+    pub fn record_occupancy(&mut self, holder: Option<PartitionId>) {
+        match self.gantt.last_mut() {
+            Some((h, len)) if *h == holder => *len += 1,
+            _ => self.gantt.push((holder, 1)),
+        }
+    }
+
+    /// The run-length-encoded occupancy history:
+    /// `(partition-or-idle, ticks)` segments in time order.
+    pub fn occupancy(&self) -> &[(Option<PartitionId>, u64)] {
+        &self.gantt
+    }
+
+    /// Renders the recorded occupancy as an ASCII Gantt strip, one
+    /// character per `resolution` ticks (`0`–`9` for partitions by id,
+    /// `.` for idle) — the *actual* execution counterpart of the planned
+    /// Fig. 8 timelines, for eyeballing planned-vs-actual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    pub fn render_gantt(&self, resolution: u64) -> String {
+        assert!(resolution > 0, "resolution must be positive");
+        let mut out = String::new();
+        let mut col_fill: u64 = 0;
+        let mut col_char: Option<Option<PartitionId>> = None;
+        for &(holder, len) in &self.gantt {
+            let mut remaining = len;
+            while remaining > 0 {
+                if col_char.is_none() {
+                    col_char = Some(holder);
+                }
+                let take = remaining.min(resolution - col_fill);
+                col_fill += take;
+                remaining -= take;
+                if col_fill == resolution {
+                    let ch = match col_char.expect("set above") {
+                        Some(p) => {
+                            char::from_digit(p.as_u32().min(9), 10).expect("digit")
+                        }
+                        None => '.',
+                    };
+                    out.push(ch);
+                    col_fill = 0;
+                    col_char = None;
+                }
+            }
+        }
+        out
+    }
+
+    /// Clears retained events and counters.
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.partition_switches = 0;
+        self.deadline_miss_count = 0;
+        self.schedule_switch_count = 0;
+        self.gantt.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_model::ids::ProcessId;
+
+    #[test]
+    fn counters_and_filters() {
+        let mut t = Trace::new();
+        t.record(TraceEvent::PartitionSwitch {
+            at: Ticks(1),
+            from: None,
+            to: Some(PartitionId(0)),
+        });
+        t.record(TraceEvent::DeadlineMiss {
+            at: Ticks(2),
+            process: GlobalProcessId::new(PartitionId(0), ProcessId(1)),
+            deadline: Ticks(1),
+        });
+        t.record(TraceEvent::ScheduleSwitch {
+            at: Ticks(3),
+            to: ScheduleId(1),
+        });
+        assert_eq!(t.partition_switch_count(), 1);
+        assert_eq!(t.deadline_miss_count(), 1);
+        assert_eq!(t.schedule_switch_count(), 1);
+        assert_eq!(t.deadline_misses().len(), 1);
+        assert_eq!(t.schedule_switches().len(), 1);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.events()[1].at(), Ticks(2));
+        t.reset();
+        assert!(t.events().is_empty());
+        assert_eq!(t.deadline_miss_count(), 0);
+    }
+
+    #[test]
+    fn occupancy_rle_and_gantt() {
+        let mut t = Trace::new();
+        for _ in 0..10 {
+            t.record_occupancy(Some(PartitionId(0)));
+        }
+        for _ in 0..5 {
+            t.record_occupancy(None);
+        }
+        for _ in 0..5 {
+            t.record_occupancy(Some(PartitionId(2)));
+        }
+        assert_eq!(
+            t.occupancy(),
+            &[
+                (Some(PartitionId(0)), 10),
+                (None, 5),
+                (Some(PartitionId(2)), 5)
+            ]
+        );
+        // Resolution 5: columns take the holder of their first tick.
+        assert_eq!(t.render_gantt(5), "00.2");
+        assert_eq!(t.render_gantt(1).len(), 20);
+        t.reset();
+        assert!(t.occupancy().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gantt_zero_resolution_panics() {
+        Trace::new().render_gantt(0);
+    }
+}

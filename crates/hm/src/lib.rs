@@ -1,0 +1,45 @@
+//! # air-hm — AIR Health Monitoring
+//!
+//! "The AIR Health Monitor is responsible for handling hardware and
+//! software errors (like deadlines missed, memory protection violations, or
+//! hardware failures). The aim is to isolate errors within its domain of
+//! occurrence: process level errors will cause an application error handler
+//! to be invoked, while partition level errors trigger a response action
+//! defined at system integration time. Errors detected at system level may
+//! lead the entire system to be stopped or reinitialized." (Sect. 2.4.)
+//!
+//! The crate provides:
+//!
+//! * the **error identifiers** ARINC 653 defines, including the deadline
+//!   miss this paper's Sect. 5 centres on ([`error_id`]);
+//! * the **error level** classification (process / partition / module) and
+//!   the integration-time **HM tables** that perform it ([`table`]);
+//! * the **recovery actions** available at each level, including the
+//!   paper's full menu for deadline violations — ignore, log-N-times-then-
+//!   act, stop/restart the process, stop the process for partition-level
+//!   detection, restart or stop the partition ([`action`]);
+//! * the **health monitor** itself: the event sink the PMK, PAL and APEX
+//!   report into, which consults the tables, tracks per-error occurrence
+//!   counts, records everything in a bounded log, and hands back the
+//!   decision its caller must enforce ([`monitor`]);
+//! * a bounded, timestamped **error log** ([`log`]).
+//!
+//! The monitor *decides*; the PMK and POS *enforce*. Keeping enforcement
+//! out of this crate mirrors the AIR layering (Fig. 1) and keeps the crate
+//! free of any runtime dependency.
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod error_id;
+pub mod log;
+pub mod monitor;
+pub mod table;
+
+pub use action::{
+    EscalatedProcessAction, ModuleRecoveryAction, PartitionRecoveryAction, ProcessRecoveryAction,
+};
+pub use error_id::{ErrorId, ErrorLevel, ErrorSource};
+pub use log::{HmLog, HmLogEntry};
+pub use monitor::{HealthMonitor, HmDecision};
+pub use table::{HmTables, PartitionHmTable, SystemHmTable};

@@ -1,0 +1,117 @@
+//! The system clock: the tick source the AIR Partition Scheduler runs on.
+//!
+//! "The AIR Partition Scheduler code is invoked at every system clock tick"
+//! (Sect. 4.3). The clock is the authoritative time base of the machine;
+//! `ticks` in Algorithm 1 is exactly [`SystemClock::now`].
+
+/// A monotonically advancing tick counter with a configurable tick period.
+///
+/// The tick period (in simulated nanoseconds) only matters for reporting:
+/// all scheduling arithmetic is carried out in whole ticks. The default
+/// models a 1 ms tick, a common RTEMS clock configuration.
+///
+/// # Examples
+///
+/// ```
+/// use air_hw::SystemClock;
+///
+/// let mut clock = SystemClock::new();
+/// assert_eq!(clock.now(), 0);
+/// clock.advance();
+/// clock.advance();
+/// assert_eq!(clock.now(), 2);
+/// assert_eq!(clock.elapsed_ns(), 2_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemClock {
+    ticks: u64,
+    tick_period_ns: u64,
+}
+
+impl SystemClock {
+    /// Default tick period: 1 ms.
+    pub const DEFAULT_TICK_PERIOD_NS: u64 = 1_000_000;
+
+    /// Creates a clock at tick 0 with the default 1 ms tick period.
+    pub fn new() -> Self {
+        Self::with_period_ns(Self::DEFAULT_TICK_PERIOD_NS)
+    }
+
+    /// Creates a clock with a custom tick period in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_period_ns` is zero.
+    pub fn with_period_ns(tick_period_ns: u64) -> Self {
+        assert!(tick_period_ns > 0, "tick period must be positive");
+        Self {
+            ticks: 0,
+            tick_period_ns,
+        }
+    }
+
+    /// The current tick count (`ticks` of Algorithm 1).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The tick period in nanoseconds.
+    #[inline]
+    pub fn tick_period_ns(&self) -> u64 {
+        self.tick_period_ns
+    }
+
+    /// Simulated time elapsed since initialisation, in nanoseconds.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.ticks * self.tick_period_ns
+    }
+
+    /// Advances the clock by one tick and returns the new tick count.
+    ///
+    /// The machine calls this once per simulation step, *before* delivering
+    /// the clock interrupt, so handlers observe the incremented count —
+    /// mirroring Algorithm 1 line 1 (`ticks ← ticks + 1`).
+    #[inline]
+    pub fn advance(&mut self) -> u64 {
+        self.ticks += 1;
+        self.ticks
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_counts_up() {
+        let mut c = SystemClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(), 1);
+        assert_eq!(c.advance(), 2);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn elapsed_ns_uses_period() {
+        let mut c = SystemClock::with_period_ns(500);
+        c.advance();
+        c.advance();
+        c.advance();
+        assert_eq!(c.elapsed_ns(), 1500);
+        assert_eq!(c.tick_period_ns(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = SystemClock::with_period_ns(0);
+    }
+}

@@ -1,0 +1,199 @@
+//! CPU execution contexts and the save/restore primitives used by the AIR
+//! Partition Dispatcher (Algorithm 2, lines 4 and 8).
+//!
+//! The dispatcher's `SAVECONTEXT`/`RESTORECONTEXT` operate on a
+//! [`CpuContext`]: the architectural state that must survive a partition
+//! preemption. On the LEON3 this would be the integer register file,
+//! `%psr`, trap registers and the MMU context register; here it is a
+//! compact simulated equivalent that still makes context switches
+//! observable (and benchmarkable, experiment B3).
+
+use std::fmt;
+
+use crate::mmu::MmuContextId;
+
+/// The architectural state saved and restored across partition switches.
+///
+/// Each partition owns one `CpuContext`; the Partition Dispatcher swaps the
+/// active one at partition preemption points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuContext {
+    /// Simulated program counter.
+    pub pc: u64,
+    /// Simulated stack pointer.
+    pub sp: u64,
+    /// Simulated processor status word (interrupt level, supervisor bit…).
+    pub psr: u64,
+    /// Simulated general-purpose register file (SPARC V8 has 8 globals +
+    /// register windows; a fixed window's worth is enough to give the
+    /// save/restore a realistic footprint).
+    pub gpr: [u64; 32],
+    /// The MMU context this execution runs under — switching it is what
+    /// enforces spatial partitioning across the context switch.
+    pub mmu_context: MmuContextId,
+}
+
+impl CpuContext {
+    /// A fresh context starting at `entry` with the given stack and MMU
+    /// context.
+    pub fn new(entry: u64, stack_top: u64, mmu_context: MmuContextId) -> Self {
+        Self {
+            pc: entry,
+            sp: stack_top,
+            psr: 0,
+            gpr: [0; 32],
+            mmu_context,
+        }
+    }
+}
+
+impl Default for CpuContext {
+    fn default() -> Self {
+        Self::new(0, 0, MmuContextId(0))
+    }
+}
+
+impl fmt::Display for CpuContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pc={:#x} sp={:#x} psr={:#x} ctx={}",
+            self.pc, self.sp, self.psr, self.mmu_context.0
+        )
+    }
+}
+
+/// The (single) processor of the emulated machine.
+///
+/// AIR's first generation targets a single core — "parallelism between
+/// partition time windows on a multicore platform" is listed as future work
+/// (Sect. 8) — so one `Cpu` executes one context at a time.
+///
+/// # Examples
+///
+/// ```
+/// use air_hw::{Cpu, CpuContext};
+/// use air_hw::mmu::MmuContextId;
+///
+/// let mut cpu = Cpu::new();
+/// let mut ctx_a = CpuContext::new(0x1000, 0x8000, MmuContextId(1));
+/// cpu.restore_context(&ctx_a);
+/// cpu.retire_work(5); // partition A computes
+/// cpu.save_context(&mut ctx_a);
+/// assert_eq!(cpu.context_switches(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    active: CpuContext,
+    /// Cycles retired in the currently-active context since restore.
+    cycles_in_context: u64,
+    /// Total cycles retired since power-on.
+    cycles_total: u64,
+    context_switches: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU running an all-zero boot context.
+    pub fn new() -> Self {
+        Self {
+            active: CpuContext::default(),
+            cycles_in_context: 0,
+            cycles_total: 0,
+            context_switches: 0,
+        }
+    }
+
+    /// Read-only view of the active context.
+    pub fn active_context(&self) -> &CpuContext {
+        &self.active
+    }
+
+    /// The MMU context the CPU currently executes under.
+    pub fn current_mmu_context(&self) -> MmuContextId {
+        self.active.mmu_context
+    }
+
+    /// `SAVECONTEXT` (Algorithm 2 line 4): copies the live architectural
+    /// state into `slot`.
+    pub fn save_context(&self, slot: &mut CpuContext) {
+        *slot = self.active.clone();
+    }
+
+    /// `RESTORECONTEXT` (Algorithm 2 line 8): loads `slot` into the CPU.
+    /// Counts one context switch and resets the per-context cycle counter.
+    pub fn restore_context(&mut self, slot: &CpuContext) {
+        self.active = slot.clone();
+        self.cycles_in_context = 0;
+        self.context_switches += 1;
+    }
+
+    /// Models the partition doing `cycles` of useful work: advances the
+    /// simulated PC and the cycle counters.
+    pub fn retire_work(&mut self, cycles: u64) {
+        self.active.pc = self.active.pc.wrapping_add(4 * cycles);
+        self.cycles_in_context += cycles;
+        self.cycles_total += cycles;
+    }
+
+    /// Cycles retired since the last context restore.
+    pub fn cycles_in_context(&self) -> u64 {
+        self.cycles_in_context
+    }
+
+    /// Total cycles retired since power-on.
+    pub fn cycles_total(&self) -> u64 {
+        self.cycles_total
+    }
+
+    /// Number of context restores performed (the dispatcher's switch count).
+    pub fn context_switches(&self) -> u64 {
+        self.context_switches
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_restore_roundtrip_preserves_state() {
+        let mut cpu = Cpu::new();
+        let mut a = CpuContext::new(0x1000, 0x2000, MmuContextId(1));
+        a.gpr[5] = 42;
+        cpu.restore_context(&a);
+        cpu.retire_work(3);
+
+        let mut saved = CpuContext::default();
+        cpu.save_context(&mut saved);
+        assert_eq!(saved.pc, 0x1000 + 12);
+        assert_eq!(saved.gpr[5], 42);
+        assert_eq!(saved.mmu_context, MmuContextId(1));
+
+        // Switch to B, then back to the saved A.
+        let b = CpuContext::new(0x9000, 0xA000, MmuContextId(2));
+        cpu.restore_context(&b);
+        assert_eq!(cpu.current_mmu_context(), MmuContextId(2));
+        cpu.restore_context(&saved);
+        assert_eq!(cpu.active_context().pc, 0x100c);
+        assert_eq!(cpu.current_mmu_context(), MmuContextId(1));
+        assert_eq!(cpu.context_switches(), 3);
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let mut cpu = Cpu::new();
+        cpu.retire_work(10);
+        assert_eq!(cpu.cycles_in_context(), 10);
+        let ctx = CpuContext::default();
+        cpu.restore_context(&ctx);
+        assert_eq!(cpu.cycles_in_context(), 0, "reset on restore");
+        cpu.retire_work(5);
+        assert_eq!(cpu.cycles_total(), 15);
+    }
+}

@@ -1,0 +1,272 @@
+//! Interrupt controller with the paravirtualisation guard of Sect. 2.5.
+//!
+//! "To ensure that a non-real-time kernel as Linux cannot undermine the
+//! overall time guarantees of the system by disabling or diverting system
+//! clock interrupts, the instructions that could allow this must be wrapped
+//! by low-level handlers (paravirtualized)." The controller therefore
+//! distinguishes two privilege levels: the PMK (hypervisor) may mask any
+//! line; a **guest** attempting to mask or divert the clock line does not
+//! actually affect it — the attempt is recorded and reported instead.
+
+use std::fmt;
+
+/// An interrupt line of the emulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InterruptLine {
+    /// The periodic system clock tick (line 0). The AIR Partition Scheduler
+    /// and, transitively, everything timely in the system hangs off it.
+    ClockTick,
+    /// The inter-node communication link signalling message arrival.
+    Link,
+    /// Console input (keyboard) — drives the VITRAL interaction of Fig. 9.
+    ConsoleInput,
+    /// A numbered device line.
+    Device(u8),
+}
+
+impl InterruptLine {
+    fn index(self) -> usize {
+        match self {
+            InterruptLine::ClockTick => 0,
+            InterruptLine::Link => 1,
+            InterruptLine::ConsoleInput => 2,
+            InterruptLine::Device(n) => 3 + n as usize,
+        }
+    }
+
+    /// Total number of representable lines.
+    const COUNT: usize = 3 + 256;
+}
+
+impl fmt::Display for InterruptLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterruptLine::ClockTick => f.write_str("clock-tick"),
+            InterruptLine::Link => f.write_str("link"),
+            InterruptLine::ConsoleInput => f.write_str("console-input"),
+            InterruptLine::Device(n) => write!(f, "device{n}"),
+        }
+    }
+}
+
+/// Who is executing when a mask/divert request reaches the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrivilegeLevel {
+    /// The AIR PMK (hypervisor level): full control.
+    Pmk,
+    /// A partition's POS or application: clock-line control is
+    /// paravirtualised away.
+    Guest,
+}
+
+/// Outcome of a guest's attempt to interfere with the clock interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParavirtOutcome {
+    /// The request targeted a non-clock line and was applied.
+    Applied,
+    /// The request targeted the clock line from guest level and was
+    /// **wrapped**: the line stays under PMK control, the attempt is
+    /// counted (exposed via [`InterruptController::wrapped_clock_attempts`]).
+    Wrapped,
+}
+
+/// A maskable interrupt controller with per-line pending flags.
+///
+/// # Examples
+///
+/// ```
+/// use air_hw::interrupt::{InterruptController, InterruptLine, PrivilegeLevel};
+///
+/// let mut intc = InterruptController::new();
+/// intc.raise(InterruptLine::ClockTick);
+/// assert_eq!(intc.acknowledge(), Some(InterruptLine::ClockTick));
+/// assert_eq!(intc.acknowledge(), None);
+///
+/// // A guest trying to mask the clock gets wrapped, not obeyed.
+/// intc.mask(InterruptLine::ClockTick, PrivilegeLevel::Guest);
+/// intc.raise(InterruptLine::ClockTick);
+/// assert_eq!(intc.acknowledge(), Some(InterruptLine::ClockTick));
+/// assert_eq!(intc.wrapped_clock_attempts(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterruptController {
+    enabled: Vec<bool>,
+    pending: Vec<bool>,
+    wrapped_clock_attempts: u64,
+    raised_total: u64,
+    delivered_total: u64,
+}
+
+impl InterruptController {
+    /// Creates a controller with every line enabled and none pending.
+    pub fn new() -> Self {
+        Self {
+            enabled: vec![true; InterruptLine::COUNT],
+            pending: vec![false; InterruptLine::COUNT],
+            wrapped_clock_attempts: 0,
+            raised_total: 0,
+            delivered_total: 0,
+        }
+    }
+
+    /// Raises `line`: it becomes pending until acknowledged (idempotent for
+    /// an already-pending line, as on real edge-latched controllers).
+    pub fn raise(&mut self, line: InterruptLine) {
+        self.raised_total += 1;
+        self.pending[line.index()] = true;
+    }
+
+    /// Whether `line` is currently pending.
+    pub fn is_pending(&self, line: InterruptLine) -> bool {
+        self.pending[line.index()]
+    }
+
+    /// Whether `line` is currently enabled.
+    pub fn is_enabled(&self, line: InterruptLine) -> bool {
+        self.enabled[line.index()]
+    }
+
+    /// Masks (disables) `line` on behalf of `level`.
+    ///
+    /// A [`PrivilegeLevel::Guest`] request against
+    /// [`InterruptLine::ClockTick`] is *not* applied: per Sect. 2.5 the
+    /// operation is paravirtualised and merely recorded.
+    pub fn mask(&mut self, line: InterruptLine, level: PrivilegeLevel) -> ParavirtOutcome {
+        if matches!(line, InterruptLine::ClockTick) && matches!(level, PrivilegeLevel::Guest) {
+            self.wrapped_clock_attempts += 1;
+            return ParavirtOutcome::Wrapped;
+        }
+        self.enabled[line.index()] = false;
+        ParavirtOutcome::Applied
+    }
+
+    /// Unmasks (enables) `line` on behalf of `level`. Guest requests on the
+    /// clock line are wrapped exactly like [`mask`](Self::mask) — the guest
+    /// must not be able to *infer* control it does not have.
+    pub fn unmask(&mut self, line: InterruptLine, level: PrivilegeLevel) -> ParavirtOutcome {
+        if matches!(line, InterruptLine::ClockTick) && matches!(level, PrivilegeLevel::Guest) {
+            self.wrapped_clock_attempts += 1;
+            return ParavirtOutcome::Wrapped;
+        }
+        self.enabled[line.index()] = true;
+        ParavirtOutcome::Applied
+    }
+
+    /// Acknowledges and returns the highest-priority pending, enabled line
+    /// (lowest index first: the clock tick always preempts device lines),
+    /// clearing its pending flag; `None` when nothing is deliverable.
+    pub fn acknowledge(&mut self) -> Option<InterruptLine> {
+        for idx in 0..InterruptLine::COUNT {
+            if self.pending[idx] && self.enabled[idx] {
+                self.pending[idx] = false;
+                self.delivered_total += 1;
+                return Some(Self::line_from_index(idx));
+            }
+        }
+        None
+    }
+
+    /// Number of guest attempts to mask/unmask the clock line that were
+    /// wrapped by the paravirtualisation layer.
+    pub fn wrapped_clock_attempts(&self) -> u64 {
+        self.wrapped_clock_attempts
+    }
+
+    /// Total interrupts raised since construction.
+    pub fn raised_total(&self) -> u64 {
+        self.raised_total
+    }
+
+    /// Total interrupts delivered (acknowledged) since construction.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    fn line_from_index(idx: usize) -> InterruptLine {
+        match idx {
+            0 => InterruptLine::ClockTick,
+            1 => InterruptLine::Link,
+            2 => InterruptLine::ConsoleInput,
+            n => InterruptLine::Device((n - 3) as u8),
+        }
+    }
+}
+
+impl Default for InterruptController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_and_acknowledge() {
+        let mut intc = InterruptController::new();
+        assert_eq!(intc.acknowledge(), None);
+        intc.raise(InterruptLine::Device(7));
+        assert!(intc.is_pending(InterruptLine::Device(7)));
+        assert_eq!(intc.acknowledge(), Some(InterruptLine::Device(7)));
+        assert!(!intc.is_pending(InterruptLine::Device(7)));
+    }
+
+    #[test]
+    fn clock_preempts_devices() {
+        let mut intc = InterruptController::new();
+        intc.raise(InterruptLine::Device(0));
+        intc.raise(InterruptLine::ClockTick);
+        assert_eq!(intc.acknowledge(), Some(InterruptLine::ClockTick));
+        assert_eq!(intc.acknowledge(), Some(InterruptLine::Device(0)));
+    }
+
+    #[test]
+    fn pmk_may_mask_any_line() {
+        let mut intc = InterruptController::new();
+        assert_eq!(
+            intc.mask(InterruptLine::ClockTick, PrivilegeLevel::Pmk),
+            ParavirtOutcome::Applied
+        );
+        intc.raise(InterruptLine::ClockTick);
+        assert_eq!(intc.acknowledge(), None, "masked line must not deliver");
+        intc.unmask(InterruptLine::ClockTick, PrivilegeLevel::Pmk);
+        assert_eq!(intc.acknowledge(), Some(InterruptLine::ClockTick));
+    }
+
+    #[test]
+    fn guest_clock_mask_is_wrapped() {
+        let mut intc = InterruptController::new();
+        assert_eq!(
+            intc.mask(InterruptLine::ClockTick, PrivilegeLevel::Guest),
+            ParavirtOutcome::Wrapped
+        );
+        assert!(intc.is_enabled(InterruptLine::ClockTick));
+        assert_eq!(
+            intc.unmask(InterruptLine::ClockTick, PrivilegeLevel::Guest),
+            ParavirtOutcome::Wrapped
+        );
+        assert_eq!(intc.wrapped_clock_attempts(), 2);
+    }
+
+    #[test]
+    fn guest_may_mask_its_device_lines() {
+        let mut intc = InterruptController::new();
+        assert_eq!(
+            intc.mask(InterruptLine::Device(3), PrivilegeLevel::Guest),
+            ParavirtOutcome::Applied
+        );
+        assert!(!intc.is_enabled(InterruptLine::Device(3)));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut intc = InterruptController::new();
+        intc.raise(InterruptLine::Link);
+        intc.raise(InterruptLine::Link); // re-raise while pending
+        assert_eq!(intc.raised_total(), 2);
+        assert_eq!(intc.acknowledge(), Some(InterruptLine::Link));
+        assert_eq!(intc.acknowledge(), None, "edge-latched: one delivery");
+        assert_eq!(intc.delivered_total(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Physical memory of the emulated machine.
+
+use std::fmt;
+
+/// Byte-addressable physical memory with bounds-checked access.
+///
+/// Spatial partitioning ultimately protects ranges of this memory: the MMU
+/// translates partition-virtual addresses into physical frames here, and
+/// interpartition communication performs the "memory-to-memory copies not
+/// violating spatial separation requirements" (Sect. 2.1) between regions
+/// owned by different partitions.
+///
+/// # Examples
+///
+/// ```
+/// use air_hw::PhysicalMemory;
+///
+/// let mut mem = PhysicalMemory::new(64 * 1024);
+/// mem.write(0x100, b"hello")?;
+/// let mut buf = [0u8; 5];
+/// mem.read(0x100, &mut buf)?;
+/// assert_eq!(&buf, b"hello");
+/// # Ok::<(), air_hw::memory::OutOfRange>(())
+/// ```
+#[derive(Clone)]
+pub struct PhysicalMemory {
+    bytes: Vec<u8>,
+}
+
+/// Error returned when a physical access falls outside installed memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfRange {
+    /// First byte of the offending access.
+    pub addr: u64,
+    /// Length of the offending access.
+    pub len: usize,
+    /// Installed memory size.
+    pub size: usize,
+}
+
+impl fmt::Display for OutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "physical access [{:#x}, {:#x}) outside installed memory of {} bytes",
+            self.addr,
+            self.addr + self.len as u64,
+            self.size
+        )
+    }
+}
+
+impl std::error::Error for OutOfRange {}
+
+impl PhysicalMemory {
+    /// Installs `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Self {
+        Self {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Installed memory size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<usize, OutOfRange> {
+        let start = usize::try_from(addr).map_err(|_| OutOfRange {
+            addr,
+            len,
+            size: self.bytes.len(),
+        })?;
+        let end = start.checked_add(len).ok_or(OutOfRange {
+            addr,
+            len,
+            size: self.bytes.len(),
+        })?;
+        if end > self.bytes.len() {
+            return Err(OutOfRange {
+                addr,
+                len,
+                size: self.bytes.len(),
+            });
+        }
+        Ok(start)
+    }
+
+    /// Reads `buf.len()` bytes starting at physical `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfRange`] if any byte of the access is beyond installed memory;
+    /// no partial reads occur.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), OutOfRange> {
+        let start = self.check(addr, buf.len())?;
+        buf.copy_from_slice(&self.bytes[start..start + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes `data` starting at physical `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfRange`] if any byte of the access is beyond installed memory;
+    /// no partial writes occur.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), OutOfRange> {
+        let start = self.check(addr, data.len())?;
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within physical memory — the
+    /// primitive behind local interpartition message transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfRange`] if either range is beyond installed memory.
+    pub fn copy_within(&mut self, src: u64, dst: u64, len: usize) -> Result<(), OutOfRange> {
+        let s = self.check(src, len)?;
+        let d = self.check(dst, len)?;
+        self.bytes.copy_within(s..s + len, d);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfRange`] if `addr` is beyond installed memory.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, OutOfRange> {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`OutOfRange`] if `addr` is beyond installed memory.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), OutOfRange> {
+        self.write(addr, &[value])
+    }
+}
+
+impl fmt::Debug for PhysicalMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysicalMemory")
+            .field("size", &self.bytes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = PhysicalMemory::new(1024);
+        m.write(10, &[1, 2, 3]).unwrap();
+        let mut buf = [0u8; 3];
+        m.read(10, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(m.read_u8(11).unwrap(), 2);
+    }
+
+    #[test]
+    fn bounds_are_enforced_exactly() {
+        let mut m = PhysicalMemory::new(16);
+        assert!(m.write(14, &[0, 0]).is_ok());
+        let err = m.write(15, &[0, 0]).unwrap_err();
+        assert_eq!(err.addr, 15);
+        assert_eq!(err.len, 2);
+        let mut buf = [0u8; 1];
+        assert!(m.read(16, &mut buf).is_err());
+    }
+
+    #[test]
+    fn copy_within_moves_payloads() {
+        let mut m = PhysicalMemory::new(64);
+        m.write(0, b"message").unwrap();
+        m.copy_within(0, 32, 7).unwrap();
+        let mut buf = [0u8; 7];
+        m.read(32, &mut buf).unwrap();
+        assert_eq!(&buf, b"message");
+        assert!(m.copy_within(60, 0, 8).is_err());
+    }
+
+    #[test]
+    fn huge_address_is_rejected_not_panicking() {
+        let m = PhysicalMemory::new(16);
+        let mut buf = [0u8; 1];
+        assert!(m.read(u64::MAX, &mut buf).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for model-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{PartitionId, ScheduleId};
+use crate::time::Ticks;
+
+/// Errors raised by model construction and verification helpers.
+///
+/// Verification of integrator-defined parameters produces the richer
+/// [`crate::verify::Violation`] report; `ModelError` covers structural
+/// problems that prevent analysis altogether.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A schedule id was referenced that does not exist in the set.
+    UnknownSchedule(ScheduleId),
+    /// A partition id was referenced that is not configured.
+    UnknownPartition(PartitionId),
+    /// A quantity that must be positive was zero.
+    ZeroDuration {
+        /// What the zero value was supposed to be (e.g. `"MTF"`).
+        what: &'static str,
+    },
+    /// A time value overflowed the tick range.
+    TickOverflow {
+        /// The operation that overflowed.
+        context: &'static str,
+    },
+    /// A window extends past the major time frame.
+    WindowBeyondMtf {
+        /// The offending schedule.
+        schedule: ScheduleId,
+        /// End of the offending window.
+        window_end: Ticks,
+        /// The schedule's MTF.
+        mtf: Ticks,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownSchedule(id) => {
+                write!(f, "schedule {id} is not part of the schedule set")
+            }
+            ModelError::UnknownPartition(id) => {
+                write!(f, "partition {id} is not configured in the system")
+            }
+            ModelError::ZeroDuration { what } => {
+                write!(f, "{what} must be a positive number of ticks")
+            }
+            ModelError::TickOverflow { context } => {
+                write!(f, "tick arithmetic overflow while computing {context}")
+            }
+            ModelError::WindowBeyondMtf {
+                schedule,
+                window_end,
+                mtf,
+            } => write!(
+                f,
+                "window ending at {window_end} exceeds the MTF {mtf} of schedule {schedule}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ModelError::ZeroDuration { what: "MTF" };
+        assert_eq!(e.to_string(), "MTF must be a positive number of ticks");
+        let e = ModelError::UnknownSchedule(ScheduleId(4));
+        assert!(e.to_string().contains("chi4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

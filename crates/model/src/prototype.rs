@@ -1,0 +1,235 @@
+//! The paper's Sect. 6 prototype configuration (Fig. 8), as model values.
+//!
+//! The prototype comprises four partitions running RTEMS-based mockup
+//! applications "representative of typical functions present in a satellite
+//! system", configured with two partition scheduling tables between which
+//! the mode-based schedules service can alternate:
+//!
+//! ```text
+//! P  = {P1, P2, P3, P4}
+//! Q1 = Q2 = {⟨P1,1300,200⟩, ⟨P2,650,100⟩, ⟨P3,650,100⟩, ⟨P4,1300,100⟩}
+//! χ1 = ⟨1300, {⟨P1,0,200⟩,⟨P2,200,100⟩,⟨P3,300,100⟩,⟨P4,400,600⟩,
+//!              ⟨P2,1000,100⟩,⟨P3,1100,100⟩,⟨P4,1200,100⟩}⟩
+//! χ2 = ⟨1300, {⟨P1,0,200⟩,⟨P4,200,100⟩,⟨P3,300,100⟩,⟨P2,400,600⟩,
+//!              ⟨P4,1000,100⟩,⟨P3,1100,100⟩,⟨P2,1200,100⟩}⟩
+//! ```
+//!
+//! Both tables repeat over an MTF of 1300 time units — "not a strict
+//! requirement; it stems from the partitions' timing requirements as per
+//! (22)". Note that, exactly as in the paper, window `⟨P4,400,600⟩` of χ1
+//! grants P4 far more than its required 100/1300 — the duration conditions
+//! of Eq. (23) are *at least* inequalities.
+//!
+//! The partitions are given the satellite-function names the paper's
+//! introduction motivates (AOCS, OBDH, TTC, payload/FDIR mockups).
+
+use crate::ids::{PartitionId, ScheduleId};
+use crate::partition::Partition;
+use crate::schedule::{PartitionRequirement, Schedule, ScheduleSet, TimeWindow};
+use crate::time::Ticks;
+
+/// `P1` — Attitude and Orbit Control Subsystem mockup (hosts the injectable
+/// faulty process).
+pub const P1: PartitionId = PartitionId(0);
+/// `P2` — Onboard Data Handling mockup.
+pub const P2: PartitionId = PartitionId(1);
+/// `P3` — Telemetry, Tracking and Command mockup.
+pub const P3: PartitionId = PartitionId(2);
+/// `P4` — payload + Fault Detection, Isolation and Recovery mockup.
+pub const P4: PartitionId = PartitionId(3);
+
+/// Identifier of χ₁ (the initial schedule).
+pub const CHI_1: ScheduleId = ScheduleId(0);
+/// Identifier of χ₂.
+pub const CHI_2: ScheduleId = ScheduleId(1);
+
+/// The prototype MTF: 1300 time units for both tables.
+pub const MTF: Ticks = Ticks(1300);
+
+/// A fully-assembled model of the Fig. 8 prototype.
+#[derive(Debug, Clone)]
+pub struct PrototypeSystem {
+    /// The partition set `P` (P1–P4 with satellite-function names).
+    pub partitions: Vec<Partition>,
+    /// The schedule set `χ = {χ1, χ2}`.
+    pub schedules: ScheduleSet,
+}
+
+/// The shared requirement set `Q1 = Q2` of Fig. 8.
+pub fn fig8_requirements() -> Vec<PartitionRequirement> {
+    vec![
+        PartitionRequirement::new(P1, Ticks(1300), Ticks(200)),
+        PartitionRequirement::new(P2, Ticks(650), Ticks(100)),
+        PartitionRequirement::new(P3, Ticks(650), Ticks(100)),
+        PartitionRequirement::new(P4, Ticks(1300), Ticks(100)),
+    ]
+}
+
+/// The χ₁ table of Fig. 8.
+pub fn fig8_chi1() -> Schedule {
+    Schedule::new(
+        CHI_1,
+        "chi1",
+        MTF,
+        fig8_requirements(),
+        vec![
+            TimeWindow::new(P1, Ticks(0), Ticks(200)),
+            TimeWindow::new(P2, Ticks(200), Ticks(100)),
+            TimeWindow::new(P3, Ticks(300), Ticks(100)),
+            TimeWindow::new(P4, Ticks(400), Ticks(600)),
+            TimeWindow::new(P2, Ticks(1000), Ticks(100)),
+            TimeWindow::new(P3, Ticks(1100), Ticks(100)),
+            TimeWindow::new(P4, Ticks(1200), Ticks(100)),
+        ],
+    )
+}
+
+/// The χ₂ table of Fig. 8 (P2 and P4 swap their window pattern).
+pub fn fig8_chi2() -> Schedule {
+    Schedule::new(
+        CHI_2,
+        "chi2",
+        MTF,
+        fig8_requirements(),
+        vec![
+            TimeWindow::new(P1, Ticks(0), Ticks(200)),
+            TimeWindow::new(P4, Ticks(200), Ticks(100)),
+            TimeWindow::new(P3, Ticks(300), Ticks(100)),
+            TimeWindow::new(P2, Ticks(400), Ticks(600)),
+            TimeWindow::new(P4, Ticks(1000), Ticks(100)),
+            TimeWindow::new(P3, Ticks(1100), Ticks(100)),
+            TimeWindow::new(P2, Ticks(1200), Ticks(100)),
+        ],
+    )
+}
+
+/// The four prototype partitions with their satellite-function names.
+///
+/// P1 (the AOCS mockup) is granted module-schedule authority: the demo's
+/// keyboard interaction requests schedule switches through it.
+pub fn fig8_partitions() -> Vec<Partition> {
+    vec![
+        Partition::new(P1, "AOCS").with_schedule_authority(),
+        Partition::new(P2, "OBDH"),
+        Partition::new(P3, "TTC"),
+        Partition::new(P4, "PAYLOAD-FDIR"),
+    ]
+}
+
+/// Builds the complete Fig. 8 system model: partitions plus `{χ1, χ2}`,
+/// with χ₁ as the initial schedule.
+///
+/// # Examples
+///
+/// ```
+/// use air_model::prototype::{fig8_system, MTF, P4};
+/// use air_model::Ticks;
+///
+/// let sys = fig8_system();
+/// assert_eq!(sys.schedules.len(), 2);
+/// let chi1 = sys.schedules.initial();
+/// assert_eq!(chi1.mtf(), MTF);
+/// // P4's big window of chi1: active at t=700.
+/// assert_eq!(chi1.partition_active_at(Ticks(700)), Some(P4));
+/// ```
+pub fn fig8_system() -> PrototypeSystem {
+    PrototypeSystem {
+        partitions: fig8_partitions(),
+        schedules: ScheduleSet::new(vec![fig8_chi1(), fig8_chi2()]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_schedule_brute_force, verify_schedule_set};
+
+    #[test]
+    fn fig8_tables_are_valid() {
+        let sys = fig8_system();
+        let report = verify_schedule_set(&sys.schedules, &sys.partitions);
+        assert!(report.is_ok(), "{report}");
+        assert!(verify_schedule_brute_force(sys.schedules.initial()));
+        assert!(verify_schedule_brute_force(
+            sys.schedules.get(CHI_2).unwrap()
+        ));
+    }
+
+    #[test]
+    fn eq25_worked_example() {
+        // The paper's Eq. (25): for i=1, P_m = Q_{1,1} (= P1), k = 0, the
+        // windows of χ1 assigned to P1 with offset in [0, 1300) sum to
+        // exactly 200 ≥ d_1 = 200.
+        let chi1 = fig8_chi1();
+        assert_eq!(chi1.assigned_in_cycle(P1, Ticks(1300), 0), Ticks(200));
+    }
+
+    #[test]
+    fn chi1_window_layout_matches_fig8() {
+        let chi1 = fig8_chi1();
+        let layout: Vec<(u32, u64, u64)> = chi1
+            .windows()
+            .iter()
+            .map(|w| (w.partition.as_u32(), w.offset.as_u64(), w.duration.as_u64()))
+            .collect();
+        assert_eq!(
+            layout,
+            vec![
+                (0, 0, 200),
+                (1, 200, 100),
+                (2, 300, 100),
+                (3, 400, 600),
+                (1, 1000, 100),
+                (2, 1100, 100),
+                (3, 1200, 100),
+            ]
+        );
+    }
+
+    #[test]
+    fn chi2_swaps_p2_and_p4() {
+        let chi2 = fig8_chi2();
+        assert_eq!(chi2.partition_active_at(Ticks(250)), Some(P4));
+        assert_eq!(chi2.partition_active_at(Ticks(700)), Some(P2));
+        assert_eq!(chi2.partition_active_at(Ticks(1050)), Some(P4));
+        assert_eq!(chi2.partition_active_at(Ticks(1250)), Some(P2));
+    }
+
+    #[test]
+    fn p2_p3_get_their_duration_in_both_cycles() {
+        // P2 and P3 have cycle 650: two cycles per MTF, at least 100 ticks
+        // in each (Eq. 23 is an at-least condition; χ2 grants P2 a generous
+        // 600-tick window in its first cycle).
+        for chi in [fig8_chi1(), fig8_chi2()] {
+            for pm in [P2, P3] {
+                for k in 0..2 {
+                    assert!(chi.assigned_in_cycle(pm, Ticks(650), k) >= Ticks(100));
+                }
+            }
+        }
+        let chi1 = fig8_chi1();
+        assert_eq!(chi1.assigned_in_cycle(P2, Ticks(650), 0), Ticks(100));
+        assert_eq!(chi1.assigned_in_cycle(P2, Ticks(650), 1), Ticks(100));
+        let chi2 = fig8_chi2();
+        assert_eq!(chi2.assigned_in_cycle(P2, Ticks(650), 0), Ticks(600));
+        assert_eq!(chi2.assigned_in_cycle(P2, Ticks(650), 1), Ticks(100));
+    }
+
+    #[test]
+    fn both_tables_fully_utilize_the_mtf() {
+        // Fig. 8's windows tile the whole 1300-tick MTF with no gaps.
+        assert!((fig8_chi1().utilization() - 1.0).abs() < 1e-12);
+        assert!((fig8_chi2().utilization() - 1.0).abs() < 1e-12);
+        for t in 0..1300 {
+            assert!(fig8_chi1().partition_active_at(Ticks(t)).is_some());
+            assert!(fig8_chi2().partition_active_at(Ticks(t)).is_some());
+        }
+    }
+
+    #[test]
+    fn only_p1_has_schedule_authority() {
+        let parts = fig8_partitions();
+        assert!(parts[0].may_set_module_schedule());
+        assert!(parts[1..].iter().all(|p| !p.may_set_module_schedule()));
+    }
+}

@@ -1,0 +1,723 @@
+//! Verification of integrator-defined system parameters: the conditions of
+//! Eq. (6)/(21), Eq. (7)/(22) and Eq. (8)–(9)/(23).
+//!
+//! "Temporal analysis in TSP systems has not been addressed in the
+//! literature to the full extent needed to aid design, integration and
+//! deployment" (Sect. 1) — the formal model "allows for the verification of
+//! the integrator-defined system parameters, such as partition scheduling
+//! according to the respective temporal requirements". This module is that
+//! verifier: it takes scheduling tables as configured and returns either a
+//! clean bill of health or a precise, per-condition list of
+//! [`Violation`]s.
+//!
+//! Three families of conditions are checked per schedule `χ_i`:
+//!
+//! 1. **Window well-formedness** (Eq. 21): windows do not intersect —
+//!    `O_{i,j} + c_{i,j} ≤ O_{i,j+1}` — and are fully contained in one MTF —
+//!    `O_{i,n} + c_{i,n} ≤ MTF_i`.
+//! 2. **MTF/lcm relation** (Eq. 22): `MTF_i = k · lcm(η)` for a natural `k`
+//!    — necessary but not sufficient for system-wide schedulability.
+//! 3. **Per-cycle duration** (Eq. 23): every partition receives its
+//!    assigned duration `d` within **each** of its `MTF/η` cycles, not
+//!    merely on average over the MTF (which would be the weaker Eq. 8).
+//!
+//! A brute-force re-check ([`verify_schedule_brute_force`]) validates the
+//! analytic conditions tick-by-tick; the property-test suite keeps the two
+//! in agreement.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{PartitionId, ScheduleId};
+use crate::partition::Partition;
+use crate::schedule::{Schedule, ScheduleSet};
+use crate::time::{lcm_all, Ticks};
+
+/// One violated verification condition, pinpointing schedule, partition and
+/// the numbers involved so integration tooling can render actionable
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Violation {
+    /// The MTF is zero — no schedule can repeat over it.
+    ZeroMtf {
+        /// Offending schedule.
+        schedule: ScheduleId,
+    },
+    /// A window has zero duration; such windows cannot grant time and are
+    /// almost certainly configuration mistakes.
+    ZeroWindowDuration {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// Index of the window within the table.
+        window_index: usize,
+    },
+    /// Two consecutive windows overlap: Eq. (21) first clause violated.
+    WindowsOverlap {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// Index of the first of the overlapping pair.
+        first_index: usize,
+        /// End of the first window.
+        first_end: Ticks,
+        /// Offset of the second window, strictly before `first_end`.
+        second_offset: Ticks,
+    },
+    /// The last window runs past the MTF: Eq. (21) second clause violated.
+    WindowBeyondMtf {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// Index of the offending window.
+        window_index: usize,
+        /// End of the offending window.
+        window_end: Ticks,
+        /// The schedule's MTF.
+        mtf: Ticks,
+    },
+    /// A window names a partition with no requirement entry in `Q_i`
+    /// (Eq. 20 demands `P^ω_{i,j} ∈ Q_i`).
+    WindowForUnknownPartition {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// Index of the offending window.
+        window_index: usize,
+        /// The partition the window names.
+        partition: PartitionId,
+    },
+    /// A requirement entry's partition is not in the system partition set.
+    RequirementForUnknownPartition {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// The unknown partition.
+        partition: PartitionId,
+    },
+    /// A partition has a requirement with `d > 0` but no window at all;
+    /// Eq. (23) is then violated for every cycle — reported once, distinctly,
+    /// for clearer diagnostics.
+    PartitionWithoutWindows {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// The partition lacking windows.
+        partition: PartitionId,
+    },
+    /// A partition's cycle is zero while its duration is positive.
+    ZeroCycle {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// The partition with the degenerate cycle.
+        partition: PartitionId,
+    },
+    /// A partition's cycle does not divide the MTF; its cycles would not
+    /// align with MTF repetitions and Eq. (23)'s cycle enumeration breaks.
+    CycleDoesNotDivideMtf {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// The partition with the misaligned cycle.
+        partition: PartitionId,
+        /// The partition's cycle `η`.
+        cycle: Ticks,
+        /// The schedule's MTF.
+        mtf: Ticks,
+    },
+    /// Eq. (22) violated: the MTF is not a natural multiple of the lcm of
+    /// all partition cycles.
+    MtfNotMultipleOfLcm {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// lcm of all participating partitions' cycles.
+        lcm: Ticks,
+        /// The schedule's MTF.
+        mtf: Ticks,
+    },
+    /// Eq. (23) violated: within cycle `k`, `partition` receives
+    /// `assigned < required`.
+    InsufficientDurationInCycle {
+        /// Offending schedule.
+        schedule: ScheduleId,
+        /// The under-served partition.
+        partition: PartitionId,
+        /// The cycle index `k ∈ [0, MTF/η)`.
+        cycle_index: u64,
+        /// Window time attributed to the cycle.
+        assigned: Ticks,
+        /// Required duration `d`.
+        required: Ticks,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ZeroMtf { schedule } => {
+                write!(f, "{schedule}: MTF is zero")
+            }
+            Violation::ZeroWindowDuration {
+                schedule,
+                window_index,
+            } => write!(f, "{schedule}: window #{window_index} has zero duration"),
+            Violation::WindowsOverlap {
+                schedule,
+                first_index,
+                first_end,
+                second_offset,
+            } => write!(
+                f,
+                "{schedule}: window #{first_index} ends at {first_end} after the next window starts at {second_offset} (Eq. 21)"
+            ),
+            Violation::WindowBeyondMtf {
+                schedule,
+                window_index,
+                window_end,
+                mtf,
+            } => write!(
+                f,
+                "{schedule}: window #{window_index} ends at {window_end}, beyond the MTF {mtf} (Eq. 21)"
+            ),
+            Violation::WindowForUnknownPartition {
+                schedule,
+                window_index,
+                partition,
+            } => write!(
+                f,
+                "{schedule}: window #{window_index} names {partition} which has no requirement entry (Eq. 20)"
+            ),
+            Violation::RequirementForUnknownPartition {
+                schedule,
+                partition,
+            } => write!(
+                f,
+                "{schedule}: requirement names {partition} which is not a configured partition"
+            ),
+            Violation::PartitionWithoutWindows {
+                schedule,
+                partition,
+            } => write!(
+                f,
+                "{schedule}: {partition} requires time but has no windows"
+            ),
+            Violation::ZeroCycle {
+                schedule,
+                partition,
+            } => write!(
+                f,
+                "{schedule}: {partition} has a zero activation cycle with positive duration"
+            ),
+            Violation::CycleDoesNotDivideMtf {
+                schedule,
+                partition,
+                cycle,
+                mtf,
+            } => write!(
+                f,
+                "{schedule}: cycle {cycle} of {partition} does not divide the MTF {mtf}"
+            ),
+            Violation::MtfNotMultipleOfLcm { schedule, lcm, mtf } => write!(
+                f,
+                "{schedule}: MTF {mtf} is not a natural multiple of lcm(cycles) = {lcm} (Eq. 22)"
+            ),
+            Violation::InsufficientDurationInCycle {
+                schedule,
+                partition,
+                cycle_index,
+                assigned,
+                required,
+            } => write!(
+                f,
+                "{schedule}: {partition} gets {assigned} in cycle {cycle_index}, needs {required} (Eq. 23)"
+            ),
+        }
+    }
+}
+
+/// The outcome of verifying one or more scheduling tables.
+///
+/// `Report::is_ok()` means every checked condition holds; otherwise
+/// [`Report::violations`] lists every failure found (verification does not
+/// stop at the first problem — integration reports need the full picture).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Report {
+    violations: Vec<Violation>,
+}
+
+impl Report {
+    /// A report with no violations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether all verified conditions hold.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations found, in discovery order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Merges another report's findings into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.violations.extend(other.violations);
+    }
+
+    fn push(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            return f.write_str("all verification conditions hold");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies one scheduling table against Eq. (21), (22) and (23).
+///
+/// `known_partitions` is the system partition set `P`; pass an empty slice
+/// to skip the membership check (useful for standalone table analysis).
+///
+/// # Examples
+///
+/// ```
+/// use air_model::prototype;
+/// use air_model::verify::verify_schedule;
+///
+/// let sys = prototype::fig8_system();
+/// let report = verify_schedule(sys.schedules.initial(), &sys.partitions);
+/// assert!(report.is_ok());
+/// ```
+pub fn verify_schedule(schedule: &Schedule, known_partitions: &[Partition]) -> Report {
+    let mut report = Report::new();
+    let sid = schedule.id();
+    let mtf = schedule.mtf();
+
+    if mtf.is_zero() {
+        report.push(Violation::ZeroMtf { schedule: sid });
+        // Every other condition divides by or compares to the MTF.
+        return report;
+    }
+
+    check_window_geometry(schedule, &mut report);
+    check_partition_membership(schedule, known_partitions, &mut report);
+    check_mtf_lcm(schedule, &mut report);
+    check_per_cycle_durations(schedule, &mut report);
+
+    report
+}
+
+/// Verifies every table in a schedule set; the per-schedule reports are
+/// concatenated.
+pub fn verify_schedule_set(set: &ScheduleSet, known_partitions: &[Partition]) -> Report {
+    let mut report = Report::new();
+    for schedule in set {
+        report.merge(verify_schedule(schedule, known_partitions));
+    }
+    report
+}
+
+/// Window ordering, disjointness and MTF containment: Eq. (21).
+fn check_window_geometry(schedule: &Schedule, report: &mut Report) {
+    let sid = schedule.id();
+    let windows = schedule.windows();
+    for (j, w) in windows.iter().enumerate() {
+        if w.duration.is_zero() {
+            report.push(Violation::ZeroWindowDuration {
+                schedule: sid,
+                window_index: j,
+            });
+        }
+        if w.end() > schedule.mtf() {
+            report.push(Violation::WindowBeyondMtf {
+                schedule: sid,
+                window_index: j,
+                window_end: w.end(),
+                mtf: schedule.mtf(),
+            });
+        }
+        if let Some(next) = windows.get(j + 1) {
+            if w.end() > next.offset {
+                report.push(Violation::WindowsOverlap {
+                    schedule: sid,
+                    first_index: j,
+                    first_end: w.end(),
+                    second_offset: next.offset,
+                });
+            }
+        }
+    }
+}
+
+/// Windows name partitions in `Q_i`; requirements name partitions in `P`.
+fn check_partition_membership(
+    schedule: &Schedule,
+    known_partitions: &[Partition],
+    report: &mut Report,
+) {
+    let sid = schedule.id();
+    for (j, w) in schedule.windows().iter().enumerate() {
+        if schedule.requirement_for(w.partition).is_none() {
+            report.push(Violation::WindowForUnknownPartition {
+                schedule: sid,
+                window_index: j,
+                partition: w.partition,
+            });
+        }
+    }
+    if !known_partitions.is_empty() {
+        for q in schedule.requirements() {
+            if !known_partitions.iter().any(|p| p.id() == q.partition) {
+                report.push(Violation::RequirementForUnknownPartition {
+                    schedule: sid,
+                    partition: q.partition,
+                });
+            }
+        }
+    }
+}
+
+/// Eq. (22): `MTF_i = k_i × lcm over Q_i of η`, `k_i ∈ ℕ`.
+fn check_mtf_lcm(schedule: &Schedule, report: &mut Report) {
+    let sid = schedule.id();
+    let cycles: Vec<Ticks> = schedule
+        .requirements()
+        .iter()
+        .filter(|q| !q.duration.is_zero())
+        .map(|q| q.cycle)
+        .collect();
+    if cycles.is_empty() {
+        return; // no strict timing requirements constrain the MTF
+    }
+    if cycles.iter().any(|c| c.is_zero()) {
+        // Reported per-partition by check_per_cycle_durations.
+        return;
+    }
+    let l = lcm_all(cycles);
+    if l.is_zero() || !(schedule.mtf() % l).is_zero() {
+        report.push(Violation::MtfNotMultipleOfLcm {
+            schedule: sid,
+            lcm: l,
+            mtf: schedule.mtf(),
+        });
+    }
+}
+
+/// Eq. (23): for every participating partition and every cycle `k` within
+/// the MTF, the windows whose offset falls in `[kη, (k+1)η)` sum to at
+/// least `d`.
+fn check_per_cycle_durations(schedule: &Schedule, report: &mut Report) {
+    let sid = schedule.id();
+    for q in schedule.requirements() {
+        if q.duration.is_zero() {
+            continue; // no strict requirement (e.g. non-real-time partition)
+        }
+        if q.cycle.is_zero() {
+            report.push(Violation::ZeroCycle {
+                schedule: sid,
+                partition: q.partition,
+            });
+            continue;
+        }
+        if !(schedule.mtf() % q.cycle).is_zero() {
+            report.push(Violation::CycleDoesNotDivideMtf {
+                schedule: sid,
+                partition: q.partition,
+                cycle: q.cycle,
+                mtf: schedule.mtf(),
+            });
+            continue;
+        }
+        if schedule.windows_for(q.partition).next().is_none() {
+            report.push(Violation::PartitionWithoutWindows {
+                schedule: sid,
+                partition: q.partition,
+            });
+            continue;
+        }
+        let cycles_in_mtf = schedule.mtf() / q.cycle;
+        for k in 0..cycles_in_mtf {
+            let assigned = schedule.assigned_in_cycle(q.partition, q.cycle, k);
+            if assigned < q.duration {
+                report.push(Violation::InsufficientDurationInCycle {
+                    schedule: sid,
+                    partition: q.partition,
+                    cycle_index: k,
+                    assigned,
+                    required: q.duration,
+                });
+            }
+        }
+    }
+}
+
+/// Brute-force duration check: simulates the table tick-by-tick over one
+/// MTF and verifies that every partition with `d > 0` accumulates at least
+/// `d` ticks in each of its cycles.
+///
+/// Quadratic in the MTF and only meant as an oracle for testing the
+/// analytic verifier ([`verify_schedule`]); the two must agree on any table
+/// whose windows are geometrically well-formed.
+pub fn verify_schedule_brute_force(schedule: &Schedule) -> bool {
+    let mtf = schedule.mtf();
+    if mtf.is_zero() {
+        return false;
+    }
+    for q in schedule.requirements() {
+        if q.duration.is_zero() {
+            continue;
+        }
+        if q.cycle.is_zero() || !(mtf % q.cycle).is_zero() {
+            return false;
+        }
+        let cycles = mtf / q.cycle;
+        for k in 0..cycles {
+            let lo = (q.cycle * k).as_u64();
+            let hi = (q.cycle * (k + 1)).as_u64();
+            let mut got = 0u64;
+            for t in lo..hi {
+                if schedule.partition_active_at(Ticks(t)) == Some(q.partition) {
+                    got += 1;
+                }
+            }
+            // The analytic condition attributes whole windows to the cycle
+            // containing their offset; for tables whose windows do not
+            // straddle cycle boundaries (the well-formed case) both
+            // computations coincide.
+            if got < q.duration.as_u64() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PartitionId, ScheduleId};
+    use crate::schedule::{PartitionRequirement, TimeWindow};
+
+    fn p(m: u32) -> PartitionId {
+        PartitionId(m)
+    }
+
+    fn schedule(
+        mtf: u64,
+        reqs: Vec<(u32, u64, u64)>,
+        wins: Vec<(u32, u64, u64)>,
+    ) -> Schedule {
+        Schedule::new(
+            ScheduleId(0),
+            "t",
+            Ticks(mtf),
+            reqs.into_iter()
+                .map(|(m, eta, d)| PartitionRequirement::new(p(m), Ticks(eta), Ticks(d)))
+                .collect(),
+            wins.into_iter()
+                .map(|(m, o, c)| TimeWindow::new(p(m), Ticks(o), Ticks(c)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn valid_single_partition_schedule() {
+        let s = schedule(100, vec![(0, 100, 40)], vec![(0, 0, 40)]);
+        let r = verify_schedule(&s, &[]);
+        assert!(r.is_ok(), "{r}");
+        assert!(verify_schedule_brute_force(&s));
+    }
+
+    #[test]
+    fn zero_mtf_detected() {
+        let s = schedule(0, vec![], vec![]);
+        let r = verify_schedule(&s, &[]);
+        assert_eq!(r.violations().len(), 1);
+        assert!(matches!(r.violations()[0], Violation::ZeroMtf { .. }));
+        assert!(!verify_schedule_brute_force(&s));
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let s = schedule(
+            100,
+            vec![(0, 100, 30), (1, 100, 30)],
+            vec![(0, 0, 40), (1, 30, 30)],
+        );
+        let r = verify_schedule(&s, &[]);
+        assert!(r
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::WindowsOverlap { .. })));
+    }
+
+    #[test]
+    fn window_beyond_mtf_detected() {
+        let s = schedule(100, vec![(0, 100, 40)], vec![(0, 80, 40)]);
+        let r = verify_schedule(&s, &[]);
+        assert!(r
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::WindowBeyondMtf { .. })));
+    }
+
+    #[test]
+    fn zero_duration_window_detected() {
+        let s = schedule(100, vec![(0, 100, 0)], vec![(0, 0, 0)]);
+        let r = verify_schedule(&s, &[]);
+        assert!(r
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::ZeroWindowDuration { .. })));
+    }
+
+    #[test]
+    fn window_for_partition_outside_q_detected() {
+        // Window names partition 1 which has no requirement entry (Eq. 20).
+        let s = schedule(100, vec![(0, 100, 10)], vec![(0, 0, 10), (1, 10, 10)]);
+        let r = verify_schedule(&s, &[]);
+        assert!(r.violations().iter().any(|v| matches!(
+            v,
+            Violation::WindowForUnknownPartition {
+                partition: PartitionId(1),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn requirement_for_unconfigured_partition_detected() {
+        let s = schedule(100, vec![(5, 100, 10)], vec![(5, 0, 10)]);
+        let known = vec![Partition::new(p(0), "only-p0")];
+        let r = verify_schedule(&s, &known);
+        assert!(r.violations().iter().any(|v| matches!(
+            v,
+            Violation::RequirementForUnknownPartition {
+                partition: PartitionId(5),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn mtf_lcm_condition_eq22() {
+        // Cycles 40 and 60 → lcm 120; MTF 100 is not a multiple.
+        let s = schedule(
+            100,
+            vec![(0, 40, 1), (1, 60, 1)],
+            vec![(0, 0, 1), (1, 1, 1)],
+        );
+        let r = verify_schedule(&s, &[]);
+        assert!(r
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::MtfNotMultipleOfLcm { .. })));
+    }
+
+    #[test]
+    fn mtf_may_be_k_times_lcm() {
+        // lcm(50) = 50; MTF = 100 = 2×50 is acceptable (k=2 in Eq. 22).
+        let s = schedule(
+            100,
+            vec![(0, 50, 10)],
+            vec![(0, 0, 10), (0, 50, 10)],
+        );
+        let r = verify_schedule(&s, &[]);
+        assert!(r.is_ok(), "{r}");
+    }
+
+    #[test]
+    fn per_cycle_duration_eq23_catches_back_loading() {
+        // Partition needs 10 per 50-tick cycle; all 20 ticks in cycle 1.
+        // Eq. (8) (the average condition) would pass; Eq. (23) must fail.
+        let s = schedule(
+            100,
+            vec![(0, 50, 10)],
+            vec![(0, 50, 10), (0, 60, 10)],
+        );
+        let r = verify_schedule(&s, &[]);
+        let bad: Vec<_> = r
+            .violations()
+            .iter()
+            .filter(|v| matches!(v, Violation::InsufficientDurationInCycle { cycle_index: 0, .. }))
+            .collect();
+        assert_eq!(bad.len(), 1, "{r}");
+        assert!(!verify_schedule_brute_force(&s));
+    }
+
+    #[test]
+    fn partition_without_windows_detected() {
+        let s = schedule(100, vec![(0, 100, 10), (1, 100, 10)], vec![(0, 0, 10)]);
+        let r = verify_schedule(&s, &[]);
+        assert!(r.violations().iter().any(|v| matches!(
+            v,
+            Violation::PartitionWithoutWindows {
+                partition: PartitionId(1),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn zero_duration_requirement_is_unconstrained() {
+        // Non-real-time partition with d = 0 and no windows: fine.
+        let s = schedule(100, vec![(0, 100, 40), (1, 100, 0)], vec![(0, 0, 40)]);
+        let r = verify_schedule(&s, &[]);
+        assert!(r.is_ok(), "{r}");
+    }
+
+    #[test]
+    fn zero_cycle_with_positive_duration_detected() {
+        let s = schedule(100, vec![(0, 0, 10)], vec![(0, 0, 10)]);
+        let r = verify_schedule(&s, &[]);
+        assert!(r
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::ZeroCycle { .. })));
+    }
+
+    #[test]
+    fn cycle_not_dividing_mtf_detected() {
+        let s = schedule(100, vec![(0, 30, 5)], vec![(0, 0, 5)]);
+        let r = verify_schedule(&s, &[]);
+        assert!(r
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::CycleDoesNotDivideMtf { .. })));
+    }
+
+    #[test]
+    fn report_display_lists_everything() {
+        let s = schedule(100, vec![(0, 50, 30)], vec![(0, 0, 30)]);
+        // Cycle 1 ([50,100)) gets nothing → one violation.
+        let r = verify_schedule(&s, &[]);
+        assert!(!r.is_ok());
+        let text = r.to_string();
+        assert!(text.contains("Eq. 23"), "{text}");
+    }
+
+    #[test]
+    fn report_merge() {
+        let bad = schedule(0, vec![], vec![]);
+        let mut r = verify_schedule(&bad, &[]);
+        r.merge(verify_schedule(&bad, &[]));
+        assert_eq!(r.violations().len(), 2);
+    }
+
+    #[test]
+    fn brute_force_agrees_on_valid_two_cycle_table() {
+        let s = schedule(
+            100,
+            vec![(0, 50, 10), (1, 100, 20)],
+            vec![(0, 0, 10), (1, 10, 20), (0, 50, 10)],
+        );
+        assert!(verify_schedule(&s, &[]).is_ok());
+        assert!(verify_schedule_brute_force(&s));
+    }
+}

@@ -1,0 +1,242 @@
+//! PMK-side interpartition transport.
+//!
+//! "Applications access the interpartition communication services through
+//! the APEX interface… The AIR PMK deals with these specifics, being
+//! obliged to message delivery guarantees" (Sect. 2.1). The transport
+//! drives the [`PortRegistry`] router at partition boundaries, carries
+//! remote frames over the machine's [`InterNodeLink`], validates incoming
+//! frames, and reports corrupt ones to health monitoring instead of
+//! delivering them.
+
+use air_hw::link::{InterNodeLink, LinkEndpoint};
+use air_hw::Machine;
+use air_model::Ticks;
+use air_ports::wire::{Frame, FrameError};
+use air_ports::{PortError, PortRegistry};
+
+/// The PMK interpartition-communication component.
+#[derive(Debug, Default)]
+pub struct PmkIpc {
+    registry: PortRegistry,
+    frames_sent: u64,
+    frames_received: u64,
+    frames_rejected: u64,
+}
+
+impl PmkIpc {
+    /// Creates a transport over an empty port registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a transport over a pre-wired registry.
+    pub fn with_registry(registry: PortRegistry) -> Self {
+        Self {
+            registry,
+            frames_sent: 0,
+            frames_received: 0,
+            frames_rejected: 0,
+        }
+    }
+
+    /// The port registry (APEX port services go through here).
+    pub fn registry(&self) -> &PortRegistry {
+        &self.registry
+    }
+
+    /// Mutable port-registry access for the APEX services.
+    pub fn registry_mut(&mut self) -> &mut PortRegistry {
+        &mut self.registry
+    }
+
+    /// Link frames transmitted.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Link frames received and delivered.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    /// Link frames rejected (corruption / unknown channel).
+    pub fn frames_rejected(&self) -> u64 {
+        self.frames_rejected
+    }
+
+    /// Routes pending messages: local deliveries happen inside the
+    /// registry; remote frames are encoded and transmitted on `link`.
+    /// Called by the PMK at partition preemption points — transfers happen
+    /// at partition boundaries, outside any partition's window.
+    pub fn route(&mut self, link: &mut InterNodeLink, now: Ticks) {
+        for frame in self.registry.route(now) {
+            link.send(LinkEndpoint::A, now.as_u64(), frame.encode());
+            self.frames_sent += 1;
+        }
+    }
+
+    /// Drains deliverable frames from `link`, decoding and delivering each
+    /// to its local destination ports. Corrupt or unroutable frames are
+    /// counted and returned for health-monitoring reporting.
+    pub fn receive(
+        &mut self,
+        link: &mut InterNodeLink,
+        now: Ticks,
+    ) -> Vec<IncomingFrameError> {
+        let mut errors = Vec::new();
+        while let Some(bytes) = link.receive(LinkEndpoint::A, now.as_u64()) {
+            match Frame::decode(&bytes) {
+                Ok(frame) => match self.registry.deliver_frame(&frame, now) {
+                    Ok(()) => self.frames_received += 1,
+                    Err(e) => {
+                        self.frames_rejected += 1;
+                        errors.push(IncomingFrameError::Unroutable(e));
+                    }
+                },
+                Err(e) => {
+                    self.frames_rejected += 1;
+                    errors.push(IncomingFrameError::Corrupt(e));
+                }
+            }
+        }
+        errors
+    }
+
+    /// Convenience: one full transport round against a machine — route
+    /// outgoing, then receive incoming.
+    pub fn service(&mut self, machine: &mut Machine) -> Vec<IncomingFrameError> {
+        let now = Ticks(machine.clock.now());
+        self.route(&mut machine.link, now);
+        self.receive(&mut machine.link, now)
+    }
+}
+
+/// A problem with an incoming link frame, reported to health monitoring
+/// as a (module-level) hardware/communication fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncomingFrameError {
+    /// The frame failed integrity checks.
+    Corrupt(FrameError),
+    /// The frame decoded but no local channel/destination accepts it.
+    Unroutable(PortError),
+}
+
+impl std::fmt::Display for IncomingFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncomingFrameError::Corrupt(e) => write!(f, "corrupt link frame: {e}"),
+            IncomingFrameError::Unroutable(e) => write!(f, "unroutable link frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IncomingFrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_model::PartitionId;
+    use air_ports::{ChannelConfig, Destination, PortAddr, QueuingPortConfig};
+
+    fn p(m: u32) -> PartitionId {
+        PartitionId(m)
+    }
+
+    /// Builds sender-side IPC with a remote queuing channel (id 5).
+    fn sender() -> PmkIpc {
+        let mut reg = PortRegistry::new();
+        reg.create_queuing_port(p(0), QueuingPortConfig::source("tx", 64, 8))
+            .unwrap();
+        reg.add_channel(ChannelConfig {
+            id: 5,
+            source: PortAddr::new(p(0), "tx"),
+            destinations: vec![Destination::Remote {
+                addr: PortAddr::new(p(0), "rx"),
+            }],
+        })
+        .unwrap();
+        PmkIpc::with_registry(reg)
+    }
+
+    /// Builds receiver-side IPC where channel 5 delivers to P2's "rx".
+    fn receiver() -> PmkIpc {
+        let mut reg = PortRegistry::new();
+        reg.create_queuing_port(p(9), QueuingPortConfig::source("unused", 64, 8))
+            .unwrap();
+        reg.create_queuing_port(p(2), QueuingPortConfig::destination("rx", 64, 8))
+            .unwrap();
+        reg.add_channel(ChannelConfig {
+            id: 5,
+            source: PortAddr::new(p(9), "unused"),
+            destinations: vec![Destination::Local(PortAddr::new(p(2), "rx"))],
+        })
+        .unwrap();
+        PmkIpc::with_registry(reg)
+    }
+
+    #[test]
+    fn end_to_end_over_the_link() {
+        let mut link = InterNodeLink::new(3);
+        let mut tx = sender();
+        let mut rx = receiver();
+
+        tx.registry_mut()
+            .queuing_port_mut(p(0), "tx")
+            .unwrap()
+            .send(&b"telemetry"[..], Ticks(10))
+            .unwrap();
+        tx.route(&mut link, Ticks(10));
+        assert_eq!(tx.frames_sent(), 1);
+
+        // The frame is addressed A→B; the receiving node polls endpoint B.
+        // For the test we model the peer by receiving at B through a
+        // directional shim: re-send what B would see back to A.
+        let bytes = link.receive(LinkEndpoint::B, 13).expect("latency 3");
+        let mut back = InterNodeLink::new(0);
+        back.send(LinkEndpoint::B, 13, bytes);
+        let errors = rx.receive(&mut back, Ticks(13));
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(rx.frames_received(), 1);
+        let msg = rx
+            .registry_mut()
+            .queuing_port_mut(p(2), "rx")
+            .unwrap()
+            .receive()
+            .unwrap();
+        assert_eq!(&msg.payload[..], b"telemetry");
+        assert_eq!(msg.written_at, Ticks(10), "source timestamp preserved");
+    }
+
+    #[test]
+    fn corrupt_frames_rejected_not_delivered() {
+        let mut rx = receiver();
+        let mut link = InterNodeLink::new(0);
+        let mut bytes = Frame::new(5, Ticks(0), &b"data"[..]).encode();
+        *bytes.last_mut().unwrap() ^= 0xff;
+        link.send(LinkEndpoint::B, 0, bytes);
+        let errors = rx.receive(&mut link, Ticks(0));
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], IncomingFrameError::Corrupt(_)));
+        assert_eq!(rx.frames_rejected(), 1);
+        assert_eq!(
+            rx.registry_mut()
+                .queuing_port_mut(p(2), "rx")
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn unknown_channel_rejected() {
+        let mut rx = receiver();
+        let mut link = InterNodeLink::new(0);
+        link.send(
+            LinkEndpoint::B,
+            0,
+            Frame::new(99, Ticks(0), &b"data"[..]).encode(),
+        );
+        let errors = rx.receive(&mut link, Ticks(0));
+        assert!(matches!(errors[0], IncomingFrameError::Unroutable(_)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # air-pmk — the AIR Partition Management Kernel
+//!
+//! "The AIR Partition Management Kernel component, transversal to the whole
+//! system, could be seen as a hypervisor, playing nevertheless a major role
+//! in achieving dependability, by ensuring robust TSP" (Sect. 2.1). The
+//! crate implements the PMK's four responsibilities:
+//!
+//! * **Temporal partitioning** — the two-level scheduling scheme's first
+//!   level: the [`scheduler::PartitionScheduler`] runs at every clock tick
+//!   and implements **Algorithm 1** verbatim, including mode-based schedule
+//!   switches taking effect only at major-time-frame boundaries (Sect. 4);
+//!   a [`scheduler::NaiveWindowScanScheduler`] preserves the
+//!   window-scanning alternative for the B1 ablation bench.
+//! * **Partition dispatching** — the [`dispatcher::PartitionDispatcher`]
+//!   implements **Algorithm 2**: context save/restore through the
+//!   [`air_hw::Cpu`], elapsed-tick computation for the PAL announcement,
+//!   and pending schedule-change actions applied at a partition's first
+//!   dispatch after a switch (Sect. 4.3).
+//! * **Spatial partitioning** — [`spatial`]: the processor-independent
+//!   descriptor abstraction of Fig. 3, mapped at integration time onto the
+//!   LEON3-style MMU of [`air_hw::mmu`], one context per partition.
+//! * **Interpartition transport** — [`ipc`]: drives the
+//!   [`air_ports::PortRegistry`] router, carrying remote frames over the
+//!   [`air_hw::link::InterNodeLink`] with integrity checking.
+
+#![warn(missing_docs)]
+
+pub mod dispatcher;
+pub mod ipc;
+pub mod scheduler;
+pub mod spatial;
+
+pub use dispatcher::{ActionTiming, DispatchOutcome, PartitionDispatcher};
+pub use ipc::PmkIpc;
+pub use scheduler::{PartitionScheduler, ScheduleStatus, SchedulerError};
+pub use spatial::{ExecLevel, MemoryDescriptor, MemorySection, SpatialManager};

@@ -1,0 +1,747 @@
+//! Channel wiring and the message router.
+//!
+//! At integration time, channels connect one source port to one or more
+//! destination ports. "Applications access the interpartition communication
+//! services through the APEX interface, in a way which is agnostic of
+//! whether the partitions are local or remote" (Sect. 2.1) — the registry
+//! routes local destinations by direct copy and emits link frames for
+//! remote ones; the PMK carries the frames.
+
+use std::collections::HashMap;
+
+use air_model::{PartitionId, Ticks};
+
+use crate::error::PortError;
+use crate::queuing::{QueuingPort, QueuingPortConfig};
+use crate::sampling::{Direction, SamplingPort, SamplingPortConfig};
+use crate::wire::Frame;
+
+/// A fully-qualified port address: partition plus port name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortAddr {
+    /// The owning partition.
+    pub partition: PartitionId,
+    /// The port name within the partition.
+    pub port: String,
+}
+
+impl PortAddr {
+    /// Creates a port address.
+    pub fn new(partition: PartitionId, port: impl Into<String>) -> Self {
+        Self {
+            partition,
+            port: port.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PortAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.partition, self.port)
+    }
+}
+
+/// One destination of a channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Destination {
+    /// A port on the same processing platform: served by direct
+    /// memory-to-memory delivery.
+    Local(PortAddr),
+    /// A port on a physically separated platform: served by a link frame.
+    Remote {
+        /// The remote port address (resolved by the peer node's registry).
+        addr: PortAddr,
+    },
+}
+
+/// Integration-time channel description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelConfig {
+    /// Unique channel identifier (also the wire-frame channel field).
+    pub id: u32,
+    /// The source port.
+    pub source: PortAddr,
+    /// The destination ports (sampling channels may multicast; queuing
+    /// channels have exactly one destination).
+    pub destinations: Vec<Destination>,
+}
+
+#[derive(Debug)]
+enum PortInstance {
+    Sampling(SamplingPort),
+    Queuing(QueuingPort),
+}
+
+#[derive(Debug, Default)]
+struct ChannelState {
+    /// Write stamp of the last sampling message already routed, so the
+    /// router only propagates fresh writes.
+    last_routed: Option<Ticks>,
+}
+
+/// The registry of all ports and channels on one processing platform.
+///
+/// # Examples
+///
+/// ```
+/// use air_ports::{ChannelConfig, Destination, PortAddr, PortRegistry,
+///                 SamplingPortConfig};
+/// use air_model::{PartitionId, Ticks};
+///
+/// let aocs = PartitionId(0);
+/// let payload = PartitionId(3);
+/// let mut reg = PortRegistry::new();
+/// reg.create_sampling_port(aocs, SamplingPortConfig::source("att-out", 64))?;
+/// reg.create_sampling_port(
+///     payload,
+///     SamplingPortConfig::destination("att-in", 64, Ticks(100)),
+/// )?;
+/// reg.add_channel(ChannelConfig {
+///     id: 1,
+///     source: PortAddr::new(aocs, "att-out"),
+///     destinations: vec![Destination::Local(PortAddr::new(payload, "att-in"))],
+/// })?;
+///
+/// reg.sampling_port_mut(aocs, "att-out")?.write(&b"q"[..], Ticks(5))?;
+/// let frames = reg.route(Ticks(5));
+/// assert!(frames.is_empty()); // local-only channel: no link traffic
+/// let (msg, _) = reg.sampling_port_mut(payload, "att-in")?.read(Ticks(6))?;
+/// assert_eq!(&msg.payload[..], b"q");
+/// # Ok::<(), air_ports::PortError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct PortRegistry {
+    ports: HashMap<PortAddr, PortInstance>,
+    channels: Vec<ChannelConfig>,
+    channel_state: HashMap<u32, ChannelState>,
+    /// Local deliveries dropped because a destination queue was full.
+    dropped_deliveries: u64,
+}
+
+impl PortRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a sampling port owned by `partition`.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::DuplicatePort`] if the partition already has a port of
+    /// this name.
+    pub fn create_sampling_port(
+        &mut self,
+        partition: PartitionId,
+        config: SamplingPortConfig,
+    ) -> Result<(), PortError> {
+        let addr = PortAddr::new(partition, config.name.clone());
+        if self.ports.contains_key(&addr) {
+            return Err(PortError::DuplicatePort { name: config.name });
+        }
+        self.ports
+            .insert(addr, PortInstance::Sampling(SamplingPort::new(config)));
+        Ok(())
+    }
+
+    /// Creates a queuing port owned by `partition`.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::DuplicatePort`] if the partition already has a port of
+    /// this name.
+    pub fn create_queuing_port(
+        &mut self,
+        partition: PartitionId,
+        config: QueuingPortConfig,
+    ) -> Result<(), PortError> {
+        let addr = PortAddr::new(partition, config.name.clone());
+        if self.ports.contains_key(&addr) {
+            return Err(PortError::DuplicatePort { name: config.name });
+        }
+        self.ports
+            .insert(addr, PortInstance::Queuing(QueuingPort::new(config)));
+        Ok(())
+    }
+
+    /// Mutable access to a sampling port, for the APEX read/write services.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::UnknownPort`] when no such sampling port exists.
+    pub fn sampling_port_mut(
+        &mut self,
+        partition: PartitionId,
+        name: &str,
+    ) -> Result<&mut SamplingPort, PortError> {
+        match self.ports.get_mut(&PortAddr::new(partition, name)) {
+            Some(PortInstance::Sampling(p)) => Ok(p),
+            _ => Err(PortError::UnknownPort {
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// Mutable access to a queuing port, for the APEX send/receive services.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::UnknownPort`] when no such queuing port exists.
+    pub fn queuing_port_mut(
+        &mut self,
+        partition: PartitionId,
+        name: &str,
+    ) -> Result<&mut QueuingPort, PortError> {
+        match self.ports.get_mut(&PortAddr::new(partition, name)) {
+            Some(PortInstance::Queuing(p)) => Ok(p),
+            _ => Err(PortError::UnknownPort {
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// Whether `partition` owns a port called `name` (of either kind).
+    pub fn has_port(&self, partition: PartitionId, name: &str) -> bool {
+        self.ports.contains_key(&PortAddr::new(partition, name))
+    }
+
+    fn is_sampling(&self, addr: &PortAddr) -> Option<bool> {
+        self.ports.get(addr).map(|p| matches!(p, PortInstance::Sampling(_)))
+    }
+
+    fn direction_of(&self, addr: &PortAddr) -> Option<Direction> {
+        self.ports.get(addr).map(|p| match p {
+            PortInstance::Sampling(s) => s.config().direction,
+            PortInstance::Queuing(q) => q.config().direction,
+        })
+    }
+
+    /// Registers a channel after validating its wiring: the source must be
+    /// an existing source-direction port; local destinations must exist,
+    /// have destination direction, and match the source's kind; queuing
+    /// channels are point-to-point.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::BadChannel`] describing the exact wiring mistake.
+    pub fn add_channel(&mut self, config: ChannelConfig) -> Result<(), PortError> {
+        let bad = |reason: String| PortError::BadChannel { reason };
+        if self.channels.iter().any(|c| c.id == config.id) {
+            return Err(bad(format!("duplicate channel id {}", config.id)));
+        }
+        if config.destinations.is_empty() {
+            return Err(bad("channel has no destinations".to_owned()));
+        }
+        // A channel whose source port does not exist on this node is an
+        // **inbound gateway**: its source lives on a remote node (the
+        // channel table is global integration data) and this node only
+        // hosts destination(s); incoming link frames with this channel id
+        // are delivered here.
+        let src_sampling = self.is_sampling(&config.source);
+        match src_sampling {
+            Some(_) if self.direction_of(&config.source) != Some(Direction::Source) => {
+                return Err(bad(format!(
+                    "source port {} is not a source-direction port",
+                    config.source
+                )));
+            }
+            None if !config
+                .destinations
+                .iter()
+                .any(|d| matches!(d, Destination::Local(_))) =>
+            {
+                return Err(bad(format!(
+                    "gateway channel {} (remote source {}) has no local destination",
+                    config.id, config.source
+                )));
+            }
+            _ => {}
+        }
+        if src_sampling == Some(false) && config.destinations.len() > 1 {
+            return Err(bad("queuing channels are point-to-point".to_owned()));
+        }
+        for dest in &config.destinations {
+            let Destination::Local(addr) = dest else {
+                continue; // remote addresses resolve on the peer node
+            };
+            match (self.is_sampling(addr), src_sampling) {
+                (None, _) => {
+                    return Err(bad(format!("destination port {addr} does not exist")));
+                }
+                (Some(kind), Some(src_kind)) if kind != src_kind => {
+                    return Err(bad(format!(
+                        "destination port {addr} kind differs from the source's"
+                    )));
+                }
+                _ => {}
+            }
+            if self.direction_of(addr) != Some(Direction::Destination) {
+                return Err(bad(format!(
+                    "destination port {addr} is not a destination-direction port"
+                )));
+            }
+            if src_sampling.is_some() && addr.partition == config.source.partition {
+                return Err(bad(format!(
+                    "channel {} loops inside partition {}",
+                    config.id, addr.partition
+                )));
+            }
+        }
+        self.channel_state
+            .insert(config.id, ChannelState::default());
+        self.channels.push(config);
+        Ok(())
+    }
+
+    /// The registered channels.
+    pub fn channels(&self) -> &[ChannelConfig] {
+        &self.channels
+    }
+
+    /// Local deliveries dropped on full destination queues.
+    pub fn dropped_deliveries(&self) -> u64 {
+        self.dropped_deliveries
+    }
+
+    /// Routes pending messages across all channels: local destinations are
+    /// delivered immediately; frames for remote destinations are returned
+    /// for the PMK to transmit over the link.
+    ///
+    /// The PMK invokes this from its clock-tick handling, after the active
+    /// partition's execution — message transfer happens at partition
+    /// boundaries, never *into* another partition's window.
+    pub fn route(&mut self, _now: Ticks) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        for ci in 0..self.channels.len() {
+            let (id, source, sampling) = {
+                let c = &self.channels[ci];
+                let Some(s) = self.is_sampling(&c.source) else {
+                    continue;
+                };
+                (c.id, c.source.clone(), s)
+            };
+            if sampling {
+                let Some(PortInstance::Sampling(port)) = self.ports.get(&source) else {
+                    continue;
+                };
+                let Some(msg) = port.last_written().cloned() else {
+                    continue;
+                };
+                let state = self.channel_state.entry(id).or_default();
+                if state.last_routed == Some(msg.written_at) {
+                    continue; // already propagated this write
+                }
+                state.last_routed = Some(msg.written_at);
+                self.fan_out(ci, id, msg.payload.clone(), msg.written_at, &mut frames);
+            } else {
+                while let Some(PortInstance::Queuing(port)) = self.ports.get_mut(&source) {
+                    let Some(msg) = port.take_outgoing() else {
+                        break;
+                    };
+                    self.fan_out(ci, id, msg.payload.clone(), msg.written_at, &mut frames);
+                }
+            }
+        }
+        frames
+    }
+
+    /// Fans one message out to a channel's destinations. Local ports are
+    /// stamped with the **source write instant** so sampling validity and
+    /// latency measurements survive routing and the link.
+    fn fan_out(
+        &mut self,
+        channel_index: usize,
+        channel_id: u32,
+        payload: bytes::Bytes,
+        written_at: Ticks,
+        frames: &mut Vec<Frame>,
+    ) {
+        let destinations = self.channels[channel_index].destinations.clone();
+        for dest in destinations {
+            match dest {
+                Destination::Local(addr) => {
+                    let delivered = match self.ports.get_mut(&addr) {
+                        Some(PortInstance::Sampling(p)) => {
+                            p.deliver(payload.clone(), written_at).is_ok()
+                        }
+                        Some(PortInstance::Queuing(p)) => {
+                            p.deliver(payload.clone(), written_at).is_ok()
+                        }
+                        None => false,
+                    };
+                    if !delivered {
+                        self.dropped_deliveries += 1;
+                    }
+                }
+                Destination::Remote { .. } => {
+                    frames.push(Frame::new(channel_id, written_at, payload.clone()));
+                }
+            }
+        }
+    }
+
+    /// Delivers an incoming link frame to this node's local destination
+    /// ports of the frame's channel.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::BadChannel`] when the channel id is unknown here.
+    pub fn deliver_frame(&mut self, frame: &Frame, now: Ticks) -> Result<(), PortError> {
+        let Some(ci) = self.channels.iter().position(|c| c.id == frame.channel) else {
+            return Err(PortError::BadChannel {
+                reason: format!("unknown channel {} in link frame", frame.channel),
+            });
+        };
+        let _ = now;
+        let mut relay_frames = Vec::new();
+        self.fan_out(
+            ci,
+            frame.channel,
+            frame.payload.clone(),
+            frame.written_at,
+            &mut relay_frames,
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(m: u32) -> PartitionId {
+        PartitionId(m)
+    }
+
+    fn sampling_pair() -> PortRegistry {
+        let mut reg = PortRegistry::new();
+        reg.create_sampling_port(p(0), SamplingPortConfig::source("out", 32))
+            .unwrap();
+        reg.create_sampling_port(
+            p(1),
+            SamplingPortConfig::destination("in", 32, Ticks(100)),
+        )
+        .unwrap();
+        reg.add_channel(ChannelConfig {
+            id: 1,
+            source: PortAddr::new(p(0), "out"),
+            destinations: vec![Destination::Local(PortAddr::new(p(1), "in"))],
+        })
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn sampling_route_local() {
+        let mut reg = sampling_pair();
+        reg.sampling_port_mut(p(0), "out")
+            .unwrap()
+            .write(&b"v1"[..], Ticks(10))
+            .unwrap();
+        assert!(reg.route(Ticks(10)).is_empty());
+        let (m, _) = reg
+            .sampling_port_mut(p(1), "in")
+            .unwrap()
+            .read(Ticks(11))
+            .unwrap();
+        assert_eq!(&m.payload[..], b"v1");
+    }
+
+    #[test]
+    fn sampling_route_propagates_only_fresh_writes() {
+        let mut reg = sampling_pair();
+        reg.sampling_port_mut(p(0), "out")
+            .unwrap()
+            .write(&b"v1"[..], Ticks(10))
+            .unwrap();
+        reg.route(Ticks(10));
+        // Destination consumes nothing (sampling reads don't consume) —
+        // but re-routing must not count as a fresh delivery.
+        let before = reg
+            .sampling_port_mut(p(1), "in")
+            .unwrap()
+            .writes();
+        reg.route(Ticks(20));
+        let after = reg.sampling_port_mut(p(1), "in").unwrap().writes();
+        assert_eq!(before, after, "no duplicate propagation");
+        // A fresh write routes again.
+        reg.sampling_port_mut(p(0), "out")
+            .unwrap()
+            .write(&b"v2"[..], Ticks(30))
+            .unwrap();
+        reg.route(Ticks(30));
+        let (m, _) = reg
+            .sampling_port_mut(p(1), "in")
+            .unwrap()
+            .read(Ticks(30))
+            .unwrap();
+        assert_eq!(&m.payload[..], b"v2");
+    }
+
+    #[test]
+    fn sampling_multicast() {
+        let mut reg = PortRegistry::new();
+        reg.create_sampling_port(p(0), SamplingPortConfig::source("out", 32))
+            .unwrap();
+        for m in [1u32, 2] {
+            reg.create_sampling_port(
+                p(m),
+                SamplingPortConfig::destination("in", 32, Ticks(100)),
+            )
+            .unwrap();
+        }
+        reg.add_channel(ChannelConfig {
+            id: 1,
+            source: PortAddr::new(p(0), "out"),
+            destinations: vec![
+                Destination::Local(PortAddr::new(p(1), "in")),
+                Destination::Local(PortAddr::new(p(2), "in")),
+            ],
+        })
+        .unwrap();
+        reg.sampling_port_mut(p(0), "out")
+            .unwrap()
+            .write(&b"x"[..], Ticks(0))
+            .unwrap();
+        reg.route(Ticks(0));
+        for m in [1u32, 2] {
+            let (msg, _) = reg.sampling_port_mut(p(m), "in").unwrap().read(Ticks(0)).unwrap();
+            assert_eq!(&msg.payload[..], b"x");
+        }
+    }
+
+    #[test]
+    fn queuing_route_drains_source_fifo() {
+        let mut reg = PortRegistry::new();
+        reg.create_queuing_port(p(0), QueuingPortConfig::source("tx", 16, 8))
+            .unwrap();
+        reg.create_queuing_port(p(1), QueuingPortConfig::destination("rx", 16, 8))
+            .unwrap();
+        reg.add_channel(ChannelConfig {
+            id: 2,
+            source: PortAddr::new(p(0), "tx"),
+            destinations: vec![Destination::Local(PortAddr::new(p(1), "rx"))],
+        })
+        .unwrap();
+        for i in 0..3u8 {
+            reg.queuing_port_mut(p(0), "tx")
+                .unwrap()
+                .send(vec![i], Ticks(0))
+                .unwrap();
+        }
+        reg.route(Ticks(0));
+        let rx = reg.queuing_port_mut(p(1), "rx").unwrap();
+        assert_eq!(rx.len(), 3);
+        for i in 0..3u8 {
+            assert_eq!(rx.receive().unwrap().payload[0], i);
+        }
+    }
+
+    #[test]
+    fn full_destination_counts_drops() {
+        let mut reg = PortRegistry::new();
+        reg.create_queuing_port(p(0), QueuingPortConfig::source("tx", 16, 8))
+            .unwrap();
+        reg.create_queuing_port(p(1), QueuingPortConfig::destination("rx", 16, 1))
+            .unwrap();
+        reg.add_channel(ChannelConfig {
+            id: 2,
+            source: PortAddr::new(p(0), "tx"),
+            destinations: vec![Destination::Local(PortAddr::new(p(1), "rx"))],
+        })
+        .unwrap();
+        for i in 0..3u8 {
+            reg.queuing_port_mut(p(0), "tx")
+                .unwrap()
+                .send(vec![i], Ticks(0))
+                .unwrap();
+        }
+        reg.route(Ticks(0));
+        assert_eq!(reg.dropped_deliveries(), 2);
+        assert_eq!(reg.queuing_port_mut(p(1), "rx").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn remote_destination_emits_frames() {
+        let mut reg = PortRegistry::new();
+        reg.create_queuing_port(p(0), QueuingPortConfig::source("tx", 16, 8))
+            .unwrap();
+        reg.add_channel(ChannelConfig {
+            id: 9,
+            source: PortAddr::new(p(0), "tx"),
+            destinations: vec![Destination::Remote {
+                addr: PortAddr::new(p(0), "rx"),
+            }],
+        })
+        .unwrap();
+        reg.queuing_port_mut(p(0), "tx")
+            .unwrap()
+            .send(&b"hello"[..], Ticks(4))
+            .unwrap();
+        let frames = reg.route(Ticks(4));
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].channel, 9);
+        assert_eq!(frames[0].written_at, Ticks(4));
+        assert_eq!(&frames[0].payload[..], b"hello");
+    }
+
+    #[test]
+    fn deliver_frame_to_local_destinations() {
+        // Receiving node: channel 9's destination lives here.
+        let mut reg = PortRegistry::new();
+        reg.create_queuing_port(p(0), QueuingPortConfig::source("dummy-src", 16, 8))
+            .unwrap();
+        reg.create_queuing_port(p(2), QueuingPortConfig::destination("rx", 16, 8))
+            .unwrap();
+        reg.add_channel(ChannelConfig {
+            id: 9,
+            source: PortAddr::new(p(0), "dummy-src"),
+            destinations: vec![Destination::Local(PortAddr::new(p(2), "rx"))],
+        })
+        .unwrap();
+        let frame = Frame::new(9, Ticks(4), &b"hello"[..]);
+        reg.deliver_frame(&frame, Ticks(6)).unwrap();
+        assert_eq!(
+            &reg.queuing_port_mut(p(2), "rx").unwrap().receive().unwrap().payload[..],
+            b"hello"
+        );
+        // Unknown channel id.
+        let bogus = Frame::new(77, Ticks(4), &b"x"[..]);
+        assert!(matches!(
+            reg.deliver_frame(&bogus, Ticks(6)),
+            Err(PortError::BadChannel { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_validation_rejects_bad_wiring() {
+        let mut reg = PortRegistry::new();
+        reg.create_sampling_port(p(0), SamplingPortConfig::source("out", 32))
+            .unwrap();
+        reg.create_sampling_port(
+            p(1),
+            SamplingPortConfig::destination("in", 32, Ticks(10)),
+        )
+        .unwrap();
+        reg.create_queuing_port(p(2), QueuingPortConfig::destination("qin", 16, 4))
+            .unwrap();
+
+        // A nonexistent source with a local destination is a *gateway*
+        // (the source lives on a remote node) — accepted, see
+        // `gateway_channel_without_local_source`. But a gateway whose
+        // destination port is missing is still rejected:
+        assert!(reg
+            .add_channel(ChannelConfig {
+                id: 99,
+                source: PortAddr::new(p(9), "ghost"),
+                destinations: vec![Destination::Local(PortAddr::new(p(1), "missing"))],
+            })
+            .is_err());
+        // Destination used as source.
+        assert!(reg
+            .add_channel(ChannelConfig {
+                id: 1,
+                source: PortAddr::new(p(1), "in"),
+                destinations: vec![Destination::Local(PortAddr::new(p(1), "in"))],
+            })
+            .is_err());
+        // Kind mismatch: sampling source into a queuing destination.
+        assert!(reg
+            .add_channel(ChannelConfig {
+                id: 1,
+                source: PortAddr::new(p(0), "out"),
+                destinations: vec![Destination::Local(PortAddr::new(p(2), "qin"))],
+            })
+            .is_err());
+        // No destinations.
+        assert!(reg
+            .add_channel(ChannelConfig {
+                id: 1,
+                source: PortAddr::new(p(0), "out"),
+                destinations: vec![],
+            })
+            .is_err());
+        // A valid one, then a duplicate id.
+        reg.add_channel(ChannelConfig {
+            id: 1,
+            source: PortAddr::new(p(0), "out"),
+            destinations: vec![Destination::Local(PortAddr::new(p(1), "in"))],
+        })
+        .unwrap();
+        assert!(reg
+            .add_channel(ChannelConfig {
+                id: 1,
+                source: PortAddr::new(p(0), "out"),
+                destinations: vec![Destination::Local(PortAddr::new(p(1), "in"))],
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut reg = PortRegistry::new();
+        reg.create_sampling_port(p(0), SamplingPortConfig::source("out", 32))
+            .unwrap();
+        reg.create_sampling_port(
+            p(0),
+            SamplingPortConfig::destination("in", 32, Ticks(10)),
+        )
+        .unwrap();
+        let err = reg
+            .add_channel(ChannelConfig {
+                id: 1,
+                source: PortAddr::new(p(0), "out"),
+                destinations: vec![Destination::Local(PortAddr::new(p(0), "in"))],
+            })
+            .unwrap_err();
+        assert!(matches!(err, PortError::BadChannel { .. }));
+    }
+
+    #[test]
+    fn gateway_channel_without_local_source() {
+        // The receiving node of a cross-node channel: no local source
+        // port, a local destination — accepted as an inbound gateway.
+        let mut reg = PortRegistry::new();
+        reg.create_queuing_port(p(2), QueuingPortConfig::destination("rx", 16, 4))
+            .unwrap();
+        reg.add_channel(ChannelConfig {
+            id: 9,
+            source: PortAddr::new(p(0), "on-the-other-node"),
+            destinations: vec![Destination::Local(PortAddr::new(p(2), "rx"))],
+        })
+        .unwrap();
+        // Frames for it deliver; route() skips it (nothing to send).
+        let frame = Frame::new(9, Ticks(1), &b"in"[..]);
+        reg.deliver_frame(&frame, Ticks(2)).unwrap();
+        assert_eq!(reg.queuing_port_mut(p(2), "rx").unwrap().len(), 1);
+        assert!(reg.route(Ticks(3)).is_empty());
+        // A gateway with no local destination is a misconfiguration.
+        let err = reg
+            .add_channel(ChannelConfig {
+                id: 10,
+                source: PortAddr::new(p(0), "also-remote"),
+                destinations: vec![Destination::Remote {
+                    addr: PortAddr::new(p(1), "elsewhere"),
+                }],
+            })
+            .unwrap_err();
+        assert!(matches!(err, PortError::BadChannel { .. }));
+    }
+
+    #[test]
+    fn duplicate_port_names_rejected_per_partition() {
+        let mut reg = PortRegistry::new();
+        reg.create_sampling_port(p(0), SamplingPortConfig::source("x", 8))
+            .unwrap();
+        assert!(matches!(
+            reg.create_queuing_port(p(0), QueuingPortConfig::source("x", 8, 1)),
+            Err(PortError::DuplicatePort { .. })
+        ));
+        // Same name in another partition is fine.
+        assert!(reg
+            .create_sampling_port(p(1), SamplingPortConfig::source("x", 8))
+            .is_ok());
+        assert!(reg.has_port(p(0), "x"));
+        assert!(!reg.has_port(p(2), "x"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Port and channel errors, mapped by APEX onto ARINC 653 return codes.
+
+use std::fmt;
+
+/// Errors raised by port operations and channel routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PortError {
+    /// No port with this name exists in the partition.
+    UnknownPort {
+        /// The name looked up.
+        name: String,
+    },
+    /// A port with this name already exists in the partition.
+    DuplicatePort {
+        /// The conflicting name.
+        name: String,
+    },
+    /// Writing to a destination port or reading from a source port.
+    WrongDirection,
+    /// The message exceeds the port's configured maximum size.
+    MessageTooLarge {
+        /// Attempted message length.
+        len: usize,
+        /// The port's maximum.
+        max: usize,
+    },
+    /// A zero-length message was submitted (ARINC 653 forbids them).
+    EmptyMessage,
+    /// The queuing port's FIFO is full (APEX maps this to `NOT_AVAILABLE`
+    /// or blocks, per the service's timeout parameter).
+    QueueFull,
+    /// No message is available to read.
+    NoMessage,
+    /// The channel wiring references a port that does not exist or has the
+    /// wrong kind/direction.
+    BadChannel {
+        /// Human-readable description of the wiring mistake.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortError::UnknownPort { name } => write!(f, "unknown port '{name}'"),
+            PortError::DuplicatePort { name } => write!(f, "port '{name}' already exists"),
+            PortError::WrongDirection => f.write_str("operation against the port's direction"),
+            PortError::MessageTooLarge { len, max } => {
+                write!(f, "message of {len} bytes exceeds port maximum of {max}")
+            }
+            PortError::EmptyMessage => f.write_str("zero-length messages are not permitted"),
+            PortError::QueueFull => f.write_str("queuing port is full"),
+            PortError::NoMessage => f.write_str("no message available"),
+            PortError::BadChannel { reason } => write!(f, "invalid channel wiring: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PortError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PortError::MessageTooLarge { len: 100, max: 64 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+    }
+}

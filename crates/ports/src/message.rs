@@ -1,0 +1,93 @@
+//! Messages and sampling-message validity.
+
+use bytes::Bytes;
+
+use air_model::Ticks;
+
+/// A timestamped interpartition message.
+///
+/// Payloads are [`Bytes`] so that local delivery ("memory-to-memory copy",
+/// Sect. 2.1) is a cheap reference-counted handoff while remaining
+/// immutable across partition boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The payload bytes.
+    pub payload: Bytes,
+    /// When the message was written at its source port.
+    pub written_at: Ticks,
+}
+
+impl Message {
+    /// Creates a message written at `written_at`.
+    pub fn new(payload: impl Into<Bytes>, written_at: Ticks) -> Self {
+        Self {
+            payload: payload.into(),
+            written_at,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Message age at instant `now`.
+    pub fn age_at(&self, now: Ticks) -> Ticks {
+        now.saturating_sub(self.written_at)
+    }
+}
+
+/// Validity of a sampling-port message, per its refresh period.
+///
+/// ARINC 653 sampling reads return the message *plus* a validity flag: a
+/// message older than the port's refresh period is stale but still
+/// delivered — the application decides what staleness means for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Validity {
+    /// The message age is within the refresh period.
+    Valid,
+    /// The message is older than the refresh period.
+    Invalid,
+}
+
+impl Validity {
+    /// Computes validity of a message of `age` against `refresh_period`.
+    pub fn from_age(age: Ticks, refresh_period: Ticks) -> Self {
+        if age <= refresh_period {
+            Validity::Valid
+        } else {
+            Validity::Invalid
+        }
+    }
+
+    /// Whether this is [`Validity::Valid`].
+    pub fn is_valid(self) -> bool {
+        matches!(self, Validity::Valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_and_validity() {
+        let m = Message::new(&b"x"[..], Ticks(100));
+        assert_eq!(m.age_at(Ticks(130)), Ticks(30));
+        assert_eq!(m.age_at(Ticks(50)), Ticks(0), "clock never went backward");
+        assert!(Validity::from_age(Ticks(30), Ticks(30)).is_valid());
+        assert!(!Validity::from_age(Ticks(31), Ticks(30)).is_valid());
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let m = Message::new(vec![1u8, 2, 3], Ticks(0));
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! Queuing ports: bounded FIFO message semantics.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use air_model::Ticks;
+
+use crate::error::PortError;
+use crate::message::Message;
+use crate::sampling::Direction;
+
+/// Integration-time configuration of a queuing port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuingPortConfig {
+    /// The port name, unique within its partition.
+    pub name: String,
+    /// Maximum message size in bytes.
+    pub max_message_size: usize,
+    /// FIFO capacity in messages.
+    pub max_nb_messages: usize,
+    /// Whether the owning partition writes or reads this port.
+    pub direction: Direction,
+}
+
+impl QueuingPortConfig {
+    /// A source-port configuration.
+    pub fn source(
+        name: impl Into<String>,
+        max_message_size: usize,
+        max_nb_messages: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            max_message_size,
+            max_nb_messages,
+            direction: Direction::Source,
+        }
+    }
+
+    /// A destination-port configuration.
+    pub fn destination(
+        name: impl Into<String>,
+        max_message_size: usize,
+        max_nb_messages: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            max_message_size,
+            max_nb_messages,
+            direction: Direction::Destination,
+        }
+    }
+}
+
+/// A queuing port instance: a bounded FIFO of messages.
+///
+/// Source-side sends enqueue locally until the router drains them toward
+/// the destination; destination-side receives dequeue in FIFO order. A
+/// full queue returns [`PortError::QueueFull`] — the APEX layer turns that
+/// into blocking-with-timeout or an immediate `NOT_AVAILABLE`, per the
+/// service's timeout argument.
+///
+/// # Examples
+///
+/// ```
+/// use air_ports::{QueuingPort, QueuingPortConfig};
+/// use air_model::Ticks;
+///
+/// let mut port = QueuingPort::new(QueuingPortConfig::destination("tm", 32, 4));
+/// port.deliver(&b"frame-1"[..], Ticks(0))?;
+/// port.deliver(&b"frame-2"[..], Ticks(1))?;
+/// assert_eq!(&port.receive()?.payload[..], b"frame-1");
+/// assert_eq!(&port.receive()?.payload[..], b"frame-2");
+/// # Ok::<(), air_ports::PortError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueuingPort {
+    config: QueuingPortConfig,
+    queue: VecDeque<Message>,
+    sent: u64,
+    received: u64,
+    overflows: u64,
+}
+
+impl QueuingPort {
+    /// Creates an empty port from its configuration.
+    pub fn new(config: QueuingPortConfig) -> Self {
+        Self {
+            queue: VecDeque::with_capacity(config.max_nb_messages),
+            config,
+            sent: 0,
+            received: 0,
+            overflows: 0,
+        }
+    }
+
+    /// The port's configuration.
+    pub fn config(&self) -> &QueuingPortConfig {
+        &self.config
+    }
+
+    /// Enqueues a message at a **source** port (APEX `SEND_QUEUING_MESSAGE`).
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::WrongDirection`], payload validation errors, or
+    /// [`PortError::QueueFull`].
+    pub fn send(&mut self, payload: impl Into<Bytes>, now: Ticks) -> Result<(), PortError> {
+        if self.config.direction != Direction::Source {
+            return Err(PortError::WrongDirection);
+        }
+        self.enqueue(payload.into(), now)
+    }
+
+    /// Delivers a routed message into a **destination** port.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::WrongDirection`], payload validation errors, or
+    /// [`PortError::QueueFull`].
+    pub fn deliver(&mut self, payload: impl Into<Bytes>, now: Ticks) -> Result<(), PortError> {
+        if self.config.direction != Direction::Destination {
+            return Err(PortError::WrongDirection);
+        }
+        self.enqueue(payload.into(), now)
+    }
+
+    fn enqueue(&mut self, payload: Bytes, now: Ticks) -> Result<(), PortError> {
+        if payload.is_empty() {
+            return Err(PortError::EmptyMessage);
+        }
+        if payload.len() > self.config.max_message_size {
+            return Err(PortError::MessageTooLarge {
+                len: payload.len(),
+                max: self.config.max_message_size,
+            });
+        }
+        if self.queue.len() >= self.config.max_nb_messages {
+            self.overflows += 1;
+            return Err(PortError::QueueFull);
+        }
+        self.queue.push_back(Message::new(payload, now));
+        self.sent += 1;
+        Ok(())
+    }
+
+    /// Dequeues the oldest message of a **destination** port (APEX
+    /// `RECEIVE_QUEUING_MESSAGE`).
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::WrongDirection`] or [`PortError::NoMessage`].
+    pub fn receive(&mut self) -> Result<Message, PortError> {
+        if self.config.direction != Direction::Destination {
+            return Err(PortError::WrongDirection);
+        }
+        let msg = self.queue.pop_front().ok_or(PortError::NoMessage)?;
+        self.received += 1;
+        Ok(msg)
+    }
+
+    /// Dequeues the oldest pending message of a **source** port — router
+    /// side; not an APEX operation.
+    pub fn take_outgoing(&mut self) -> Option<Message> {
+        if self.config.direction != Direction::Source {
+            return None;
+        }
+        self.queue.pop_front()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.config.max_nb_messages
+    }
+
+    /// Messages successfully enqueued.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages successfully dequeued via [`receive`](Self::receive).
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Rejected enqueues due to a full queue.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dst(cap: usize) -> QueuingPort {
+        QueuingPort::new(QueuingPortConfig::destination("d", 8, cap))
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut p = dst(4);
+        for i in 0..3u8 {
+            p.deliver(vec![i], Ticks(u64::from(i))).unwrap();
+        }
+        assert_eq!(p.len(), 3);
+        for i in 0..3u8 {
+            assert_eq!(p.receive().unwrap().payload[0], i);
+        }
+        assert_eq!(p.receive(), Err(PortError::NoMessage));
+        assert_eq!(p.received(), 3);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut p = dst(2);
+        p.deliver(vec![0], Ticks(0)).unwrap();
+        p.deliver(vec![1], Ticks(0)).unwrap();
+        assert!(p.is_full());
+        assert_eq!(p.deliver(vec![2], Ticks(0)), Err(PortError::QueueFull));
+        assert_eq!(p.overflows(), 1);
+        // Draining one frees a slot.
+        p.receive().unwrap();
+        assert!(p.deliver(vec![2], Ticks(0)).is_ok());
+    }
+
+    #[test]
+    fn source_side_outgoing() {
+        let mut p = QueuingPort::new(QueuingPortConfig::source("s", 8, 4));
+        p.send(vec![7], Ticks(0)).unwrap();
+        assert_eq!(p.receive(), Err(PortError::WrongDirection));
+        let out = p.take_outgoing().unwrap();
+        assert_eq!(out.payload[0], 7);
+        assert_eq!(p.take_outgoing(), None);
+    }
+
+    #[test]
+    fn destination_has_no_outgoing() {
+        let mut p = dst(4);
+        p.deliver(vec![1], Ticks(0)).unwrap();
+        assert_eq!(p.take_outgoing(), None, "destination side never drains out");
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn payload_validation() {
+        let mut p = dst(4);
+        assert_eq!(p.deliver(vec![], Ticks(0)), Err(PortError::EmptyMessage));
+        assert_eq!(
+            p.deliver(vec![0u8; 9], Ticks(0)),
+            Err(PortError::MessageTooLarge { len: 9, max: 8 })
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Sampling ports: single-slot, overwrite semantics with refresh-period
+//! validity.
+
+use bytes::Bytes;
+
+use air_model::Ticks;
+
+use crate::error::PortError;
+use crate::message::{Message, Validity};
+
+/// Direction of a port relative to its owning partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The partition writes messages here.
+    Source,
+    /// The partition reads messages here.
+    Destination,
+}
+
+/// Integration-time configuration of a sampling port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplingPortConfig {
+    /// The port name, unique within its partition.
+    pub name: String,
+    /// Maximum message size in bytes.
+    pub max_message_size: usize,
+    /// Refresh period: a delivered message older than this reads as
+    /// [`Validity::Invalid`].
+    pub refresh_period: Ticks,
+    /// Whether the owning partition writes or reads this port.
+    pub direction: Direction,
+}
+
+impl SamplingPortConfig {
+    /// A source-port configuration.
+    pub fn source(name: impl Into<String>, max_message_size: usize) -> Self {
+        Self {
+            name: name.into(),
+            max_message_size,
+            refresh_period: Ticks::MAX,
+            direction: Direction::Source,
+        }
+    }
+
+    /// A destination-port configuration with the given refresh period.
+    pub fn destination(
+        name: impl Into<String>,
+        max_message_size: usize,
+        refresh_period: Ticks,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            max_message_size,
+            refresh_period,
+            direction: Direction::Destination,
+        }
+    }
+}
+
+/// A sampling port instance.
+///
+/// A write **overwrites** the current message; a read returns the current
+/// message (without consuming it) together with its validity. This gives
+/// readers the latest value of a periodically-refreshed quantity — AOCS
+/// attitude, for instance — rather than a backlog.
+///
+/// # Examples
+///
+/// ```
+/// use air_ports::{SamplingPort, SamplingPortConfig, Validity};
+/// use air_model::Ticks;
+///
+/// let cfg = SamplingPortConfig::destination("attitude", 64, Ticks(100));
+/// let mut port = SamplingPort::new(cfg);
+/// port.deliver(&b"q=[0,0,0,1]"[..], Ticks(50))?;
+/// let (msg, validity) = port.read(Ticks(100))?;
+/// assert_eq!(validity, Validity::Valid);
+/// assert_eq!(&msg.payload[..], b"q=[0,0,0,1]");
+/// # Ok::<(), air_ports::PortError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SamplingPort {
+    config: SamplingPortConfig,
+    current: Option<Message>,
+    writes: u64,
+    reads: u64,
+}
+
+impl SamplingPort {
+    /// Creates an empty port from its configuration.
+    pub fn new(config: SamplingPortConfig) -> Self {
+        Self {
+            config,
+            current: None,
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// The port's configuration.
+    pub fn config(&self) -> &SamplingPortConfig {
+        &self.config
+    }
+
+    /// Writes a message at a **source** port (APEX `WRITE_SAMPLING_MESSAGE`).
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::WrongDirection`] on a destination port,
+    /// [`PortError::EmptyMessage`] / [`PortError::MessageTooLarge`] on bad
+    /// payloads.
+    pub fn write(&mut self, payload: impl Into<Bytes>, now: Ticks) -> Result<(), PortError> {
+        if self.config.direction != Direction::Source {
+            return Err(PortError::WrongDirection);
+        }
+        self.store(payload.into(), now)
+    }
+
+    /// Delivers a routed message into a **destination** port (channel side;
+    /// not exposed through APEX).
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::WrongDirection`] on a source port, and payload
+    /// validation errors as for [`write`](Self::write).
+    pub fn deliver(&mut self, payload: impl Into<Bytes>, now: Ticks) -> Result<(), PortError> {
+        if self.config.direction != Direction::Destination {
+            return Err(PortError::WrongDirection);
+        }
+        self.store(payload.into(), now)
+    }
+
+    fn store(&mut self, payload: Bytes, now: Ticks) -> Result<(), PortError> {
+        if payload.is_empty() {
+            return Err(PortError::EmptyMessage);
+        }
+        if payload.len() > self.config.max_message_size {
+            return Err(PortError::MessageTooLarge {
+                len: payload.len(),
+                max: self.config.max_message_size,
+            });
+        }
+        self.current = Some(Message::new(payload, now));
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Reads the current message of a **destination** port without
+    /// consuming it (APEX `READ_SAMPLING_MESSAGE`), with its validity.
+    ///
+    /// # Errors
+    ///
+    /// [`PortError::WrongDirection`] on a source port;
+    /// [`PortError::NoMessage`] when nothing was ever delivered.
+    pub fn read(&mut self, now: Ticks) -> Result<(Message, Validity), PortError> {
+        if self.config.direction != Direction::Destination {
+            return Err(PortError::WrongDirection);
+        }
+        let msg = self.current.clone().ok_or(PortError::NoMessage)?;
+        self.reads += 1;
+        let validity = Validity::from_age(msg.age_at(now), self.config.refresh_period);
+        Ok((msg, validity))
+    }
+
+    /// The message a source port last wrote (used by the router).
+    pub fn last_written(&self) -> Option<&Message> {
+        self.current.as_ref()
+    }
+
+    /// Total successful writes/deliveries.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total successful reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dst() -> SamplingPort {
+        SamplingPort::new(SamplingPortConfig::destination("d", 16, Ticks(10)))
+    }
+
+    #[test]
+    fn overwrite_semantics() {
+        let mut p = dst();
+        p.deliver(&b"one"[..], Ticks(0)).unwrap();
+        p.deliver(&b"two"[..], Ticks(1)).unwrap();
+        let (m, _) = p.read(Ticks(1)).unwrap();
+        assert_eq!(&m.payload[..], b"two");
+        // Reads do not consume.
+        let (m2, _) = p.read(Ticks(2)).unwrap();
+        assert_eq!(&m2.payload[..], b"two");
+        assert_eq!(p.writes(), 2);
+        assert_eq!(p.reads(), 2);
+    }
+
+    #[test]
+    fn validity_follows_refresh_period() {
+        let mut p = dst();
+        p.deliver(&b"x"[..], Ticks(0)).unwrap();
+        assert_eq!(p.read(Ticks(10)).unwrap().1, Validity::Valid);
+        assert_eq!(p.read(Ticks(11)).unwrap().1, Validity::Invalid);
+    }
+
+    #[test]
+    fn empty_port_has_no_message() {
+        let mut p = dst();
+        assert_eq!(p.read(Ticks(0)), Err(PortError::NoMessage));
+    }
+
+    #[test]
+    fn direction_enforced() {
+        let mut src = SamplingPort::new(SamplingPortConfig::source("s", 16));
+        assert_eq!(src.read(Ticks(0)), Err(PortError::WrongDirection));
+        assert!(src.write(&b"x"[..], Ticks(0)).is_ok());
+        assert_eq!(
+            src.deliver(&b"x"[..], Ticks(0)),
+            Err(PortError::WrongDirection)
+        );
+        let mut d = dst();
+        assert_eq!(d.write(&b"x"[..], Ticks(0)), Err(PortError::WrongDirection));
+    }
+
+    #[test]
+    fn size_limits() {
+        let mut p = dst();
+        assert_eq!(p.deliver(&b""[..], Ticks(0)), Err(PortError::EmptyMessage));
+        assert_eq!(
+            p.deliver(vec![0u8; 17], Ticks(0)),
+            Err(PortError::MessageTooLarge { len: 17, max: 16 })
+        );
+        assert!(p.deliver(vec![0u8; 16], Ticks(0)).is_ok());
+    }
+}

@@ -1,0 +1,197 @@
+//! Wire format for interpartition messages crossing the inter-node link.
+//!
+//! Remote channel destinations receive their messages as frames over the
+//! communication infrastructure (Sect. 2.1). The format is deliberately
+//! simple and self-checking: a magic, the channel identifier, the source
+//! write timestamp, the payload, and a checksum — enough for the PMK to
+//! uphold "message delivery guarantees" (detect truncation/corruption and
+//! re-route to health monitoring rather than deliver garbage).
+
+use bytes::Bytes;
+
+use air_model::Ticks;
+
+/// Frame magic: "AI".
+const MAGIC: [u8; 2] = *b"AI";
+/// Fixed header length: magic(2) + channel(4) + written_at(8) + len(4).
+const HEADER_LEN: usize = 18;
+
+/// A decoded link frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The channel this frame belongs to.
+    pub channel: u32,
+    /// Source-side write instant.
+    pub written_at: Ticks,
+    /// The message payload.
+    pub payload: Bytes,
+}
+
+/// Frame decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The buffer is shorter than a frame header.
+    Truncated,
+    /// The magic bytes do not match.
+    BadMagic,
+    /// The length field disagrees with the buffer size.
+    LengthMismatch,
+    /// The checksum does not verify.
+    BadChecksum,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FrameError::Truncated => "frame shorter than its header",
+            FrameError::BadMagic => "bad frame magic",
+            FrameError::LengthMismatch => "frame length field mismatch",
+            FrameError::BadChecksum => "frame checksum mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Fletcher-16 checksum over the header (sans checksum) and payload.
+fn checksum(bytes: &[u8]) -> u16 {
+    let (mut a, mut b) = (0u16, 0u16);
+    for &x in bytes {
+        a = (a + u16::from(x)) % 255;
+        b = (b + a) % 255;
+    }
+    (b << 8) | a
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(channel: u32, written_at: Ticks, payload: impl Into<Bytes>) -> Self {
+        Self {
+            channel,
+            written_at,
+            payload: payload.into(),
+        }
+    }
+
+    /// Encodes the frame into link bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + 2);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.channel.to_be_bytes());
+        out.extend_from_slice(&self.written_at.as_u64().to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let ck = checksum(&out);
+        out.extend_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Decodes link bytes into a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] on truncation, bad magic, length disagreement or a
+    /// failed checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() < HEADER_LEN + 2 {
+            return Err(FrameError::Truncated);
+        }
+        if bytes[0..2] != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let channel = u32::from_be_bytes(bytes[2..6].try_into().expect("4 bytes"));
+        let written_at = u64::from_be_bytes(bytes[6..14].try_into().expect("8 bytes"));
+        let len = u32::from_be_bytes(bytes[14..18].try_into().expect("4 bytes")) as usize;
+        if bytes.len() != HEADER_LEN + len + 2 {
+            return Err(FrameError::LengthMismatch);
+        }
+        let body_end = HEADER_LEN + len;
+        let expected =
+            u16::from_be_bytes(bytes[body_end..body_end + 2].try_into().expect("2 bytes"));
+        if checksum(&bytes[..body_end]) != expected {
+            return Err(FrameError::BadChecksum);
+        }
+        Ok(Frame {
+            channel,
+            written_at: Ticks(written_at),
+            payload: Bytes::copy_from_slice(&bytes[HEADER_LEN..body_end]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = Frame::new(7, Ticks(1300), &b"attitude"[..]);
+        let encoded = f.encode();
+        assert_eq!(Frame::decode(&encoded).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = Frame::new(0, Ticks(0), Bytes::new());
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut encoded = Frame::new(1, Ticks(5), &b"data"[..]).encode();
+        let mid = HEADER_LEN; // first payload byte
+        encoded[mid] ^= 0xff;
+        assert_eq!(Frame::decode(&encoded), Err(FrameError::BadChecksum));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let encoded = Frame::new(1, Ticks(5), &b"data"[..]).encode();
+        assert_eq!(
+            Frame::decode(&encoded[..encoded.len() - 1]),
+            Err(FrameError::LengthMismatch)
+        );
+        assert_eq!(Frame::decode(&encoded[..4]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut encoded = Frame::new(1, Ticks(5), &b"data"[..]).encode();
+        encoded[0] = b'X';
+        assert_eq!(Frame::decode(&encoded), Err(FrameError::BadMagic));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn any_frame_roundtrips(
+                channel in any::<u32>(),
+                at in any::<u64>(),
+                payload in proptest::collection::vec(any::<u8>(), 0..512),
+            ) {
+                let f = Frame::new(channel, Ticks(at), payload);
+                prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+            }
+
+            #[test]
+            fn single_bitflips_never_pass(
+                payload in proptest::collection::vec(any::<u8>(), 1..64),
+                flip_byte in 0usize..80,
+                flip_bit in 0u8..8,
+            ) {
+                let f = Frame::new(3, Ticks(9), payload);
+                let mut encoded = f.encode();
+                let idx = flip_byte % encoded.len();
+                encoded[idx] ^= 1 << flip_bit;
+                // Either an error, or (if the flip hit nothing semantic,
+                // impossible here since every byte is covered) equality.
+                prop_assert_ne!(Frame::decode(&encoded), Ok(f));
+            }
+        }
+    }
+}

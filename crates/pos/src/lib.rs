@@ -1,0 +1,168 @@
+//! # air-pos — partition operating systems
+//!
+//! "AIR foresees the possibility that each partition runs a different
+//! operating system, henceforth called Partition Operating System (POS)"
+//! (Sect. 2). This crate provides two POS kernels behind the
+//! [`PartitionOs`] trait:
+//!
+//! * [`rtos::RtemsLike`] — the real-time POS the prototype's four
+//!   partitions run (RTEMS-based mockups, Sect. 6): a preemptive,
+//!   priority-driven process scheduler with FIFO ordering within equal
+//!   priorities, implementing exactly the heir rule of Eq. (14)/(15) via
+//!   [`air_model::ready::select_heir`]; delays, suspensions, and periodic
+//!   release points;
+//! * [`generic::GenericNonRt`] — the embedded-Linux stand-in of Sect. 2.5:
+//!   a round-robin kernel with no deadline or priority support; attempts
+//!   to use the real-time-only services return
+//!   [`PosError::UnsupportedService`], mirroring "the lack of relevant
+//!   functions" porting issues the paper discusses (in the other
+//!   direction).
+//!
+//! The process-management scope is **restricted to the partition**
+//! (Sect. 3.3): nothing in this crate knows about other partitions,
+//! schedules, or global time beyond the tick counts announced to it — the
+//! PMK and PAL own those.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod generic;
+pub mod pcb;
+pub mod rtos;
+
+use air_model::ids::ProcessId;
+use air_model::partition::PosKind;
+use air_model::process::{Priority, ProcessAttributes, ProcessStatus};
+use air_model::Ticks;
+
+pub use error::PosError;
+pub use generic::GenericNonRt;
+pub use pcb::{ProcessControlBlock, WaitReason, WakeCause};
+pub use rtos::RtemsLike;
+
+/// A released periodic activation: the process and its release point.
+///
+/// APEX consumes these after each announcement to re-arm deadlines
+/// (`deadline = release + time_capacity`, Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Release {
+    /// The released process.
+    pub process: ProcessId,
+    /// The release point (the instant the process became ready).
+    pub release_point: Ticks,
+}
+
+/// The interface a partition operating system offers to the AIR stack.
+///
+/// The APEX Core Layer invokes these operations (optionally through the
+/// PAL, Sect. 2.3: "an optimized implementation may invoke directly the
+/// native (RT)OS service primitives"); the PMK invokes
+/// [`announce_ticks`](PartitionOs::announce_ticks) and
+/// [`select_heir`](PartitionOs::select_heir) when the partition is
+/// dispatched and while it executes.
+///
+/// # Errors
+///
+/// Every state-changing operation returns [`PosError`] on an invalid
+/// transition (ARINC 653 `INVALID_MODE` / `NO_ACTION` analogues) so the
+/// APEX layer can map them to its return codes.
+pub trait PartitionOs: Send {
+    /// The kind of POS (real-time or generic), for configuration checks.
+    fn kind(&self) -> PosKind;
+
+    /// Creates a process from `attrs`, returning its identifier. Processes
+    /// are created dormant (Eq. 13).
+    fn create_process(&mut self, attrs: ProcessAttributes) -> Result<ProcessId, PosError>;
+
+    /// Starts a dormant process: ready immediately, current priority reset
+    /// to base.
+    fn start(&mut self, process: ProcessId, now: Ticks) -> Result<(), PosError>;
+
+    /// Starts a dormant process after `delay` ticks: it waits until
+    /// `now + delay`, then becomes ready (its release point).
+    fn delayed_start(
+        &mut self,
+        process: ProcessId,
+        delay: Ticks,
+        now: Ticks,
+    ) -> Result<(), PosError>;
+
+    /// Stops a process: dormant, ineligible for resources.
+    fn stop(&mut self, process: ProcessId) -> Result<(), PosError>;
+
+    /// Suspends a started process until [`resume`](PartitionOs::resume).
+    fn suspend(&mut self, process: ProcessId) -> Result<(), PosError>;
+
+    /// Resumes a suspended process.
+    fn resume(&mut self, process: ProcessId, now: Ticks) -> Result<(), PosError>;
+
+    /// Changes the current priority of a started process.
+    fn set_priority(&mut self, process: ProcessId, priority: Priority) -> Result<(), PosError>;
+
+    /// Suspends a periodic process until its next release point; returns
+    /// that release point.
+    fn periodic_wait(&mut self, process: ProcessId, now: Ticks) -> Result<Ticks, PosError>;
+
+    /// Puts the running process to sleep for `delay` ticks (`TIMED_WAIT`).
+    fn timed_wait(&mut self, process: ProcessId, delay: Ticks, now: Ticks)
+        -> Result<(), PosError>;
+
+    /// Blocks a process on a synchronisation object (APEX buffers,
+    /// semaphores, events…), optionally with a timeout instant.
+    fn block(
+        &mut self,
+        process: ProcessId,
+        timeout: Option<Ticks>,
+        now: Ticks,
+    ) -> Result<(), PosError>;
+
+    /// Unblocks a process blocked via [`block`](PartitionOs::block).
+    fn unblock(&mut self, process: ProcessId, now: Ticks) -> Result<(), PosError>;
+
+    /// Consumes the wake cause recorded when `process` last left the
+    /// waiting state (timeout vs explicit unblock) — APEX uses it to
+    /// return `TIMED_OUT` versus success.
+    fn take_wake_cause(&mut self, process: ProcessId) -> Option<WakeCause>;
+
+    /// Mirrors the armed absolute deadline `D′` into the process status
+    /// (Eq. 12). The PAL registry is the detection-side authority; this
+    /// mirror is what `GET_PROCESS_STATUS` reports.
+    fn set_absolute_deadline(
+        &mut self,
+        process: ProcessId,
+        deadline: Option<Ticks>,
+    ) -> Result<(), PosError>;
+
+    /// Announces that time advanced to `now`: wakes every sleeper whose
+    /// wake-up instant has arrived (delays, timeouts, periodic releases).
+    /// Called from the PAL surrogate announcement (Algorithm 3 line 1).
+    fn announce_ticks(&mut self, now: Ticks);
+
+    /// Drains the periodic releases that occurred since the last call.
+    fn take_releases(&mut self) -> Vec<Release>;
+
+    /// Selects the heir process per the POS's native policy and marks it
+    /// running (Eq. 14 for the RTOS). Returns `None` when no process is
+    /// schedulable.
+    fn select_heir(&mut self, now: Ticks) -> Option<ProcessId>;
+
+    /// The process currently marked running, if any (used by the APEX
+    /// preemption-lock path to keep the CPU with the locker).
+    fn running(&self) -> Option<ProcessId>;
+
+    /// Current status of `process` (Eq. 12).
+    fn status(&self, process: ProcessId) -> Option<ProcessStatus>;
+
+    /// Static attributes of `process`.
+    fn attributes(&self, process: ProcessId) -> Option<&ProcessAttributes>;
+
+    /// Looks a process up by its configured name.
+    fn process_by_name(&self, name: &str) -> Option<ProcessId>;
+
+    /// Number of created processes.
+    fn process_count(&self) -> usize;
+
+    /// Partition restart: every process returns to dormant, pending state
+    /// is discarded. Creation survives (the configuration is static).
+    fn reset(&mut self);
+}

@@ -1,0 +1,474 @@
+//! Integration configuration files.
+//!
+//! "Spatial partitioning requirements (specified in AIR and ARINC 653
+//! configuration files with the assistance of development tools support)"
+//! (Sect. 2.1) — ARINC 653 systems are integrated from configuration
+//! documents, not code. This module provides a small, line-based
+//! configuration format with a strict parser (precise line-numbered
+//! errors), an emitter, and conversion into the model types, so whole
+//! systems round-trip through text:
+//!
+//! ```text
+//! # the Fig. 8 prototype (excerpt)
+//! partition P0 name=AOCS authority=true
+//! partition P1 name=OBDH
+//!
+//! schedule chi0 name=chi1 mtf=1300
+//!   require P0 cycle=1300 duration=200
+//!   window  P0 offset=0 duration=200
+//!   action  P1 warm_restart
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use air_model::partition::{Partition, PosKind};
+use air_model::schedule::{
+    PartitionRequirement, Schedule, ScheduleChangeAction, ScheduleSet, TimeWindow,
+};
+use air_model::{PartitionId, ScheduleId, Ticks};
+
+/// A parsed configuration document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigDoc {
+    /// Declared partitions, in declaration order.
+    pub partitions: Vec<Partition>,
+    /// Declared schedules, in declaration order.
+    pub schedules: Vec<Schedule>,
+}
+
+impl ConfigDoc {
+    /// Converts the declared schedules into a [`ScheduleSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no schedule was declared (`ScheduleSet` requires ≥ 1) —
+    /// callers should check [`ConfigDoc::schedules`] first.
+    pub fn schedule_set(&self) -> ScheduleSet {
+        ScheduleSet::new(self.schedules.clone())
+    }
+}
+
+/// A configuration parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses `key=value` pairs from the remaining tokens.
+fn parse_kv<'a>(
+    line_no: usize,
+    tokens: impl Iterator<Item = &'a str>,
+) -> Result<BTreeMap<&'a str, &'a str>, ConfigError> {
+    let mut map = BTreeMap::new();
+    for tok in tokens {
+        let Some((k, v)) = tok.split_once('=') else {
+            return Err(err(line_no, format!("expected key=value, found '{tok}'")));
+        };
+        if map.insert(k, v).is_some() {
+            return Err(err(line_no, format!("duplicate key '{k}'")));
+        }
+    }
+    Ok(map)
+}
+
+fn parse_pid(line_no: usize, token: &str) -> Result<PartitionId, ConfigError> {
+    let digits = token
+        .strip_prefix('P')
+        .ok_or_else(|| err(line_no, format!("expected partition id 'P<n>', found '{token}'")))?;
+    digits
+        .parse::<u32>()
+        .map(PartitionId)
+        .map_err(|_| err(line_no, format!("invalid partition number '{digits}'")))
+}
+
+fn parse_u64(line_no: usize, map: &BTreeMap<&str, &str>, key: &str) -> Result<u64, ConfigError> {
+    let raw = map
+        .get(key)
+        .ok_or_else(|| err(line_no, format!("missing '{key}='")))?;
+    raw.parse::<u64>()
+        .map_err(|_| err(line_no, format!("invalid number '{raw}' for '{key}'")))
+}
+
+/// Parses a configuration document.
+///
+/// Grammar (one directive per line; `#` starts a comment; indentation is
+/// free):
+///
+/// * `partition P<n> name=<str> [pos=real_time|generic] [system=true]
+///   [authority=true]`
+/// * `schedule chi<n> name=<str> mtf=<ticks>` opening a schedule section,
+///   whose body consists of
+///   * `require P<n> cycle=<ticks> duration=<ticks>`
+///   * `window P<n> offset=<ticks> duration=<ticks>`
+///   * `action P<n> none|warm_restart|cold_restart|stop`
+///
+/// # Errors
+///
+/// [`ConfigError`] with the offending line number and a description.
+///
+/// # Examples
+///
+/// ```
+/// use air_tools::config::parse;
+///
+/// let doc = parse(
+///     "partition P0 name=SOLO\n\
+///      schedule chi0 name=only mtf=100\n\
+///        require P0 cycle=100 duration=40\n\
+///        window P0 offset=0 duration=40\n",
+/// )?;
+/// assert_eq!(doc.partitions.len(), 1);
+/// assert_eq!(doc.schedules[0].mtf().as_u64(), 100);
+/// # Ok::<(), air_tools::config::ConfigError>(())
+/// ```
+pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
+    let mut doc = ConfigDoc::default();
+    // Accumulator for the schedule section currently open.
+    struct OpenSchedule {
+        id: ScheduleId,
+        name: String,
+        mtf: Ticks,
+        requirements: Vec<PartitionRequirement>,
+        windows: Vec<TimeWindow>,
+        actions: Vec<(PartitionId, ScheduleChangeAction)>,
+    }
+    let mut open: Option<OpenSchedule> = None;
+
+    let close = |doc: &mut ConfigDoc, open: &mut Option<OpenSchedule>| {
+        if let Some(s) = open.take() {
+            let mut schedule = Schedule::new(s.id, s.name, s.mtf, s.requirements, s.windows);
+            for (p, a) in s.actions {
+                schedule = schedule.with_change_action(p, a);
+            }
+            doc.schedules.push(schedule);
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let directive = tokens.next().expect("non-empty line has a first token");
+        match directive {
+            "partition" => {
+                close(&mut doc, &mut open);
+                let id_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "partition needs an id"))?;
+                let id = parse_pid(line_no, id_tok)?;
+                let kv = parse_kv(line_no, tokens)?;
+                let name = kv
+                    .get("name")
+                    .ok_or_else(|| err(line_no, "missing 'name='"))?;
+                let mut partition = Partition::new(id, *name);
+                match kv.get("pos").copied() {
+                    None | Some("real_time") => {}
+                    Some("generic") => {
+                        partition = partition.with_pos_kind(PosKind::GenericNonRealTime);
+                    }
+                    Some(other) => {
+                        return Err(err(line_no, format!("unknown pos kind '{other}'")));
+                    }
+                }
+                if kv.get("system") == Some(&"true") {
+                    partition = partition.system();
+                }
+                if kv.get("authority") == Some(&"true") {
+                    partition = partition.with_schedule_authority();
+                }
+                doc.partitions.push(partition);
+            }
+            "schedule" => {
+                close(&mut doc, &mut open);
+                let id_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "schedule needs an id"))?;
+                let digits = id_tok.strip_prefix("chi").ok_or_else(|| {
+                    err(line_no, format!("expected schedule id 'chi<n>', found '{id_tok}'"))
+                })?;
+                let id = digits
+                    .parse::<u32>()
+                    .map(ScheduleId)
+                    .map_err(|_| err(line_no, format!("invalid schedule number '{digits}'")))?;
+                let kv = parse_kv(line_no, tokens)?;
+                let name = kv
+                    .get("name")
+                    .ok_or_else(|| err(line_no, "missing 'name='"))?
+                    .to_string();
+                let mtf = Ticks(parse_u64(line_no, &kv, "mtf")?);
+                open = Some(OpenSchedule {
+                    id,
+                    name,
+                    mtf,
+                    requirements: Vec::new(),
+                    windows: Vec::new(),
+                    actions: Vec::new(),
+                });
+            }
+            "require" | "window" | "action" => {
+                let section = open
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, format!("'{directive}' outside a schedule")))?;
+                let pid_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, format!("'{directive}' needs a partition id")))?;
+                let pid = parse_pid(line_no, pid_tok)?;
+                match directive {
+                    "require" => {
+                        let kv = parse_kv(line_no, tokens)?;
+                        section.requirements.push(PartitionRequirement::new(
+                            pid,
+                            Ticks(parse_u64(line_no, &kv, "cycle")?),
+                            Ticks(parse_u64(line_no, &kv, "duration")?),
+                        ));
+                    }
+                    "window" => {
+                        let kv = parse_kv(line_no, tokens)?;
+                        section.windows.push(TimeWindow::new(
+                            pid,
+                            Ticks(parse_u64(line_no, &kv, "offset")?),
+                            Ticks(parse_u64(line_no, &kv, "duration")?),
+                        ));
+                    }
+                    "action" => {
+                        let which = tokens
+                            .next()
+                            .ok_or_else(|| err(line_no, "'action' needs an action name"))?;
+                        let action = match which {
+                            "none" => ScheduleChangeAction::None,
+                            "warm_restart" => ScheduleChangeAction::WarmRestart,
+                            "cold_restart" => ScheduleChangeAction::ColdRestart,
+                            "stop" => ScheduleChangeAction::Stop,
+                            other => {
+                                return Err(err(
+                                    line_no,
+                                    format!("unknown schedule-change action '{other}'"),
+                                ));
+                            }
+                        };
+                        section.actions.push((pid, action));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => {
+                return Err(err(line_no, format!("unknown directive '{other}'")));
+            }
+        }
+    }
+    close(&mut doc, &mut open);
+    Ok(doc)
+}
+
+/// Emits a document in the format [`parse`] reads (round-trip stable).
+pub fn emit(doc: &ConfigDoc) -> String {
+    let mut out = String::from("# AIR system configuration\n");
+    for p in &doc.partitions {
+        out.push_str(&format!("partition {} name={}", p.id(), p.name()));
+        if p.pos_kind() == PosKind::GenericNonRealTime {
+            out.push_str(" pos=generic");
+        }
+        if p.is_system() {
+            out.push_str(" system=true");
+        }
+        if p.may_set_module_schedule() {
+            out.push_str(" authority=true");
+        }
+        out.push('\n');
+    }
+    for s in &doc.schedules {
+        out.push_str(&format!(
+            "schedule {} name={} mtf={}\n",
+            s.id(),
+            s.name(),
+            s.mtf().as_u64()
+        ));
+        for q in s.requirements() {
+            out.push_str(&format!(
+                "  require {} cycle={} duration={}\n",
+                q.partition,
+                q.cycle.as_u64(),
+                q.duration.as_u64()
+            ));
+        }
+        for w in s.windows() {
+            out.push_str(&format!(
+                "  window {} offset={} duration={}\n",
+                w.partition,
+                w.offset.as_u64(),
+                w.duration.as_u64()
+            ));
+        }
+        for q in s.requirements() {
+            let action = s.change_action_for(q.partition);
+            if action != ScheduleChangeAction::None {
+                let name = match action {
+                    ScheduleChangeAction::None => unreachable!(),
+                    ScheduleChangeAction::WarmRestart => "warm_restart",
+                    ScheduleChangeAction::ColdRestart => "cold_restart",
+                    ScheduleChangeAction::Stop => "stop",
+                };
+                out.push_str(&format!("  action {} {name}\n", q.partition));
+            }
+        }
+    }
+    out
+}
+
+/// The Fig. 8 prototype as a configuration document (the text an
+/// integrator would write for the Sect. 6 system).
+pub fn fig8_config_text() -> String {
+    let sys = air_model::prototype::fig8_system();
+    emit(&ConfigDoc {
+        partitions: sys.partitions,
+        schedules: sys.schedules.iter().cloned().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_model::prototype::{fig8_system, CHI_1, P1, P4};
+    use air_model::verify::verify_schedule_set;
+
+    #[test]
+    fn parse_minimal_document() {
+        let doc = parse(
+            "# comment\n\
+             partition P0 name=AOCS authority=true\n\
+             partition P1 name=PAYLOAD pos=generic system=true\n\
+             \n\
+             schedule chi0 name=ops mtf=100\n\
+             \trequire P0 cycle=50 duration=20\n\
+             \trequire P1 cycle=100 duration=30   # inline comment\n\
+             \twindow P0 offset=0 duration=20\n\
+             \twindow P1 offset=20 duration=30\n\
+             \twindow P0 offset=50 duration=20\n\
+             \taction P1 cold_restart\n",
+        )
+        .unwrap();
+        assert_eq!(doc.partitions.len(), 2);
+        assert!(doc.partitions[0].may_set_module_schedule());
+        assert!(doc.partitions[1].is_system());
+        assert_eq!(doc.partitions[1].pos_kind(), PosKind::GenericNonRealTime);
+        let s = &doc.schedules[0];
+        assert_eq!(s.mtf(), Ticks(100));
+        assert_eq!(s.windows().len(), 3);
+        assert_eq!(
+            s.change_action_for(PartitionId(1)),
+            ScheduleChangeAction::ColdRestart
+        );
+        // The parsed tables verify.
+        assert!(verify_schedule_set(&doc.schedule_set(), &doc.partitions).is_ok());
+    }
+
+    #[test]
+    fn fig8_round_trips_through_text() {
+        let text = fig8_config_text();
+        let doc = parse(&text).unwrap();
+        let sys = fig8_system();
+        assert_eq!(doc.partitions, sys.partitions);
+        let parsed: Vec<Schedule> = doc.schedules.clone();
+        let original: Vec<Schedule> = sys.schedules.iter().cloned().collect();
+        assert_eq!(parsed, original);
+        // And emit is stable: emit(parse(emit(x))) == emit(x).
+        assert_eq!(emit(&doc), text);
+    }
+
+    #[test]
+    fn fig8_config_text_content() {
+        let text = fig8_config_text();
+        assert!(text.contains("partition P0 name=AOCS authority=true"), "{text}");
+        assert!(text.contains("schedule chi0 name=chi1 mtf=1300"), "{text}");
+        assert!(text.contains("window P3 offset=400 duration=600"), "{text}");
+        let _ = (CHI_1, P1, P4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("bogus P0", 1, "unknown directive"),
+            ("partition X0 name=a", 1, "expected partition id"),
+            ("partition P0", 1, "missing 'name='"),
+            ("partition P0 name=a pos=weird", 1, "unknown pos kind"),
+            ("window P0 offset=0 duration=5", 1, "outside a schedule"),
+            (
+                "schedule chi0 name=s mtf=10\nwindow P0 offset=x duration=5",
+                2,
+                "invalid number",
+            ),
+            (
+                "schedule chi0 name=s mtf=10\naction P0 explode",
+                2,
+                "unknown schedule-change action",
+            ),
+            (
+                "schedule zeta0 name=s mtf=10",
+                1,
+                "expected schedule id",
+            ),
+            ("partition P0 name=a name=b", 1, "duplicate key"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text}");
+            assert!(e.message.contains(needle), "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn schedule_without_requirements_or_windows_is_representable() {
+        // The parser is lenient; the *verifier* decides validity.
+        let doc = parse("schedule chi0 name=empty mtf=50\n").unwrap();
+        assert_eq!(doc.schedules.len(), 1);
+        assert!(doc.schedules[0].windows().is_empty());
+    }
+
+    #[test]
+    fn two_schedules_close_properly() {
+        let doc = parse(
+            "schedule chi0 name=a mtf=10\n\
+             require P0 cycle=10 duration=5\n\
+             window P0 offset=0 duration=5\n\
+             schedule chi1 name=b mtf=20\n\
+             require P0 cycle=20 duration=5\n\
+             window P0 offset=10 duration=5\n",
+        )
+        .unwrap();
+        assert_eq!(doc.schedules.len(), 2);
+        assert_eq!(doc.schedules[0].id(), ScheduleId(0));
+        assert_eq!(doc.schedules[1].id(), ScheduleId(1));
+        assert_eq!(doc.schedules[1].windows()[0].offset, Ticks(10));
+    }
+
+    #[test]
+    fn parsed_fig8_drives_a_real_system() {
+        // The full integration path: text → model → verified → runnable.
+        let doc = parse(&fig8_config_text()).unwrap();
+        let report = verify_schedule_set(&doc.schedule_set(), &doc.partitions);
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(doc.schedule_set().get(CHI_1).unwrap().mtf(), Ticks(1300));
+    }
+}

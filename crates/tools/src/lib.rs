@@ -1,0 +1,35 @@
+//! # air-tools — offline integration tools
+//!
+//! "Such issues can be predicted and avoided using offline tools that
+//! verify the fulfilment of the timing requirements as expressed in (23)"
+//! (Sect. 5); the formal model "lays the ground for schedulability
+//! analysis and automated aids to the definition of system parameters"
+//! (Abstract). This crate is that offline toolbox:
+//!
+//! * [`timeline`] — ASCII rendering of partition scheduling tables: the
+//!   regenerator of the Fig. 8 timeline diagrams;
+//! * [`report`] — human-readable verification reports over the Eq. 21–23
+//!   conditions, per schedule and per partition;
+//! * [`synth`] — automated aid to parameter definition: given partition
+//!   requirements `⟨η, d⟩`, synthesises a valid window layout (or explains
+//!   why none exists), by deadline-monotone slot assignment;
+//! * [`analysis`] — utilisation and per-partition occupancy summaries;
+//! * [`config`] — the integration configuration-file format ("AIR and
+//!   ARINC 653 configuration files", Sect. 2.1): parser with line-numbered
+//!   errors, emitter, round-trip stable;
+//! * [`schedulability`] — hierarchical process-level schedulability
+//!   analysis: exact partition supply bound functions composed with
+//!   fixed-priority demand (the paper's future-work item (i)).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod report;
+pub mod schedulability;
+pub mod synth;
+pub mod timeline;
+
+pub use report::verification_report;
+pub use synth::{synthesize_schedule, SynthError};
+pub use timeline::{render_timeline, render_window_table};

@@ -1,0 +1,157 @@
+//! The character framebuffer: VITRAL's VGA-text-mode analogue.
+
+/// A fixed-size grid of characters.
+///
+/// # Examples
+///
+/// ```
+/// use air_vitral::CharBuffer;
+///
+/// let mut fb = CharBuffer::new(10, 2);
+/// fb.put_str(0, 0, "hello");
+/// let text = fb.render();
+/// assert!(text.starts_with("hello"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharBuffer {
+    width: usize,
+    height: usize,
+    cells: Vec<char>,
+}
+
+impl CharBuffer {
+    /// Creates a buffer of `width × height` filled with spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        Self {
+            width,
+            height,
+            cells: vec![' '; width * height],
+        }
+    }
+
+    /// Buffer width in columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Buffer height in rows.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Clears the buffer to spaces.
+    pub fn clear(&mut self) {
+        self.cells.fill(' ');
+    }
+
+    /// Writes one character at `(col, row)`; writes outside the buffer are
+    /// clipped (windows near edges simply truncate).
+    pub fn put(&mut self, col: usize, row: usize, ch: char) {
+        if col < self.width && row < self.height {
+            self.cells[row * self.width + col] = ch;
+        }
+    }
+
+    /// The character at `(col, row)`, or `None` outside the buffer.
+    pub fn get(&self, col: usize, row: usize) -> Option<char> {
+        (col < self.width && row < self.height).then(|| self.cells[row * self.width + col])
+    }
+
+    /// Writes a string starting at `(col, row)`, clipping at the right
+    /// edge.
+    pub fn put_str(&mut self, col: usize, row: usize, text: &str) {
+        for (i, ch) in text.chars().enumerate() {
+            self.put(col + i, row, ch);
+        }
+    }
+
+    /// Draws a single-line box border on the rectangle
+    /// `[col, col+width) × [row, row+height)`.
+    pub fn draw_box(&mut self, col: usize, row: usize, width: usize, height: usize) {
+        if width < 2 || height < 2 {
+            return;
+        }
+        let (right, bottom) = (col + width - 1, row + height - 1);
+        self.put(col, row, '+');
+        self.put(right, row, '+');
+        self.put(col, bottom, '+');
+        self.put(right, bottom, '+');
+        for c in col + 1..right {
+            self.put(c, row, '-');
+            self.put(c, bottom, '-');
+        }
+        for r in row + 1..bottom {
+            self.put(col, r, '|');
+            self.put(right, r, '|');
+        }
+    }
+
+    /// Renders the buffer to a newline-separated string with trailing
+    /// spaces trimmed per row.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for row in 0..self.height {
+            let line: String = self.cells[row * self.width..(row + 1) * self.width]
+                .iter()
+                .collect();
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_get() {
+        let mut fb = CharBuffer::new(4, 2);
+        fb.put(3, 1, 'x');
+        assert_eq!(fb.get(3, 1), Some('x'));
+        assert_eq!(fb.get(0, 0), Some(' '));
+        assert_eq!(fb.get(4, 0), None);
+    }
+
+    #[test]
+    fn writes_clip_at_edges() {
+        let mut fb = CharBuffer::new(4, 1);
+        fb.put_str(2, 0, "abcdef");
+        assert_eq!(fb.render(), "  ab\n");
+        fb.put(9, 9, 'z'); // no panic
+    }
+
+    #[test]
+    fn box_drawing() {
+        let mut fb = CharBuffer::new(5, 3);
+        fb.draw_box(0, 0, 5, 3);
+        assert_eq!(fb.render(), "+---+\n|   |\n+---+\n");
+    }
+
+    #[test]
+    fn degenerate_box_is_noop() {
+        let mut fb = CharBuffer::new(5, 3);
+        fb.draw_box(0, 0, 1, 1);
+        assert_eq!(fb.render(), "\n\n\n");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut fb = CharBuffer::new(3, 1);
+        fb.put_str(0, 0, "abc");
+        fb.clear();
+        assert_eq!(fb.render(), "\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_rejected() {
+        let _ = CharBuffer::new(0, 5);
+    }
+}

@@ -1,0 +1,21 @@
+//! # air-vitral — text-mode window manager for AIR demos
+//!
+//! The paper's prototype includes VITRAL, "a text-mode windows manager for
+//! RTEMS, whose graphical aspect can be seen in Fig. 9. There is one window
+//! for each partition, where its output can be seen, and also two more
+//! windows which allow observation of the behaviour of AIR components.
+//! VITRAL also supports keyboard interaction" (Sect. 6). This crate is the
+//! hosted analogue: bordered, scrolling character windows composited onto a
+//! character framebuffer, rendered to a `String` (the faithful equivalent
+//! of a VGA text mode), with demo binaries wiring the keyboard events of
+//! `air_hw::console` to schedule switches and fault activation.
+
+#![warn(missing_docs)]
+
+pub mod framebuffer;
+pub mod manager;
+pub mod window;
+
+pub use framebuffer::CharBuffer;
+pub use manager::Vitral;
+pub use window::Window;

@@ -1,0 +1,141 @@
+//! The window manager: composites partition and AIR status windows into
+//! one screen, as in Fig. 9.
+
+use crate::framebuffer::CharBuffer;
+use crate::window::Window;
+
+/// Default screen size (a roomy VGA text mode).
+pub const DEFAULT_COLS: usize = 100;
+/// Default screen rows.
+pub const DEFAULT_ROWS: usize = 30;
+
+/// The VITRAL window manager.
+///
+/// Fig. 9's layout: one window per partition in a top grid, plus AIR
+/// status windows (partition scheduler/dispatcher activity, health
+/// monitoring events) along the bottom.
+///
+/// # Examples
+///
+/// ```
+/// use air_vitral::Vitral;
+///
+/// let mut v = Vitral::fig9_layout(&["P1 AOCS", "P2 OBDH", "P3 TTC", "P4 PAYLOAD"]);
+/// v.partition_window_mut(0).write_line("AOCS alive");
+/// v.air_window_mut().write_line("[t=200] dispatch P2");
+/// let frame = v.render();
+/// assert!(frame.contains("AOCS alive"));
+/// assert!(frame.contains("dispatch P2"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vitral {
+    cols: usize,
+    rows: usize,
+    partition_windows: Vec<Window>,
+    air_window: Window,
+    hm_window: Window,
+}
+
+impl Vitral {
+    /// Builds the Fig. 9 layout for the given partition window titles:
+    /// partition windows in a top row, the AIR activity window and health
+    /// monitor window across the bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `titles` is empty or has more than 8 entries (the layout
+    /// is a demo fixture, not a general tiling engine).
+    pub fn fig9_layout(titles: &[&str]) -> Self {
+        assert!(
+            !titles.is_empty() && titles.len() <= 8,
+            "1..=8 partition windows supported"
+        );
+        let cols = DEFAULT_COLS;
+        let rows = DEFAULT_ROWS;
+        let pw = cols / titles.len();
+        let ph = rows - 10;
+        let partition_windows = titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Window::new(*t, i * pw, 0, pw, ph))
+            .collect();
+        let air_window = Window::new("AIR PMK", 0, ph, cols * 3 / 5, 10);
+        let hm_window = Window::new("Health Monitor", cols * 3 / 5, ph, cols - cols * 3 / 5, 10);
+        Self {
+            cols,
+            rows,
+            partition_windows,
+            air_window,
+            hm_window,
+        }
+    }
+
+    /// Number of partition windows.
+    pub fn partition_count(&self) -> usize {
+        self.partition_windows.len()
+    }
+
+    /// The window of partition index `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn partition_window_mut(&mut self, m: usize) -> &mut Window {
+        &mut self.partition_windows[m]
+    }
+
+    /// The AIR component activity window.
+    pub fn air_window_mut(&mut self) -> &mut Window {
+        &mut self.air_window
+    }
+
+    /// The health-monitoring events window.
+    pub fn hm_window_mut(&mut self) -> &mut Window {
+        &mut self.hm_window
+    }
+
+    /// Renders the whole screen to a string.
+    pub fn render(&self) -> String {
+        let mut fb = CharBuffer::new(self.cols, self.rows);
+        for w in &self.partition_windows {
+            w.draw(&mut fb);
+        }
+        self.air_window.draw(&mut fb);
+        self.hm_window.draw(&mut fb);
+        fb.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_partition_layout_renders_all_titles() {
+        let v = Vitral::fig9_layout(&["P1", "P2", "P3", "P4"]);
+        let out = v.render();
+        for t in ["P1", "P2", "P3", "P4", "AIR PMK", "Health Monitor"] {
+            assert!(out.contains(t), "missing {t} in\n{out}");
+        }
+        assert_eq!(v.partition_count(), 4);
+    }
+
+    #[test]
+    fn windows_receive_output_independently() {
+        let mut v = Vitral::fig9_layout(&["A", "B"]);
+        v.partition_window_mut(0).write_line("only-in-a");
+        v.hm_window_mut().write_line("deadline missed");
+        let out = v.render();
+        assert!(out.contains("only-in-a"));
+        assert!(out.contains("deadline missed"));
+        // Render is stable: drawing twice gives the same frame.
+        assert_eq!(out, v.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition windows supported")]
+    fn too_many_windows_rejected() {
+        let titles = ["a"; 9];
+        let _ = Vitral::fig9_layout(&titles);
+    }
+}

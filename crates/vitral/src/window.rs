@@ -1,0 +1,201 @@
+//! Bordered, scrolling text windows.
+
+use std::collections::VecDeque;
+
+use crate::framebuffer::CharBuffer;
+
+/// A titled window with scrolling line content.
+///
+/// Content beyond the visible height scrolls up (the newest lines are
+/// always visible), exactly like a console window in the Fig. 9 prototype.
+#[derive(Debug, Clone)]
+pub struct Window {
+    title: String,
+    col: usize,
+    row: usize,
+    width: usize,
+    height: usize,
+    lines: VecDeque<String>,
+    partial: String,
+    /// Retained scrollback bound (visible plus history).
+    scrollback: usize,
+}
+
+impl Window {
+    /// Creates a window at `(col, row)` of `width × height` (including the
+    /// border).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is too small to hold any content
+    /// (minimum 3×3).
+    pub fn new(
+        title: impl Into<String>,
+        col: usize,
+        row: usize,
+        width: usize,
+        height: usize,
+    ) -> Self {
+        assert!(width >= 3 && height >= 3, "window must be at least 3x3");
+        Self {
+            title: title.into(),
+            col,
+            row,
+            width,
+            height,
+            lines: VecDeque::new(),
+            partial: String::new(),
+            scrollback: 200,
+        }
+    }
+
+    /// The window title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Visible content columns (width minus borders).
+    pub fn inner_width(&self) -> usize {
+        self.width - 2
+    }
+
+    /// Visible content rows (height minus borders).
+    pub fn inner_height(&self) -> usize {
+        self.height - 2
+    }
+
+    /// Appends text; newlines split lines, and lines longer than the inner
+    /// width wrap.
+    pub fn write(&mut self, text: &str) {
+        for ch in text.chars() {
+            if ch == '\n' {
+                let line = std::mem::take(&mut self.partial);
+                self.push_line(line);
+            } else {
+                self.partial.push(ch);
+                if self.partial.chars().count() == self.inner_width() {
+                    let line = std::mem::take(&mut self.partial);
+                    self.push_line(line);
+                }
+            }
+        }
+    }
+
+    /// Appends one complete line.
+    pub fn write_line(&mut self, line: &str) {
+        self.write(line);
+        self.write("\n");
+    }
+
+    fn push_line(&mut self, line: String) {
+        if self.lines.len() == self.scrollback {
+            self.lines.pop_front();
+        }
+        self.lines.push_back(line);
+    }
+
+    /// Discards all content.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+        self.partial.clear();
+    }
+
+    /// The currently visible lines (newest at the bottom), including the
+    /// in-progress partial line.
+    pub fn visible_lines(&self) -> Vec<&str> {
+        let mut all: Vec<&str> = self.lines.iter().map(String::as_str).collect();
+        if !self.partial.is_empty() {
+            all.push(&self.partial);
+        }
+        let h = self.inner_height();
+        if all.len() > h {
+            all.split_off(all.len() - h)
+        } else {
+            all
+        }
+    }
+
+    /// Composites the window (border, title, visible content) onto `fb`.
+    pub fn draw(&self, fb: &mut CharBuffer) {
+        fb.draw_box(self.col, self.row, self.width, self.height);
+        // Title centred-ish in the top border.
+        let title = format!(" {} ", self.title);
+        let avail = self.width.saturating_sub(2);
+        let title: String = title.chars().take(avail).collect();
+        fb.put_str(self.col + 1, self.row, &title);
+        for (i, line) in self.visible_lines().iter().enumerate() {
+            let truncated: String = line.chars().take(self.inner_width()).collect();
+            fb.put_str(self.col + 1, self.row + 1 + i, &truncated);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_splits_on_newline() {
+        let mut w = Window::new("t", 0, 0, 10, 4);
+        w.write("ab\ncd\n");
+        assert_eq!(w.visible_lines(), vec!["ab", "cd"]);
+    }
+
+    #[test]
+    fn long_lines_wrap_at_inner_width() {
+        let mut w = Window::new("t", 0, 0, 6, 4); // inner width 4
+        w.write("abcdefgh");
+        assert_eq!(w.visible_lines(), vec!["abcd", "efgh"]);
+    }
+
+    #[test]
+    fn scrolls_to_show_newest() {
+        let mut w = Window::new("t", 0, 0, 10, 4); // inner height 2
+        for i in 0..5 {
+            w.write_line(&format!("line{i}"));
+        }
+        assert_eq!(w.visible_lines(), vec!["line3", "line4"]);
+    }
+
+    #[test]
+    fn partial_line_is_visible() {
+        let mut w = Window::new("t", 0, 0, 10, 4);
+        w.write("in progress"); // wraps once at 8 chars
+        let lines = w.visible_lines();
+        assert_eq!(lines.last().copied(), Some("ess"));
+    }
+
+    #[test]
+    fn draw_renders_border_title_content() {
+        let mut w = Window::new("P1", 0, 0, 10, 4);
+        w.write_line("hello");
+        let mut fb = CharBuffer::new(12, 5);
+        w.draw(&mut fb);
+        let out = fb.render();
+        assert!(out.contains("+ P1 "), "{out}");
+        assert!(out.contains("|hello"), "{out}");
+    }
+
+    #[test]
+    fn clear_empties_content() {
+        let mut w = Window::new("t", 0, 0, 10, 4);
+        w.write_line("x");
+        w.clear();
+        assert!(w.visible_lines().is_empty());
+    }
+
+    #[test]
+    fn scrollback_is_bounded() {
+        let mut w = Window::new("t", 0, 0, 10, 4);
+        for i in 0..1000 {
+            w.write_line(&format!("{i}"));
+        }
+        assert!(w.visible_lines().ends_with(&["999"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_window_rejected() {
+        let _ = Window::new("t", 0, 0, 2, 2);
+    }
+}

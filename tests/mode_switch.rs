@@ -1,0 +1,261 @@
+//! Experiment E4 (Sect. 4 / Sect. 6): mode-based schedule switches — they
+//! take effect exactly at the end of the current MTF, successive requests
+//! are handled correctly, and they introduce no deadline violations.
+
+use air_core::prototype::ids::{CHI_1, CHI_2, P1, P2};
+use air_core::prototype::PrototypeHarness;
+use air_core::TraceEvent;
+use air_model::prototype::{fig8_chi2, MTF};
+use air_model::Ticks;
+
+const M: u64 = MTF.as_u64();
+
+#[test]
+fn switch_latency_equals_distance_to_mtf_boundary() {
+    // Sweep request offsets across the MTF; the effective switch instant
+    // is always the next boundary.
+    for offset in [1u64, 137, 650, 1000, 1299] {
+        let mut proto = PrototypeHarness::build();
+        proto.system.run_for(offset);
+        proto.system.request_schedule(CHI_2).unwrap();
+        assert_eq!(proto.system.schedule_status().current, CHI_1);
+        proto.system.run_until(Ticks(M));
+        let status = proto.system.schedule_status();
+        assert_eq!(status.current, CHI_2, "offset {offset}");
+        assert_eq!(status.last_switch, Ticks(M), "offset {offset}");
+        let latency = M - offset;
+        assert_eq!(
+            status.last_switch.as_u64() - offset,
+            latency,
+            "switch latency is exactly the distance to the boundary"
+        );
+    }
+}
+
+#[test]
+fn after_switch_the_system_follows_chi2() {
+    let mut proto = PrototypeHarness::build();
+    proto.system.request_schedule(CHI_2).unwrap();
+    proto.system.run_for(M); // switch effective at t = M
+    let chi2 = fig8_chi2();
+    for _ in 0..2 * M {
+        proto.system.step();
+        let phase = Ticks((proto.system.now().as_u64() - M) % M);
+        assert_eq!(
+            proto.system.active_partition(),
+            chi2.partition_active_at(phase),
+            "divergence at {}",
+            proto.system.now()
+        );
+    }
+}
+
+#[test]
+fn successive_requests_cancel_and_override() {
+    let mut proto = PrototypeHarness::build();
+    proto.system.run_for(10);
+    proto.system.request_schedule(CHI_2).unwrap();
+    proto.system.request_schedule(CHI_1).unwrap(); // cancel
+    proto.system.run_until(Ticks(M + 10));
+    assert_eq!(proto.system.schedule_status().current, CHI_1);
+    assert_eq!(proto.system.trace().schedule_switch_count(), 0);
+
+    proto.system.request_schedule(CHI_2).unwrap();
+    proto.system.run_until(Ticks(2 * M + 10));
+    assert_eq!(proto.system.schedule_status().current, CHI_2);
+    assert_eq!(proto.system.trace().schedule_switch_count(), 1);
+}
+
+#[test]
+fn alternating_switches_cause_no_deadline_violations() {
+    // Sect. 6's headline property, over many alternations at pseudo-random
+    // offsets.
+    let mut proto = PrototypeHarness::build();
+    let mut offset = 97u64;
+    for k in 0..10u64 {
+        let target = if k % 2 == 0 { CHI_2 } else { CHI_1 };
+        proto.system.run_for(offset % M);
+        proto.system.request_schedule(target).unwrap();
+        let boundary = proto.system.now().round_up_to(MTF);
+        proto.system.run_until(boundary);
+        offset = offset.wrapping_mul(31).wrapping_add(17) % M;
+    }
+    proto.system.run_for(2 * M);
+    assert_eq!(proto.system.trace().deadline_miss_count(), 0);
+    assert_eq!(proto.system.trace().schedule_switch_count(), 10);
+    // Every switch was recorded at an MTF boundary.
+    for e in proto.system.trace().schedule_switches() {
+        assert_eq!(e.at().as_u64() % M, 0, "{e:?}");
+    }
+}
+
+#[test]
+fn switching_under_fault_changes_nothing_about_detection() {
+    // "Successive requests to change schedule … do not introduce deadline
+    // violations other than the one injected in a process in P1."
+    let mut proto = PrototypeHarness::build();
+    proto.fault.activate();
+    for k in 0..6u64 {
+        let target = if k % 2 == 0 { CHI_2 } else { CHI_1 };
+        proto.system.request_schedule(target).unwrap();
+        proto.system.run_for(M);
+    }
+    // Exactly one detection per P1 dispatch, regardless of which table is
+    // in force (P1's window is ⟨P1, 0, 200⟩ in both). The fault is active
+    // from boot, so the very first activation (released at t = 0, deadline
+    // 650) is already detected at the first boundary.
+    let misses: Vec<u64> = proto
+        .system
+        .trace()
+        .deadline_misses()
+        .iter()
+        .map(|e| e.at().as_u64())
+        .collect();
+    let expected: Vec<u64> = (1..=6).map(|k| k * M).collect();
+    assert_eq!(misses, expected);
+    for e in proto.system.trace().deadline_misses() {
+        let TraceEvent::DeadlineMiss { process, .. } = e else {
+            unreachable!()
+        };
+        assert_eq!(process.partition, P1);
+    }
+}
+
+#[test]
+fn schedule_status_fields_match_sect42() {
+    // GET_MODULE_SCHEDULE_STATUS: last switch time (0 if none), current
+    // id, next id (== current when nothing pending).
+    let mut proto = PrototypeHarness::build();
+    let st = proto.system.schedule_status();
+    assert_eq!(st.last_switch, Ticks(0));
+    assert_eq!(st.current, CHI_1);
+    assert_eq!(st.next, CHI_1);
+
+    proto.system.request_schedule(CHI_2).unwrap();
+    let st = proto.system.schedule_status();
+    assert_eq!(st.current, CHI_1);
+    assert_eq!(st.next, CHI_2);
+
+    proto.system.run_for(M);
+    let st = proto.system.schedule_status();
+    assert_eq!(st.last_switch, Ticks(M));
+    assert_eq!(st.current, CHI_2);
+    assert_eq!(st.next, CHI_2);
+}
+
+#[test]
+fn apex_service_checks_schedule_authority() {
+    // Only P1 (AOCS) holds module-schedule authority in the prototype;
+    // going through the APEX service from another partition fails with
+    // INVALID_CONFIG while the operator path always works.
+    let mut proto = PrototypeHarness::build();
+    let parts = air_model::prototype::fig8_partitions();
+    {
+        let sys = &mut proto.system;
+        // Direct APEX-service calls, as a P2-hosted application would make.
+        let err = air_apex::set_module_schedule(
+            &parts[P2.as_usize()],
+            scheduler_of(sys),
+            CHI_2,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, air_apex::ReturnCode::InvalidConfig);
+        air_apex::set_module_schedule(&parts[P1.as_usize()], scheduler_of(sys), CHI_2)
+            .unwrap();
+    }
+    proto.system.run_for(M);
+    assert_eq!(proto.system.schedule_status().current, CHI_2);
+}
+
+/// Test-only access to the scheduler through the public harness surface.
+fn scheduler_of(sys: &mut air_core::AirSystem) -> &mut air_pmk::PartitionScheduler {
+    sys.scheduler_mut()
+}
+
+mod property {
+    use air_model::schedule::PartitionRequirement;
+    use air_model::{PartitionId, Schedule, ScheduleId, ScheduleSet, Ticks};
+    use air_pmk::PartitionScheduler;
+    use air_tools::synthesize_schedule;
+    use proptest::prelude::*;
+
+    /// Builds a schedule set of `variants` tables over the same partition
+    /// demands, each a different (rotated) synthesis of the same
+    /// requirements.
+    fn schedule_set(demands: &[(u64, u64)], variants: u32) -> Option<ScheduleSet> {
+        let mut schedules: Vec<Schedule> = Vec::new();
+        for v in 0..variants {
+            // Rotate the demand order so layouts differ between variants.
+            let rotated: Vec<PartitionRequirement> = (0..demands.len())
+                .map(|i| {
+                    let (mult, d) = demands[(i + v as usize) % demands.len()];
+                    PartitionRequirement::new(
+                        PartitionId(((i + v as usize) % demands.len()) as u32),
+                        Ticks(60 * mult),
+                        Ticks(d.min(60 * mult)),
+                    )
+                })
+                .collect();
+            let mut s = synthesize_schedule(ScheduleId(v), &rotated).ok()?;
+            // ScheduleSet requires distinct ids; synthesize sets the id.
+            let _ = &mut s;
+            schedules.push(s);
+        }
+        Some(ScheduleSet::new(schedules))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Under arbitrary switch requests, the running scheduler always
+        /// agrees with the model: the heir at any tick equals the current
+        /// schedule's `partition_active_at((t - last_switch) mod MTF)`,
+        /// and switches only ever take effect at MTF boundaries.
+        #[test]
+        fn scheduler_conforms_under_random_switching(
+            demands in proptest::collection::vec((1u64..4, 5u64..25), 1..4),
+            requests in proptest::collection::vec((0u32..3, 1u64..200), 0..12),
+        ) {
+            let Some(set) = schedule_set(&demands, 3) else {
+                return Ok(()); // infeasible demands: nothing to test
+            };
+            let mut sched = PartitionScheduler::new(&set);
+            let mut heir = sched.initial_heir();
+            let mut pending: std::collections::VecDeque<(u64, u32)> = {
+                // Turn (schedule, gap) pairs into absolute request ticks.
+                let mut t = 0u64;
+                requests
+                    .iter()
+                    .map(|&(sid, gap)| {
+                        t += gap;
+                        (t, sid)
+                    })
+                    .collect()
+            };
+            let horizon = 6 * set.iter().map(|s| s.mtf().as_u64()).max().unwrap();
+            for t in 1..=horizon {
+                while pending.front().is_some_and(|&(at, _)| at == t) {
+                    let (_, sid) = pending.pop_front().expect("checked");
+                    let _ = sched.request_schedule(ScheduleId(sid));
+                }
+                if let Some(event) = sched.tick(t) {
+                    heir = event.heir;
+                    if event.switched_to.is_some() {
+                        // Effective switches land only on boundaries of the
+                        // *new* origin: the scheduler just reset its phase.
+                        prop_assert_eq!(sched.status().last_switch, Ticks(t));
+                    }
+                }
+                // Model conformance at every tick.
+                let st = sched.status();
+                let current = set.get(st.current).expect("configured");
+                let phase = Ticks((t - st.last_switch.as_u64()) % current.mtf().as_u64());
+                prop_assert_eq!(
+                    heir,
+                    current.partition_active_at(phase),
+                    "tick {} under {}", t, st.current
+                );
+            }
+        }
+    }
+}
