@@ -21,7 +21,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
+use air_ports::Payload;
 
 use air_model::ids::ProcessId;
 use air_model::Ticks;
@@ -63,15 +63,15 @@ pub enum Outcome<T> {
 struct Buffer {
     max_message_size: usize,
     capacity: usize,
-    queue: VecDeque<Bytes>,
-    waiting_senders: VecDeque<(ProcessId, Bytes)>,
+    queue: VecDeque<Payload>,
+    waiting_senders: VecDeque<(ProcessId, Payload)>,
     waiting_receivers: VecDeque<ProcessId>,
 }
 
 #[derive(Debug)]
 struct Blackboard {
     max_message_size: usize,
-    displayed: Option<Bytes>,
+    displayed: Option<Payload>,
     waiting_readers: VecDeque<ProcessId>,
 }
 
@@ -96,7 +96,7 @@ pub struct IntraPartition {
     semaphores: HashMap<String, Semaphore>,
     events: HashMap<String, Event>,
     /// Direct handoffs to processes woken by a completing operation.
-    deliveries: HashMap<ProcessId, Bytes>,
+    deliveries: HashMap<ProcessId, Payload>,
 }
 
 impl IntraPartition {
@@ -258,7 +258,7 @@ impl IntraPartition {
         &mut self,
         caller: ProcessId,
         name: &str,
-        payload: impl Into<Bytes>,
+        payload: impl Into<Payload>,
         timeout: Timeout,
         now: Ticks,
         pos: &mut dyn PartitionOs,
@@ -305,7 +305,7 @@ impl IntraPartition {
         timeout: Timeout,
         now: Ticks,
         pos: &mut dyn PartitionOs,
-    ) -> ApexResult<Outcome<Bytes>> {
+    ) -> ApexResult<Outcome<Payload>> {
         const SVC: &str = "RECEIVE_BUFFER";
         let buf = self
             .buffers
@@ -340,7 +340,7 @@ impl IntraPartition {
     pub fn display_blackboard(
         &mut self,
         name: &str,
-        payload: impl Into<Bytes>,
+        payload: impl Into<Payload>,
         now: Ticks,
         pos: &mut dyn PartitionOs,
     ) -> ApexResult<()> {
@@ -390,7 +390,7 @@ impl IntraPartition {
         timeout: Timeout,
         now: Ticks,
         pos: &mut dyn PartitionOs,
-    ) -> ApexResult<Outcome<Bytes>> {
+    ) -> ApexResult<Outcome<Payload>> {
         const SVC: &str = "READ_BLACKBOARD";
         let bb = self
             .blackboards
@@ -548,7 +548,7 @@ impl IntraPartition {
 
     /// Collects a message handed directly to `process` by a completing
     /// operation (buffer handoff, blackboard display).
-    pub fn take_delivery(&mut self, process: ProcessId) -> Option<Bytes> {
+    pub fn take_delivery(&mut self, process: ProcessId) -> Option<Payload> {
         self.deliveries.remove(&process)
     }
 
@@ -620,7 +620,7 @@ mod tests {
         let out = intra
             .receive_buffer(ids[1], "b", Timeout::Immediate, Ticks(0), &mut pos)
             .unwrap();
-        assert_eq!(out, Outcome::Done(Bytes::from_static(b"m1")));
+        assert_eq!(out, Outcome::Done(Payload::from_static(b"m1")));
     }
 
     #[test]
@@ -650,7 +650,7 @@ mod tests {
         let got = intra
             .receive_buffer(ids[1], "b", Timeout::Immediate, Ticks(1), &mut pos)
             .unwrap();
-        assert_eq!(got, Outcome::Done(Bytes::from_static(b"m1")));
+        assert_eq!(got, Outcome::Done(Payload::from_static(b"m1")));
         assert_eq!(intra.buffer_len("b"), Some(1));
         assert_eq!(pos.take_wake_cause(ids[0]), Some(WakeCause::Unblocked));
         assert!(pos.status(ids[0]).unwrap().state.is_schedulable());
@@ -670,7 +670,7 @@ mod tests {
             .unwrap();
         assert_eq!(intra.buffer_len("b"), Some(0), "handoff bypasses the queue");
         assert_eq!(pos.take_wake_cause(ids[1]), Some(WakeCause::Unblocked));
-        assert_eq!(intra.take_delivery(ids[1]), Some(Bytes::from_static(b"hot")));
+        assert_eq!(intra.take_delivery(ids[1]), Some(Payload::from_static(b"hot")));
         assert_eq!(intra.take_delivery(ids[1]), None, "consumed");
     }
 
@@ -710,7 +710,7 @@ mod tests {
         for &r in &ids[1..] {
             assert_eq!(
                 intra.take_delivery(r),
-                Some(Bytes::from_static(b"mode=safe"))
+                Some(Payload::from_static(b"mode=safe"))
             );
             assert!(pos.status(r).unwrap().state.is_schedulable());
         }
@@ -719,7 +719,7 @@ mod tests {
             intra
                 .read_blackboard(ids[1], "bb", Timeout::Immediate, Ticks(2), &mut pos)
                 .unwrap(),
-            Outcome::Done(Bytes::from_static(b"mode=safe"))
+            Outcome::Done(Payload::from_static(b"mode=safe"))
         );
         // Clearing empties it again.
         intra.clear_blackboard("bb").unwrap();

@@ -113,7 +113,7 @@ impl ApexPartition {
     /// `coldStart` mode (the ARINC power-on state), with the paper's
     /// linked-list deadline registry.
     pub fn new(descriptor: Partition, pos: Box<dyn PartitionOs>) -> Self {
-        Self::with_registry_kind(descriptor, pos, RegistryKind::LinkedList)
+        Self::with_registry_kind(descriptor, pos, RegistryKind::default())
     }
 
     /// As [`new`](Self::new), selecting the PAL deadline-registry

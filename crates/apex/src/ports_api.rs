@@ -5,7 +5,7 @@
 //! application names a port; whether the peer partition is local or remote
 //! is invisible here — "the AIR PMK deals with these specifics".
 
-use bytes::Bytes;
+use air_ports::Payload;
 
 use air_model::Ticks;
 use air_ports::{
@@ -64,7 +64,7 @@ impl ApexPartition {
         &mut self,
         registry: &mut PortRegistry,
         port: &str,
-        payload: impl Into<Bytes>,
+        payload: impl Into<Payload>,
         now: Ticks,
     ) -> ApexResult<()> {
         const SVC: &str = "WRITE_SAMPLING_MESSAGE";
@@ -109,7 +109,7 @@ impl ApexPartition {
         &mut self,
         registry: &mut PortRegistry,
         port: &str,
-        payload: impl Into<Bytes>,
+        payload: impl Into<Payload>,
         now: Ticks,
     ) -> ApexResult<()> {
         const SVC: &str = "SEND_QUEUING_MESSAGE";

@@ -9,7 +9,8 @@
 //! MTF of the prototype, i.e. how cheap the always-on monitoring is.
 
 use bench::experiment_header;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::criterion::Criterion;
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use air_core::prototype::PrototypeHarness;

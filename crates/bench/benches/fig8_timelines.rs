@@ -4,7 +4,8 @@
 //! tool's cost over realistic tables).
 
 use bench::experiment_header;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::criterion::Criterion;
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use air_model::prototype::fig8_system;

@@ -3,7 +3,8 @@
 //! decode → deliver), for sampling and queuing ports across message sizes.
 
 use bench::experiment_header;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::criterion::{BenchmarkId, Criterion, Throughput};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use air_hw::link::{InterNodeLink, LinkEndpoint};

@@ -4,7 +4,8 @@
 //! actions).
 
 use bench::experiment_header;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::criterion::Criterion;
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use air_hw::mmu::MmuContextId;

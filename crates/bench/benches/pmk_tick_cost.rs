@@ -14,7 +14,8 @@
 //!   independent of table size (the scan's is not).
 
 use bench::experiment_header;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::criterion::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use air_model::prototype::{fig8_chi1, fig8_system};

@@ -10,7 +10,8 @@
 //! The Criterion part times the full-system step loop under both regimes.
 
 use bench::experiment_header;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::criterion::Criterion;
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use air_core::prototype::ids::{CHI_1, CHI_2};

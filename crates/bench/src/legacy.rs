@@ -1,0 +1,203 @@
+//! The pre-optimization port router, preserved as a same-run baseline.
+//!
+//! This is the shape the routing hot path had before the dense-table
+//! rework: ports keyed by `PortAddr` (partition id + port-name `String`)
+//! in a `HashMap`, channel configs walked directly, the source address
+//! cloned per channel per tick, the destination vector cloned per fan-out,
+//! and per-channel freshness state living in its own id-keyed map. Every
+//! `route` call therefore hashes strings and allocates even when nothing
+//! moves. Payloads are refcounted exactly as in the current router, so the
+//! `hotpath` comparison isolates the routing-table change itself.
+//!
+//! Semantics match `PortRegistry::route_into` — `hotpath` cross-checks
+//! delivery counts between the two before timing them.
+
+use std::collections::HashMap;
+
+use air_model::Ticks;
+use air_ports::wire::Frame;
+use air_ports::{
+    ChannelConfig, Destination, Payload, PortAddr, QueuingPort, QueuingPortConfig, SamplingPort,
+    SamplingPortConfig,
+};
+
+#[derive(Debug)]
+enum PortInstance {
+    Sampling(SamplingPort),
+    Queuing(QueuingPort),
+}
+
+#[derive(Debug, Default)]
+struct ChannelState {
+    last_routed: Option<Ticks>,
+}
+
+/// String-keyed router with the seed's per-tick allocation profile.
+#[derive(Debug, Default)]
+pub struct LegacyRouter {
+    ports: HashMap<PortAddr, PortInstance>,
+    channels: Vec<ChannelConfig>,
+    channel_state: HashMap<u32, ChannelState>,
+    dropped_deliveries: u64,
+}
+
+impl LegacyRouter {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sampling port at `addr`.
+    pub fn create_sampling_port(&mut self, addr: PortAddr, config: SamplingPortConfig) {
+        self.ports
+            .insert(addr, PortInstance::Sampling(SamplingPort::new(config)));
+    }
+
+    /// Adds a queuing port at `addr`.
+    pub fn create_queuing_port(&mut self, addr: PortAddr, config: QueuingPortConfig) {
+        self.ports
+            .insert(addr, PortInstance::Queuing(QueuingPort::new(config)));
+    }
+
+    /// Registers a channel (assumed well-formed; the benches build the
+    /// same graphs they hand the real registry, which validates).
+    pub fn add_channel(&mut self, config: ChannelConfig) {
+        self.channel_state
+            .insert(config.id, ChannelState::default());
+        self.channels.push(config);
+    }
+
+    /// Writes into a sampling source port.
+    pub fn write_sampling(&mut self, addr: &PortAddr, payload: Payload, now: Ticks) {
+        if let Some(PortInstance::Sampling(p)) = self.ports.get_mut(addr) {
+            p.write(payload, now).expect("bench port accepts writes");
+        }
+    }
+
+    /// Sends into a queuing source port.
+    pub fn send_queuing(&mut self, addr: &PortAddr, payload: Payload, now: Ticks) {
+        if let Some(PortInstance::Queuing(p)) = self.ports.get_mut(addr) {
+            p.send(payload, now).expect("bench queue has room");
+        }
+    }
+
+    /// Reads a sampling destination port (drains freshness state).
+    pub fn read_sampling(&mut self, addr: &PortAddr, now: Ticks) -> bool {
+        match self.ports.get_mut(addr) {
+            Some(PortInstance::Sampling(p)) => p.read(now).is_ok(),
+            _ => false,
+        }
+    }
+
+    /// Receives from a queuing destination port.
+    pub fn receive_queuing(&mut self, addr: &PortAddr) -> bool {
+        match self.ports.get_mut(addr) {
+            Some(PortInstance::Queuing(p)) => p.receive().is_ok(),
+            _ => false,
+        }
+    }
+
+    /// Local deliveries dropped on full destination queues.
+    pub fn dropped_deliveries(&self) -> u64 {
+        self.dropped_deliveries
+    }
+
+    /// The seed's routing walk, allocation profile intact: source-address
+    /// clone and map lookup per channel, destination-vector clone per
+    /// fan-out, id-keyed state map probe per sampling channel.
+    pub fn route(&mut self, _now: Ticks) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        for ci in 0..self.channels.len() {
+            let (id, source, sampling) = {
+                let c = &self.channels[ci];
+                let sampling = matches!(
+                    self.ports.get(&c.source),
+                    Some(PortInstance::Sampling(_))
+                );
+                (c.id, c.source.clone(), sampling)
+            };
+            if sampling {
+                let Some(PortInstance::Sampling(port)) = self.ports.get(&source) else {
+                    continue;
+                };
+                let Some(msg) = port.last_written().cloned() else {
+                    continue;
+                };
+                let state = self.channel_state.entry(id).or_default();
+                if state.last_routed == Some(msg.written_at) {
+                    continue;
+                }
+                state.last_routed = Some(msg.written_at);
+                self.fan_out(ci, id, msg.payload.clone(), msg.written_at, &mut frames);
+            } else {
+                while let Some(PortInstance::Queuing(port)) = self.ports.get_mut(&source) {
+                    let Some(msg) = port.take_outgoing() else {
+                        break;
+                    };
+                    self.fan_out(ci, id, msg.payload.clone(), msg.written_at, &mut frames);
+                }
+            }
+        }
+        frames
+    }
+
+    fn fan_out(
+        &mut self,
+        channel_index: usize,
+        channel_id: u32,
+        payload: Payload,
+        written_at: Ticks,
+        frames: &mut Vec<Frame>,
+    ) {
+        let destinations = self.channels[channel_index].destinations.clone();
+        for dest in destinations {
+            match dest {
+                Destination::Local(addr) => {
+                    let delivered = match self.ports.get_mut(&addr) {
+                        Some(PortInstance::Sampling(p)) => {
+                            p.deliver(payload.clone(), written_at).is_ok()
+                        }
+                        Some(PortInstance::Queuing(p)) => {
+                            p.deliver(payload.clone(), written_at).is_ok()
+                        }
+                        None => false,
+                    };
+                    if !delivered {
+                        self.dropped_deliveries += 1;
+                    }
+                }
+                Destination::Remote { .. } => {
+                    frames.push(Frame::new(channel_id, written_at, payload.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use air_model::PartitionId;
+
+    #[test]
+    fn legacy_router_delivers_like_the_seed() {
+        let mut r = LegacyRouter::new();
+        let src = PortAddr::new(PartitionId(0), "out");
+        let dst = PortAddr::new(PartitionId(1), "in");
+        r.create_sampling_port(src.clone(), SamplingPortConfig::source("out", 32));
+        r.create_sampling_port(
+            dst.clone(),
+            SamplingPortConfig::destination("in", 32, Ticks(100)),
+        );
+        r.add_channel(ChannelConfig {
+            id: 1,
+            source: src.clone(),
+            destinations: vec![Destination::Local(dst.clone())],
+        });
+        r.write_sampling(&src, Payload::from_static(b"q"), Ticks(5));
+        let frames = r.route(Ticks(5));
+        assert!(frames.is_empty());
+        assert!(r.read_sampling(&dst, Ticks(6)));
+        assert_eq!(r.dropped_deliveries(), 0);
+    }
+}

@@ -5,6 +5,9 @@
 //! data series — the part to compare against the paper — and then runs
 //! Criterion timings for the implementation-cost claims.
 
+pub mod criterion;
+pub mod legacy;
+
 /// Prints a named experiment header so bench output is self-describing.
 pub fn experiment_header(id: &str, title: &str) {
     println!("\n==================================================================");

@@ -77,7 +77,7 @@ impl PartitionConfig {
             error_handler: None,
             sampling_ports: Vec::new(),
             queuing_ports: Vec::new(),
-            registry_kind: RegistryKind::LinkedList,
+            registry_kind: RegistryKind::default(),
         }
     }
 

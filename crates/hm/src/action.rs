@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Recovery actions for **process-level** errors (Sect. 5's list).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum ProcessRecoveryAction {
     /// "Ignoring the error (logging it, but taking no action)."
     #[default]
@@ -46,9 +44,8 @@ pub enum ProcessRecoveryAction {
 /// target of [`ProcessRecoveryAction::LogThenAct`] (everything but another
 /// log-then-act, which would never terminate).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum EscalatedProcessAction {
     /// Stop the process and reinitialise it from its entry address.
     RestartProcess,
@@ -93,9 +90,8 @@ impl fmt::Display for ProcessRecoveryAction {
 /// Recovery actions for **partition-level** errors, "defined at system
 /// integration time" (Sect. 2.4).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum PartitionRecoveryAction {
     /// Log only.
     Ignore,
@@ -124,9 +120,8 @@ impl fmt::Display for PartitionRecoveryAction {
 /// system level may lead the entire system to be stopped or reinitialized"
 /// (Sect. 2.4).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum ModuleRecoveryAction {
     /// Log only.
     Ignore,

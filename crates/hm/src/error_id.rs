@@ -3,7 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use air_model::ids::GlobalProcessId;
 use air_model::PartitionId;
@@ -15,9 +14,8 @@ use air_model::PartitionId;
 /// the entire partition)" (Sect. 5) — [`ErrorId::DeadlineMissed`] is the
 /// one this paper's mechanisms revolve around.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
-#[serde(rename_all = "snake_case")]
 #[non_exhaustive]
 pub enum ErrorId {
     /// A process exceeded its deadline (detected by the PAL deadline
@@ -77,7 +75,7 @@ impl fmt::Display for ErrorId {
 }
 
 /// Where an error was detected: determines which HM table applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorSource {
     /// Raised by / attributed to a specific process.
     Process(GlobalProcessId),
@@ -114,9 +112,8 @@ impl fmt::Display for ErrorSource {
 /// integration-time response action; module-level errors may stop or
 /// reinitialise the whole system.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum ErrorLevel {
     /// Handled inside the partition by the application error handler.
     Process,

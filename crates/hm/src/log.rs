@@ -3,14 +3,13 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use air_model::Ticks;
 
 use crate::error_id::{ErrorId, ErrorLevel, ErrorSource};
 
 /// One logged health-monitoring event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HmLogEntry {
     /// When the error was reported.
     pub time: Ticks,
@@ -37,7 +36,7 @@ impl fmt::Display for HmLogEntry {
 /// A bounded ring of [`HmLogEntry`] values; the oldest entries are evicted
 /// once `capacity` is reached — an HM log on a spacecraft must never grow
 /// without bound.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HmLog {
     capacity: usize,
     entries: VecDeque<HmLogEntry>,

@@ -9,7 +9,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use air_model::PartitionId;
 
@@ -18,7 +17,7 @@ use crate::error_id::{ErrorId, ErrorLevel};
 
 /// The system (module) HM table: classifies each error identifier into the
 /// level at which it is handled.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemHmTable {
     levels: BTreeMap<ErrorId, ErrorLevel>,
     /// Action for errors classified at module level.
@@ -84,7 +83,7 @@ impl Default for SystemHmTable {
 /// One partition's HM table: the partition-level recovery action per error,
 /// and the default process-level action used when the application installed
 /// no error handler.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionHmTable {
     actions: BTreeMap<ErrorId, PartitionRecoveryAction>,
     default_partition_action: PartitionRecoveryAction,
@@ -146,7 +145,7 @@ impl Default for PartitionHmTable {
 
 /// The complete HM configuration of a module: system table plus one
 /// partition table per partition.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HmTables {
     /// The module-wide classification table.
     pub system: SystemHmTable,

@@ -9,16 +9,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
-        #[serde(transparent)]
         pub struct $name(pub u32);
 
         impl $name {
@@ -99,7 +96,7 @@ id_type!(
 /// assert_eq!(gp.to_string(), "P0/tau2");
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct GlobalProcessId {
     /// The owning partition `P_m`.

@@ -54,6 +54,7 @@ pub mod process;
 pub mod prototype;
 pub mod ready;
 pub mod schedule;
+pub mod testkit;
 pub mod time;
 pub mod verify;
 pub mod violation;

@@ -12,7 +12,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::PartitionId;
 use crate::partition::Partition;
@@ -22,9 +21,8 @@ use crate::verify::{verify_schedule, Report};
 
 /// Identifies a processor core.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
-#[serde(transparent)]
 pub struct CoreId(pub u32);
 
 impl fmt::Display for CoreId {
@@ -57,7 +55,7 @@ impl fmt::Display for CoreId {
 /// let mc = MulticoreSchedule::new(vec![core0, core1]);
 /// assert!(mc.verify(&[]).is_ok());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MulticoreSchedule {
     cores: Vec<Schedule>,
     /// Partitions allowed to hold windows on several cores simultaneously.
@@ -65,7 +63,7 @@ pub struct MulticoreSchedule {
 }
 
 /// A violation of the multicore exclusivity condition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParallelismViolation {
     /// The doubly-scheduled partition.
     pub partition: PartitionId,

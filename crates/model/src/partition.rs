@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::PartitionId;
 
@@ -26,9 +25,8 @@ use crate::ids::PartitionId;
 ///   initial context (a warm start preserves state surviving the restart
 ///   cause, e.g. a power transient).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
-#[serde(rename_all = "camelCase")]
 pub enum OperatingMode {
     /// Partition operational; its process scheduler is active.
     Normal,
@@ -83,9 +81,8 @@ impl fmt::Display for OperatingMode {
 
 /// Why a partition entered a start mode; ARINC 653 `START_CONDITION`.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum StartCondition {
     /// Initial power-on of the module.
     #[default]
@@ -117,9 +114,8 @@ impl fmt::Display for StartCondition {
 /// embedded Linux variant). Non-real-time partitions carry no process
 /// deadlines and may be given `d_m = 0` requirements.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum PosKind {
     /// A real-time POS with a preemptive priority-driven process scheduler
     /// (the ARINC 653-mandated policy, Eq. 14).
@@ -144,9 +140,8 @@ impl fmt::Display for PosKind {
 /// System partitions may bypass the APEX interface and call POS-kernel
 /// functions directly (Sect. 2, Fig. 1); application partitions may not.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum PartitionKind {
     /// A standard application partition restricted to the APEX interface.
     #[default]
@@ -173,7 +168,7 @@ pub enum PartitionKind {
 /// assert_eq!(aocs.name(), "AOCS");
 /// assert!(!aocs.is_system());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Partition {
     id: PartitionId,
     name: String,

@@ -10,16 +10,14 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::Ticks;
 
 /// Priority of a process. **Lower numerical values are greater priorities**,
 /// following the paper's convention for Eq. (14).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
-#[serde(transparent)]
 pub struct Priority(pub u8);
 
 impl Priority {
@@ -61,7 +59,7 @@ impl From<u8> for Priority {
 /// assert_eq!(Deadline::NONE.absolute_from(Ticks(100)), None);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum Deadline {
     /// A finite relative deadline (the ARINC 653 `TIME_CAPACITY`).
@@ -129,9 +127,8 @@ impl fmt::Display for Deadline {
 /// is "the lower bound for the time between consecutive activations"
 /// (Sect. 3.3).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum Recurrence {
     /// Strictly periodic activation with period `T`; consecutive release
     /// points are separated by exactly `T`.
@@ -181,9 +178,8 @@ impl fmt::Display for Recurrence {
 
 /// The process state `St_{m,q}(t)` (Eq. 13).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum ProcessState {
     /// Ineligible for resources: not yet started, or stopped.
     #[default]
@@ -237,7 +233,7 @@ impl fmt::Display for ProcessState {
 ///     .with_wcet(Ticks(150));
 /// assert!(attrs.deadline().is_finite());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProcessAttributes {
     name: String,
     recurrence: Recurrence,
@@ -336,7 +332,7 @@ impl ProcessAttributes {
 
 /// Time-varying status `S_{m,q}(t) = ⟨D′, p′, St⟩` (Eq. 12).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
 pub struct ProcessStatus {
     /// Absolute deadline time `D′_{m,q}(t)`; `None` when no deadline is

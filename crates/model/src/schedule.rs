@@ -18,7 +18,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{PartitionId, ScheduleId};
 use crate::time::Ticks;
@@ -28,7 +27,7 @@ use crate::time::Ticks;
 /// The window grants the CPU to `partition` during
 /// `[offset, offset + duration)` relative to the start of each MTF.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
 pub struct TimeWindow {
     /// The partition active during this window (`P^ω_{i,j}`).
@@ -79,7 +78,7 @@ impl fmt::Display for TimeWindow {
 /// Partitions without strict time requirements (e.g. those running
 /// non-real-time operating systems) have `d = 0` (Sect. 3.1).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash,
 )]
 pub struct PartitionRequirement {
     /// The partition this requirement applies to.
@@ -115,9 +114,8 @@ impl fmt::Display for PartitionRequirement {
 /// schedule (Sect. 4: `ScheduleChangeAction`), performed the first time the
 /// partition is dispatched after the switch (Sect. 4.3, Algorithm 2 line 9).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
 )]
-#[serde(rename_all = "snake_case")]
 pub enum ScheduleChangeAction {
     /// No restart occurs; the partition continues where it was.
     #[default]
@@ -166,7 +164,7 @@ impl fmt::Display for ScheduleChangeAction {
 /// assert_eq!(chi.partition_active_at(Ticks(39)), Some(p0));
 /// assert_eq!(chi.partition_active_at(Ticks(40)), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     id: ScheduleId,
     name: String,
@@ -370,7 +368,7 @@ impl fmt::Display for Schedule {
 
 /// One entry of the preemption-point table derived from a [`Schedule`]:
 /// at MTF-relative `tick`, `heir` becomes active (`None` = idle gap).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PreemptionPoint {
     /// MTF-relative instant of the preemption point.
     pub tick: Ticks,
@@ -384,7 +382,7 @@ pub struct PreemptionPoint {
 /// The initial schedule (the one in force at system initialisation) is the
 /// first one added; `n(χ) = 1` recovers the original statically-scheduled
 /// AIR system.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleSet {
     schedules: Vec<Schedule>,
 }

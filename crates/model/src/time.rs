@@ -9,7 +9,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Rem, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// A duration or instant measured in system clock ticks.
 ///
@@ -30,9 +29,8 @@ use serde::{Deserialize, Serialize};
 ///
 /// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
-#[serde(transparent)]
 pub struct Ticks(pub u64);
 
 impl Ticks {

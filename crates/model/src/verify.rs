@@ -27,7 +27,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::ids::{PartitionId, ScheduleId};
 use crate::partition::Partition;
@@ -37,7 +36,7 @@ use crate::time::{lcm_all, Ticks};
 /// One violated verification condition, pinpointing schedule, partition and
 /// the numbers involved so integration tooling can render actionable
 /// reports.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Violation {
     /// The MTF is zero — no schedule can repeat over it.
@@ -235,7 +234,7 @@ impl fmt::Display for Violation {
 /// `Report::is_ok()` means every checked condition holds; otherwise
 /// [`Report::violations`] lists every failure found (verification does not
 /// stop at the first problem — integration reports need the full picture).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Report {
     violations: Vec<Violation>,
 }

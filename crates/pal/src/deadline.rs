@@ -382,6 +382,11 @@ mod tests {
     }
 
     #[test]
+    fn timing_wheel_semantics() {
+        exercise(crate::wheel::TimingWheelRegistry::new());
+    }
+
+    #[test]
     fn linked_list_iter_is_sorted() {
         let mut reg = LinkedListRegistry::new();
         for (q, d) in [(0, 500), (1, 100), (2, 300), (3, 200), (4, 400)] {
@@ -421,7 +426,7 @@ mod tests {
 
     mod equivalence {
         use super::*;
-        use proptest::prelude::*;
+        use air_model::testkit::TestRng;
 
         #[derive(Debug, Clone)]
         enum Op {
@@ -430,49 +435,119 @@ mod tests {
             Pop,
         }
 
-        fn op_strategy() -> impl Strategy<Value = Op> {
-            prop_oneof![
-                (0u32..16, 0u64..1000).prop_map(|(q, d)| Op::Register(q, d)),
-                (0u32..16).prop_map(Op::Unregister),
-                Just(Op::Pop),
-            ]
+        fn random_op(rng: &mut TestRng) -> Op {
+            match rng.below(3) {
+                0 => Op::Register(rng.below(16) as u32, rng.below(1000)),
+                1 => Op::Unregister(rng.below(16) as u32),
+                _ => Op::Pop,
+            }
         }
 
-        proptest! {
-            /// The linked list and the BTree are observationally
-            /// equivalent under any operation sequence — the Sect. 5.3
-            /// choice is purely about constants, never about behaviour.
-            #[test]
-            fn list_and_btree_agree(ops in proptest::collection::vec(op_strategy(), 0..200)) {
-                let mut list = LinkedListRegistry::new();
-                let mut tree = BTreeRegistry::new();
-                for op in ops {
+        /// Observational equivalence of two registries under one random
+        /// operation trace. Equal deadlines may tie-break differently
+        /// between implementations, so pops compare deadlines and then
+        /// resolve the same victim on both sides.
+        pub(super) fn agree_on_random_traces<A, B>(seed: u64)
+        where
+            A: DeadlineRegistry + Default,
+            B: DeadlineRegistry + Default,
+        {
+            let mut rng = TestRng::new(seed);
+            for case in 0..64 {
+                let mut a = A::default();
+                let mut b = B::default();
+                for step in 0..rng.below_usize(200) {
+                    let op = random_op(&mut rng);
                     match op {
                         Op::Register(q, d) => {
-                            list.register(pid(q), Ticks(d));
-                            tree.register(pid(q), Ticks(d));
+                            a.register(pid(q), Ticks(d));
+                            b.register(pid(q), Ticks(d));
                         }
                         Op::Unregister(q) => {
-                            prop_assert_eq!(list.unregister(pid(q)), tree.unregister(pid(q)));
+                            assert_eq!(
+                                a.unregister(pid(q)),
+                                b.unregister(pid(q)),
+                                "case {case} step {step} (seed {seed:#x})"
+                            );
                         }
                         Op::Pop => {
-                            // Equal deadlines may tie-break differently
-                            // (FIFO vs pid order): compare deadlines, then
-                            // resolve the same victim on both sides.
-                            let a = list.peek_earliest();
-                            let b = tree.peek_earliest();
-                            prop_assert_eq!(a.map(|x| x.0), b.map(|x| x.0));
-                            if let Some((_, victim)) = a {
-                                list.unregister(victim);
-                                tree.unregister(victim);
+                            let x = a.peek_earliest();
+                            let y = b.peek_earliest();
+                            assert_eq!(
+                                x.map(|v| v.0),
+                                y.map(|v| v.0),
+                                "case {case} step {step} (seed {seed:#x})"
+                            );
+                            if let Some((_, victim)) = x {
+                                a.unregister(victim);
+                                b.unregister(victim);
                             }
                         }
                     }
-                    prop_assert_eq!(list.len(), tree.len());
-                    prop_assert_eq!(
-                        list.peek_earliest().map(|x| x.0),
-                        tree.peek_earliest().map(|x| x.0)
+                    assert_eq!(a.len(), b.len(), "case {case} step {step}");
+                    assert_eq!(
+                        a.peek_earliest().map(|v| v.0),
+                        b.peek_earliest().map(|v| v.0),
+                        "case {case} step {step} (seed {seed:#x})"
                     );
+                }
+            }
+        }
+
+        /// The linked list and the BTree are observationally equivalent
+        /// under any operation sequence — the Sect. 5.3 choice is purely
+        /// about constants, never about behaviour.
+        #[test]
+        fn list_and_btree_agree() {
+            agree_on_random_traces::<LinkedListRegistry, BTreeRegistry>(0xD15C);
+        }
+
+        /// The timing wheel is observationally equivalent to the paper's
+        /// sorted list: the wheel changes constants (O(1) insertion), not
+        /// behaviour.
+        #[test]
+        fn wheel_and_list_agree() {
+            agree_on_random_traces::<crate::wheel::TimingWheelRegistry, LinkedListRegistry>(
+                0x7EE1,
+            );
+        }
+
+        /// Same, with deadlines spread far enough apart to cross wheel
+        /// levels and spill into the overflow bucket (the short-range
+        /// trace above never leaves level 0–1).
+        #[test]
+        fn wheel_and_list_agree_across_levels() {
+            use crate::wheel::{TimingWheelRegistry, WHEEL_SPAN};
+            let mut rng = TestRng::new(0xCA5C);
+            for case in 0..32 {
+                let mut wheel = TimingWheelRegistry::new();
+                let mut list = LinkedListRegistry::new();
+                for step in 0..200 {
+                    match rng.below(3) {
+                        0 => {
+                            let q = rng.below(16) as u32;
+                            // Bias across all levels and past the span.
+                            let d = rng.below(2 * WHEEL_SPAN);
+                            wheel.register(pid(q), Ticks(d));
+                            list.register(pid(q), Ticks(d));
+                        }
+                        1 => {
+                            let q = rng.below(16) as u32;
+                            assert_eq!(
+                                wheel.unregister(pid(q)),
+                                list.unregister(pid(q)),
+                                "case {case} step {step} (seed 0xCA5C)"
+                            );
+                        }
+                        _ => {
+                            assert_eq!(
+                                wheel.pop_earliest().map(|v| v.0),
+                                list.pop_earliest().map(|v| v.0),
+                                "case {case} step {step} (seed 0xCA5C)"
+                            );
+                        }
+                    }
+                    assert_eq!(wheel.len(), list.len(), "case {case} step {step}");
                 }
             }
         }

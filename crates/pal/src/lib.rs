@@ -9,10 +9,12 @@
 //! * the PAL keeps, per partition, the process-deadline information
 //!   "ordered by deadline", with O(1) retrieval of the earliest — the
 //!   [`deadline::DeadlineRegistry`] trait with the paper's sorted
-//!   **linked-list** implementation ([`deadline::LinkedListRegistry`]) and
+//!   **linked-list** implementation ([`deadline::LinkedListRegistry`]),
 //!   the **self-balancing tree** alternative the paper argues against for
 //!   ISR-side work ([`deadline::BTreeRegistry`], kept for the B2 ablation
-//!   bench);
+//!   bench), and a **hierarchical timing wheel**
+//!   ([`wheel::TimingWheelRegistry`], the default) that keeps the list's
+//!   O(1) ISR-side bounds while making insertion O(1) too;
 //! * APEX primitives register/update/unregister deadlines through the
 //!   private interfaces the PAL provides ([`Pal::register_deadline`],
 //!   [`Pal::unregister_deadline`]) — Sect. 5.2 and Fig. 6;
@@ -26,7 +28,9 @@
 pub mod announce;
 pub mod deadline;
 pub mod pal;
+pub mod wheel;
 
 pub use announce::check_deadlines;
 pub use deadline::{BTreeRegistry, DeadlineRegistry, LinkedListRegistry};
-pub use pal::{Pal, PalStats};
+pub use pal::{Pal, PalStats, RegistryKind};
+pub use wheel::TimingWheelRegistry;

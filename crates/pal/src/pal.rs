@@ -6,13 +6,19 @@ use air_model::{PartitionId, Ticks};
 
 use crate::announce::check_deadlines;
 use crate::deadline::{BTreeRegistry, DeadlineRegistry, LinkedListRegistry};
+use crate::wheel::TimingWheelRegistry;
 
 /// Which deadline-registry structure a PAL instance uses (Sect. 5.3's
-/// design choice; the linked list is the paper's pick and the default).
+/// design choice; the paper picks the linked list, this implementation
+/// defaults to the timing wheel, which keeps the list's O(1) ISR-side
+/// bounds and gains O(1) insertion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RegistryKind {
-    /// Sorted linked list: O(1) ISR-side operations (the paper's choice).
+    /// Hierarchical timing wheel: O(1) everywhere (amortized for pops).
     #[default]
+    TimingWheel,
+    /// Sorted linked list: O(1) ISR-side, O(n) insert (the paper's choice,
+    /// kept as the baseline).
     LinkedList,
     /// Self-balancing tree: O(log n) everywhere (the benched alternative).
     BTree,
@@ -81,14 +87,16 @@ impl std::fmt::Debug for Pal {
 }
 
 impl Pal {
-    /// Creates a PAL for `partition` with the paper's linked-list registry.
+    /// Creates a PAL for `partition` with the default timing-wheel
+    /// registry.
     pub fn new(partition: PartitionId) -> Self {
-        Self::with_registry_kind(partition, RegistryKind::LinkedList)
+        Self::with_registry_kind(partition, RegistryKind::default())
     }
 
     /// Creates a PAL selecting the registry structure explicitly.
     pub fn with_registry_kind(partition: PartitionId, kind: RegistryKind) -> Self {
         let registry: Box<dyn DeadlineRegistry + Send> = match kind {
+            RegistryKind::TimingWheel => Box::new(TimingWheelRegistry::new()),
             RegistryKind::LinkedList => Box::new(LinkedListRegistry::new()),
             RegistryKind::BTree => Box::new(BTreeRegistry::new()),
         };

@@ -1,0 +1,562 @@
+//! Hierarchical timing-wheel deadline registry.
+//!
+//! The paper's Sect. 5.3 analysis picks a sorted linked list because the
+//! ISR-side operations (earliest-peek, earliest-pop, pointer-removal) must
+//! be O(1) and process counts are small. The timing wheel keeps those O(1)
+//! bounds **and** removes the list's O(n) insertion: `register` computes a
+//! (level, slot) pair from the deadline's 6-bit digits and links the entry
+//! into that slot — constant work, no walk.
+//!
+//! # Structure
+//!
+//! Four wheel levels of 64 slots each, covering one *revolution* of
+//! [`WHEEL_SPAN`] = 64⁴ ticks past the wheel's `base`. An armed deadline
+//! `d ≥ base` lives at the level of the highest 6-bit digit in which `d`
+//! differs from `base` (a 64-ary radix layout); its slot is `d`'s digit at
+//! that level. Deadlines at or beyond `base + WHEEL_SPAN`'s digit range go
+//! to an *overflow* bucket; deadlines registered already in the past
+//! (`d < base`) go to an *overdue* bucket so non-monotone registration
+//! stays correct.
+//!
+//! `base` only ever advances, and only to the minimum armed deadline, so
+//! the radix invariant is maintained without touching unrelated slots:
+//! when the minimum is popped, the lowest occupied slot of the lowest
+//! occupied level *cascades* — its entries are re-placed against the new
+//! `base`, falling at least one level. Every entry cascades at most once
+//! per level, so the amortized cost per operation is O(1) with a constant
+//! bound of [`LEVELS`] relocations.
+//!
+//! The minimum itself is cached as an arena index, making
+//! [`peek_earliest`](crate::DeadlineRegistry::peek_earliest) a true O(1)
+//! `&self` read — the property the clock ISR depends on.
+
+use std::collections::HashMap;
+
+use air_model::ids::ProcessId;
+use air_model::Ticks;
+
+use crate::deadline::DeadlineRegistry;
+
+/// Slots per wheel level (one 6-bit digit).
+pub const SLOTS: usize = 64;
+/// Wheel levels; digits above them overflow.
+pub const LEVELS: usize = 4;
+/// Bits per digit.
+const DIGIT_BITS: u32 = 6;
+/// Ticks covered by one full revolution of the top level: 64⁴.
+pub const WHEEL_SPAN: u64 = 1 << (DIGIT_BITS * LEVELS as u32);
+
+/// Arena index used as the list terminator.
+const NIL: usize = usize::MAX;
+
+/// Where a node currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    /// Wheel proper: `(level, slot)`.
+    Slot(u8, u8),
+    /// Deadline was below `base` when placed.
+    Overdue,
+    /// Deadline's digits reach past the top level.
+    Overflow,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WheelNode {
+    deadline: Ticks,
+    process: ProcessId,
+    bucket: Bucket,
+    prev: usize,
+    next: usize,
+}
+
+/// A doubly-linked FIFO list threaded through the arena.
+#[derive(Debug, Clone, Copy)]
+struct Ends {
+    head: usize,
+    tail: usize,
+}
+
+impl Ends {
+    const EMPTY: Ends = Ends {
+        head: NIL,
+        tail: NIL,
+    };
+}
+
+/// Hierarchical timing-wheel implementation of [`DeadlineRegistry`].
+///
+/// Complexities: `register`, `unregister`, `peek_earliest` O(1);
+/// `pop_earliest` amortized O(1) (each entry cascades at most
+/// [`LEVELS`] times over its lifetime). See the module docs for the
+/// layout and invariants.
+///
+/// # Examples
+///
+/// ```
+/// use air_pal::{DeadlineRegistry, TimingWheelRegistry};
+/// use air_model::{ids::ProcessId, Ticks};
+///
+/// let mut reg = TimingWheelRegistry::new();
+/// reg.register(ProcessId(0), Ticks(500));
+/// reg.register(ProcessId(1), Ticks(200));
+/// assert_eq!(reg.peek_earliest(), Some((Ticks(200), ProcessId(1))));
+/// reg.register(ProcessId(1), Ticks(900)); // replenish: relocates in O(1)
+/// assert_eq!(reg.pop_earliest(), Some((Ticks(500), ProcessId(0))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingWheelRegistry {
+    arena: Vec<WheelNode>,
+    free: Vec<usize>,
+    /// Per-slot FIFO lists, `slots[level][slot]`.
+    slots: [[Ends; SLOTS]; LEVELS],
+    /// Occupancy bitmap per level — bit `s` set iff `slots[level][s]`
+    /// is non-empty, so the lowest occupied slot is one `trailing_zeros`.
+    occupancy: [u64; LEVELS],
+    overdue: Ends,
+    overflow: Ends,
+    /// Reference instant the digit layout is relative to. Monotone
+    /// non-decreasing; never exceeds the minimum armed wheel deadline.
+    base: u64,
+    /// Arena index of the minimum armed entry, kept current by every
+    /// mutation — the O(1) `&self` peek.
+    min: usize,
+    index: HashMap<ProcessId, usize>,
+    /// Slot relocations performed by cascades (diagnostics / benches).
+    cascades: u64,
+}
+
+impl Default for TimingWheelRegistry {
+    /// Equivalent to [`TimingWheelRegistry::new`]: a derived `Default`
+    /// would zero the `NIL` sentinels and corrupt the slot lists.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Level and slot of `deadline` relative to `base`, or `None` for
+/// overflow. Requires `deadline >= base`.
+fn place_of(base: u64, deadline: u64) -> Option<(usize, usize)> {
+    debug_assert!(deadline >= base);
+    let diff = base ^ deadline;
+    if diff == 0 {
+        // Equal to base: digit 0 of the deadline, by convention.
+        return Some((0, (deadline & 63) as usize));
+    }
+    let level = ((63 - diff.leading_zeros()) / DIGIT_BITS) as usize;
+    if level < LEVELS {
+        Some((level, ((deadline >> (DIGIT_BITS * level as u32)) & 63) as usize))
+    } else {
+        None
+    }
+}
+
+impl TimingWheelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            arena: Vec::new(),
+            free: Vec::new(),
+            slots: [[Ends::EMPTY; SLOTS]; LEVELS],
+            occupancy: [0; LEVELS],
+            overdue: Ends::EMPTY,
+            overflow: Ends::EMPTY,
+            base: 0,
+            min: NIL,
+            index: HashMap::new(),
+            cascades: 0,
+        }
+    }
+
+    /// The wheel's current reference instant (diagnostics / testing).
+    pub fn base(&self) -> Ticks {
+        Ticks(self.base)
+    }
+
+    /// Total slot relocations performed by cascades so far.
+    pub fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
+    fn ends_mut(&mut self, bucket: Bucket) -> &mut Ends {
+        match bucket {
+            Bucket::Slot(l, s) => &mut self.slots[l as usize][s as usize],
+            Bucket::Overdue => &mut self.overdue,
+            Bucket::Overflow => &mut self.overflow,
+        }
+    }
+
+    /// Appends `idx` to the FIFO list of `bucket` (ties pop in
+    /// registration order, like the sorted list).
+    fn link(&mut self, idx: usize, bucket: Bucket) {
+        self.arena[idx].bucket = bucket;
+        self.arena[idx].next = NIL;
+        let tail = self.ends_mut(bucket).tail;
+        self.arena[idx].prev = tail;
+        if tail == NIL {
+            self.ends_mut(bucket).head = idx;
+        } else {
+            self.arena[tail].next = idx;
+        }
+        self.ends_mut(bucket).tail = idx;
+        if let Bucket::Slot(l, s) = bucket {
+            self.occupancy[l as usize] |= 1u64 << s;
+        }
+    }
+
+    /// Unlinks `idx` from its bucket's list (does not free it).
+    fn unlink(&mut self, idx: usize) {
+        let WheelNode {
+            bucket, prev, next, ..
+        } = self.arena[idx];
+        if prev == NIL {
+            self.ends_mut(bucket).head = next;
+        } else {
+            self.arena[prev].next = next;
+        }
+        if next == NIL {
+            self.ends_mut(bucket).tail = prev;
+        } else {
+            self.arena[next].prev = prev;
+        }
+        if let Bucket::Slot(l, s) = bucket {
+            if self.slots[l as usize][s as usize].head == NIL {
+                self.occupancy[l as usize] &= !(1u64 << s);
+            }
+        }
+    }
+
+    /// Links `idx` into the bucket its deadline demands under the current
+    /// `base`.
+    fn place(&mut self, idx: usize) {
+        let d = self.arena[idx].deadline.as_u64();
+        let bucket = if d < self.base {
+            Bucket::Overdue
+        } else {
+            match place_of(self.base, d) {
+                Some((l, s)) => Bucket::Slot(l as u8, s as u8),
+                None => Bucket::Overflow,
+            }
+        };
+        self.link(idx, bucket);
+    }
+
+    /// Detaches every node of `bucket`'s list, returning the head of the
+    /// (still prev/next-threaded) chain.
+    fn take_list(&mut self, bucket: Bucket) -> usize {
+        let head = self.ends_mut(bucket).head;
+        *self.ends_mut(bucket) = Ends::EMPTY;
+        if let Bucket::Slot(l, s) = bucket {
+            self.occupancy[l as usize] &= !(1u64 << s);
+        }
+        head
+    }
+
+    /// Minimum deadline along the chain starting at `head` (first
+    /// occurrence wins ties).
+    fn chain_min(&self, head: usize) -> u64 {
+        let mut best = u64::MAX;
+        let mut cur = head;
+        while cur != NIL {
+            let d = self.arena[cur].deadline.as_u64();
+            if d < best {
+                best = d;
+            }
+            cur = self.arena[cur].next;
+        }
+        best
+    }
+
+    /// Re-places every node of the chain at `head`, preserving order.
+    fn replace_chain(&mut self, head: usize) {
+        let mut cur = head;
+        while cur != NIL {
+            let next = self.arena[cur].next;
+            self.place(cur);
+            self.cascades += 1;
+            cur = next;
+        }
+    }
+
+    /// Recomputes the cached minimum after it was removed, cascading
+    /// higher-level slots down as `base` advances.
+    fn refresh_min(&mut self) {
+        // Overdue entries sit below `base`, hence below every wheel entry.
+        if self.overdue.head != NIL {
+            let mut best = self.overdue.head;
+            let mut cur = self.arena[best].next;
+            while cur != NIL {
+                if self.arena[cur].deadline < self.arena[best].deadline {
+                    best = cur;
+                }
+                cur = self.arena[cur].next;
+            }
+            self.min = best;
+            return;
+        }
+        loop {
+            let Some(level) = (0..LEVELS).find(|&l| self.occupancy[l] != 0) else {
+                // Wheel empty: pull the overflow bucket in, if any.
+                if self.overflow.head == NIL {
+                    self.min = NIL;
+                    return;
+                }
+                self.base = self.chain_min(self.overflow.head);
+                let chain = self.take_list(Bucket::Overflow);
+                self.replace_chain(chain);
+                continue; // the minimum is now at level 0
+            };
+            let slot = self.occupancy[level].trailing_zeros() as usize;
+            if level == 0 {
+                // All entries of a level-0 slot share one exact deadline;
+                // the FIFO head is the earliest-registered of them.
+                let head = self.slots[0][slot].head;
+                self.base = self.arena[head].deadline.as_u64();
+                self.min = head;
+                return;
+            }
+            // Cascade: advance `base` to this slot's minimum and re-place
+            // its entries — each falls at least one level, because they all
+            // share the digit the new base was taken from.
+            let bucket = Bucket::Slot(level as u8, slot as u8);
+            self.base = self.chain_min(self.slots[level][slot].head);
+            let chain = self.take_list(bucket);
+            self.replace_chain(chain);
+        }
+    }
+
+    /// Removes `idx` entirely (list, index, arena) and refreshes the
+    /// cached minimum if `idx` was it.
+    fn remove(&mut self, idx: usize) -> (Ticks, ProcessId) {
+        let WheelNode {
+            deadline, process, ..
+        } = self.arena[idx];
+        self.unlink(idx);
+        self.index.remove(&process);
+        self.free.push(idx);
+        if self.min == idx {
+            self.refresh_min();
+        }
+        (deadline, process)
+    }
+}
+
+impl DeadlineRegistry for TimingWheelRegistry {
+    fn register(&mut self, process: ProcessId, deadline: Ticks) {
+        if let Some(&idx) = self.index.get(&process) {
+            // Replenish: tear the old entry down and insert fresh.
+            self.remove(idx);
+        }
+        let node = WheelNode {
+            deadline,
+            process,
+            bucket: Bucket::Overdue, // placeholder; `place` assigns it
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.arena[idx] = node;
+            idx
+        } else {
+            self.arena.push(node);
+            self.arena.len() - 1
+        };
+        self.place(idx);
+        self.index.insert(process, idx);
+        // Strictly-less keeps ties FIFO: the first registration stays
+        // the minimum.
+        if self.min == NIL || deadline < self.arena[self.min].deadline {
+            self.min = idx;
+        }
+    }
+
+    fn unregister(&mut self, process: ProcessId) -> Option<Ticks> {
+        let idx = *self.index.get(&process)?;
+        Some(self.remove(idx).0)
+    }
+
+    fn peek_earliest(&self) -> Option<(Ticks, ProcessId)> {
+        if self.min == NIL {
+            return None;
+        }
+        let n = &self.arena[self.min];
+        Some((n.deadline, n.process))
+    }
+
+    fn pop_earliest(&mut self) -> Option<(Ticks, ProcessId)> {
+        if self.min == NIL {
+            return None;
+        }
+        Some(self.remove(self.min))
+    }
+
+    fn deadline_of(&self, process: ProcessId) -> Option<Ticks> {
+        self.index.get(&process).map(|&idx| self.arena[idx].deadline)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(q: u32) -> ProcessId {
+        ProcessId(q)
+    }
+
+    /// Drains the registry, returning `(deadline, process)` in pop order.
+    fn drain(reg: &mut TimingWheelRegistry) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((d, p)) = reg.pop_earliest() {
+            out.push((d.as_u64(), p.as_u32()));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_deadline_order_across_levels() {
+        let mut reg = TimingWheelRegistry::new();
+        // One entry per level, plus overflow, registered shuffled.
+        let deadlines = [
+            (0u32, 3u64),                // level 0
+            (1, 100),                    // level 1
+            (2, 5_000),                  // level 2
+            (3, 300_000),                // level 3
+            (4, WHEEL_SPAN + 7),         // overflow
+            (5, 40),                     // level 1
+            (6, WHEEL_SPAN * 3 + 1),     // deep overflow
+        ];
+        for &(q, d) in deadlines.iter().rev() {
+            reg.register(pid(q), Ticks(d));
+        }
+        let sorted: Vec<(u64, u32)> = {
+            let mut v: Vec<_> = deadlines.iter().map(|&(q, d)| (d, q)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(drain(&mut reg), sorted);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn deadline_exactly_at_wheel_rollover() {
+        // The cascade-boundary case: `base = 0`, one deadline at
+        // WHEEL_SPAN - 1 (top slot of the top level) and one at exactly
+        // WHEEL_SPAN (first tick the wheel can NOT represent — its digit 4
+        // differs from base, so it must overflow, not alias slot 0).
+        let mut reg = TimingWheelRegistry::new();
+        reg.register(pid(0), Ticks(WHEEL_SPAN));
+        reg.register(pid(1), Ticks(WHEEL_SPAN - 1));
+        reg.register(pid(2), Ticks(0));
+        assert_eq!(reg.peek_earliest(), Some((Ticks(0), pid(2))));
+        assert_eq!(
+            drain(&mut reg),
+            vec![(0, 2), (WHEEL_SPAN - 1, 1), (WHEEL_SPAN, 0)]
+        );
+
+        // And the same boundary relative to an advanced base: once base
+        // has reached WHEEL_SPAN, a deadline at 2·WHEEL_SPAN - 1 fits the
+        // wheel again while it overflowed under base = 0.
+        reg.register(pid(0), Ticks(WHEEL_SPAN));
+        reg.register(pid(1), Ticks(2 * WHEEL_SPAN - 1));
+        assert_eq!(reg.pop_earliest(), Some((Ticks(WHEEL_SPAN), pid(0))));
+        // Popping advanced base to the next armed minimum.
+        assert_eq!(reg.base(), Ticks(2 * WHEEL_SPAN - 1));
+        assert_eq!(
+            reg.pop_earliest(),
+            Some((Ticks(2 * WHEEL_SPAN - 1), pid(1)))
+        );
+    }
+
+    #[test]
+    fn registering_behind_base_is_overdue_not_lost() {
+        let mut reg = TimingWheelRegistry::new();
+        reg.register(pid(0), Ticks(1_000));
+        reg.register(pid(2), Ticks(2_000));
+        assert_eq!(reg.pop_earliest(), Some((Ticks(1_000), pid(0))));
+        // Popping moved base up to the remaining minimum…
+        assert_eq!(reg.base(), Ticks(2_000));
+        // …so a deadline in the past (non-monotone registration) takes the
+        // overdue path — and must still come out first.
+        reg.register(pid(1), Ticks(50));
+        reg.register(pid(3), Ticks(10));
+        assert_eq!(drain(&mut reg), vec![(10, 3), (50, 1), (2_000, 2)]);
+    }
+
+    #[test]
+    fn replenish_relocates_without_duplicating() {
+        let mut reg = TimingWheelRegistry::new();
+        reg.register(pid(0), Ticks(10));
+        reg.register(pid(1), Ticks(20));
+        reg.register(pid(0), Ticks(5_000)); // across levels
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.deadline_of(pid(0)), Some(Ticks(5_000)));
+        assert_eq!(drain(&mut reg), vec![(20, 1), (5_000, 0)]);
+    }
+
+    #[test]
+    fn equal_deadlines_pop_fifo() {
+        let mut reg = TimingWheelRegistry::new();
+        reg.register(pid(5), Ticks(100));
+        reg.register(pid(3), Ticks(100));
+        reg.register(pid(9), Ticks(100));
+        assert_eq!(
+            drain(&mut reg),
+            vec![(100, 5), (100, 3), (100, 9)]
+        );
+    }
+
+    #[test]
+    fn base_is_monotone_and_bounded_by_the_minimum() {
+        let mut reg = TimingWheelRegistry::new();
+        let mut last_base = 0;
+        let mut x = 0x9E37u64;
+        for q in 0..64u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            reg.register(pid(q), Ticks(x % 1_000_000));
+        }
+        while let Some((d, _)) = reg.pop_earliest() {
+            let base = reg.base().as_u64();
+            assert!(base >= last_base, "base went backwards");
+            if let Some((next, _)) = reg.peek_earliest() {
+                assert!(d <= next, "pop order violated");
+                assert!(base <= next.as_u64(), "base above the armed minimum");
+            }
+            last_base = base;
+        }
+    }
+
+    #[test]
+    fn arena_reuse_after_heavy_churn() {
+        let mut reg = TimingWheelRegistry::new();
+        for round in 0..100u64 {
+            for q in 0..10u32 {
+                reg.register(pid(q), Ticks(round * 1_000 + u64::from(q) * 7));
+            }
+            for q in 0..10u32 {
+                assert!(reg.unregister(pid(q)).is_some());
+            }
+        }
+        assert!(reg.is_empty());
+        assert!(reg.arena.len() <= 10, "arena grew to {}", reg.arena.len());
+    }
+
+    #[test]
+    fn cascades_are_bounded_per_entry() {
+        // Each entry relocates at most once per level it can fall
+        // through, so total cascade work is linear in the entry count.
+        let mut reg = TimingWheelRegistry::new();
+        const N: u64 = 1_000;
+        for q in 0..N {
+            reg.register(pid(q as u32), Ticks(q * 17_000)); // spans levels
+        }
+        while reg.pop_earliest().is_some() {}
+        assert!(
+            reg.cascades() <= N * LEVELS as u64,
+            "{} cascade moves for {N} entries",
+            reg.cascades()
+        );
+    }
+}

@@ -18,6 +18,9 @@ use air_ports::{PortError, PortRegistry};
 #[derive(Debug, Default)]
 pub struct PmkIpc {
     registry: PortRegistry,
+    /// Reused frame scratch for the tick-path route: reaches its
+    /// steady-state capacity once, then routing allocates nothing.
+    frames: Vec<Frame>,
     frames_sent: u64,
     frames_received: u64,
     frames_rejected: u64,
@@ -33,9 +36,7 @@ impl PmkIpc {
     pub fn with_registry(registry: PortRegistry) -> Self {
         Self {
             registry,
-            frames_sent: 0,
-            frames_received: 0,
-            frames_rejected: 0,
+            ..Self::default()
         }
     }
 
@@ -69,7 +70,8 @@ impl PmkIpc {
     /// Called by the PMK at partition preemption points — transfers happen
     /// at partition boundaries, outside any partition's window.
     pub fn route(&mut self, link: &mut InterNodeLink, now: Ticks) {
-        for frame in self.registry.route(now) {
+        self.registry.route_into(now, &mut self.frames);
+        for frame in self.frames.drain(..) {
             link.send(LinkEndpoint::A, now.as_u64(), frame.encode());
             self.frames_sent += 1;
         }

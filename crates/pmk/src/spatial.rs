@@ -285,9 +285,33 @@ impl SpatialManager {
         self.partitions.get(&partition).map(|s| s.regions.as_slice())
     }
 
+    /// Makes `partition`'s MMU context the active one — the PMK calls this
+    /// on every partition switch. The MMU flushes its TLB iff the context
+    /// actually changes, so no translation cached for the outgoing
+    /// partition can ever be served to the incoming one.
+    ///
+    /// # Errors
+    ///
+    /// [`SpatialError::NotConfigured`] when the partition was never loaded
+    /// (such a partition has no context to activate).
+    pub fn activate_partition(&mut self, partition: PartitionId) -> Result<(), SpatialError> {
+        let context = self.context_of(partition)?;
+        self.mmu.activate_context(context);
+        Ok(())
+    }
+
     /// Translation/fault statistics from the underlying MMU.
     pub fn mmu_stats(&self) -> (u64, u64) {
         (self.mmu.translations(), self.mmu.faults())
+    }
+
+    /// TLB statistics `(hits, misses, flushes)` from the underlying MMU.
+    pub fn tlb_stats(&self) -> (u64, u64, u64) {
+        (
+            self.mmu.tlb_hits(),
+            self.mmu.tlb_misses(),
+            self.mmu.tlb_flushes(),
+        )
     }
 }
 

@@ -6,12 +6,26 @@
 //! whether the partitions are local or remote" (Sect. 2.1) — the registry
 //! routes local destinations by direct copy and emits link frames for
 //! remote ones; the PMK carries the frames.
+//!
+//! ## Routing table
+//!
+//! The router runs from the PMK's clock-tick handling, so its cost bounds
+//! the tick cost of the whole system. Port addresses are therefore
+//! **interned**: each `⟨partition, name⟩` pair maps to a dense [`PortKey`]
+//! (`u32`) at port-creation time, and [`PortRegistry::add_channel`]
+//! compiles the channel description into a [`CompiledChannel`] holding the
+//! source key and the destination keys as plain index arrays. The
+//! steady-state [`PortRegistry::route_into`] walk touches no `String`, no
+//! hash map, and performs **zero heap allocations** for local-only
+//! delivery — payloads move as reference-counted [`Payload`] handoffs and
+//! frames go into a caller-provided scratch buffer.
 
 use std::collections::HashMap;
 
 use air_model::{PartitionId, Ticks};
 
 use crate::error::PortError;
+use crate::payload::Payload;
 use crate::queuing::{QueuingPort, QueuingPortConfig};
 use crate::sampling::{Direction, SamplingPort, SamplingPortConfig};
 use crate::wire::Frame;
@@ -40,6 +54,13 @@ impl std::fmt::Display for PortAddr {
         write!(f, "{}:{}", self.partition, self.port)
     }
 }
+
+/// Dense handle of a port within a [`PortRegistry`].
+///
+/// Assigned at port-creation time, contiguous from zero; the compiled
+/// routing table refers to ports exclusively through these keys so the
+/// per-tick route walk does no string hashing.
+pub type PortKey = u32;
 
 /// One destination of a channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,8 +93,20 @@ enum PortInstance {
     Queuing(QueuingPort),
 }
 
-#[derive(Debug, Default)]
-struct ChannelState {
+/// A channel compiled down to dense port keys — what the router walks.
+#[derive(Debug)]
+struct CompiledChannel {
+    /// The channel id (also the wire-frame channel field).
+    id: u32,
+    /// Source port key; `None` for inbound gateways (source on a remote
+    /// node).
+    source: Option<PortKey>,
+    /// Whether the source is a sampling port (false: queuing).
+    sampling: bool,
+    /// Local destination port keys, delivered by direct copy.
+    local_dests: Vec<PortKey>,
+    /// Number of remote destinations, each served by one link frame.
+    remote_count: u32,
     /// Write stamp of the last sampling message already routed, so the
     /// router only propagates fresh writes.
     last_routed: Option<Ticks>,
@@ -111,9 +144,17 @@ struct ChannelState {
 /// ```
 #[derive(Debug, Default)]
 pub struct PortRegistry {
-    ports: HashMap<PortAddr, PortInstance>,
+    /// Port storage, indexed by [`PortKey`].
+    ports: Vec<PortInstance>,
+    /// Name resolution: partition → port name → key. Only used on the
+    /// integration/APEX side, never by the router.
+    names: HashMap<PartitionId, HashMap<String, PortKey>>,
+    /// Integration-time channel descriptions, kept for inspection.
     channels: Vec<ChannelConfig>,
-    channel_state: HashMap<u32, ChannelState>,
+    /// The routing table the per-tick walk uses, parallel to `channels`.
+    compiled: Vec<CompiledChannel>,
+    /// Channel id → index into `channels`/`compiled`.
+    channel_index: HashMap<u32, usize>,
     /// Local deliveries dropped because a destination queue was full.
     dropped_deliveries: u64,
 }
@@ -122,6 +163,24 @@ impl PortRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn insert_port(
+        &mut self,
+        partition: PartitionId,
+        name: &str,
+        instance: PortInstance,
+    ) -> Result<PortKey, PortError> {
+        let by_name = self.names.entry(partition).or_default();
+        if by_name.contains_key(name) {
+            return Err(PortError::DuplicatePort {
+                name: name.to_owned(),
+            });
+        }
+        let key = self.ports.len() as PortKey;
+        by_name.insert(name.to_owned(), key);
+        self.ports.push(instance);
+        Ok(key)
     }
 
     /// Creates a sampling port owned by `partition`.
@@ -135,12 +194,12 @@ impl PortRegistry {
         partition: PartitionId,
         config: SamplingPortConfig,
     ) -> Result<(), PortError> {
-        let addr = PortAddr::new(partition, config.name.clone());
-        if self.ports.contains_key(&addr) {
-            return Err(PortError::DuplicatePort { name: config.name });
-        }
-        self.ports
-            .insert(addr, PortInstance::Sampling(SamplingPort::new(config)));
+        let name = config.name.clone();
+        self.insert_port(
+            partition,
+            &name,
+            PortInstance::Sampling(SamplingPort::new(config)),
+        )?;
         Ok(())
     }
 
@@ -155,13 +214,22 @@ impl PortRegistry {
         partition: PartitionId,
         config: QueuingPortConfig,
     ) -> Result<(), PortError> {
-        let addr = PortAddr::new(partition, config.name.clone());
-        if self.ports.contains_key(&addr) {
-            return Err(PortError::DuplicatePort { name: config.name });
-        }
-        self.ports
-            .insert(addr, PortInstance::Queuing(QueuingPort::new(config)));
+        let name = config.name.clone();
+        self.insert_port(
+            partition,
+            &name,
+            PortInstance::Queuing(QueuingPort::new(config)),
+        )?;
         Ok(())
+    }
+
+    /// The interned key of `partition`'s port `name`, if it exists.
+    pub fn port_key(&self, partition: PartitionId, name: &str) -> Option<PortKey> {
+        self.names.get(&partition)?.get(name).copied()
+    }
+
+    fn key_of(&self, addr: &PortAddr) -> Option<PortKey> {
+        self.port_key(addr.partition, &addr.port)
     }
 
     /// Mutable access to a sampling port, for the APEX read/write services.
@@ -174,9 +242,14 @@ impl PortRegistry {
         partition: PartitionId,
         name: &str,
     ) -> Result<&mut SamplingPort, PortError> {
-        match self.ports.get_mut(&PortAddr::new(partition, name)) {
-            Some(PortInstance::Sampling(p)) => Ok(p),
-            _ => Err(PortError::UnknownPort {
+        match self.port_key(partition, name) {
+            Some(key) => match &mut self.ports[key as usize] {
+                PortInstance::Sampling(p) => Ok(p),
+                PortInstance::Queuing(_) => Err(PortError::UnknownPort {
+                    name: name.to_owned(),
+                }),
+            },
+            None => Err(PortError::UnknownPort {
                 name: name.to_owned(),
             }),
         }
@@ -192,9 +265,14 @@ impl PortRegistry {
         partition: PartitionId,
         name: &str,
     ) -> Result<&mut QueuingPort, PortError> {
-        match self.ports.get_mut(&PortAddr::new(partition, name)) {
-            Some(PortInstance::Queuing(p)) => Ok(p),
-            _ => Err(PortError::UnknownPort {
+        match self.port_key(partition, name) {
+            Some(key) => match &mut self.ports[key as usize] {
+                PortInstance::Queuing(p) => Ok(p),
+                PortInstance::Sampling(_) => Err(PortError::UnknownPort {
+                    name: name.to_owned(),
+                }),
+            },
+            None => Err(PortError::UnknownPort {
                 name: name.to_owned(),
             }),
         }
@@ -202,15 +280,16 @@ impl PortRegistry {
 
     /// Whether `partition` owns a port called `name` (of either kind).
     pub fn has_port(&self, partition: PartitionId, name: &str) -> bool {
-        self.ports.contains_key(&PortAddr::new(partition, name))
+        self.port_key(partition, name).is_some()
     }
 
     fn is_sampling(&self, addr: &PortAddr) -> Option<bool> {
-        self.ports.get(addr).map(|p| matches!(p, PortInstance::Sampling(_)))
+        self.key_of(addr)
+            .map(|k| matches!(self.ports[k as usize], PortInstance::Sampling(_)))
     }
 
     fn direction_of(&self, addr: &PortAddr) -> Option<Direction> {
-        self.ports.get(addr).map(|p| match p {
+        self.key_of(addr).map(|k| match &self.ports[k as usize] {
             PortInstance::Sampling(s) => s.config().direction,
             PortInstance::Queuing(q) => q.config().direction,
         })
@@ -221,12 +300,15 @@ impl PortRegistry {
     /// have destination direction, and match the source's kind; queuing
     /// channels are point-to-point.
     ///
+    /// Accepted channels are immediately compiled into the dense routing
+    /// table the router walks — port keys only, no names.
+    ///
     /// # Errors
     ///
     /// [`PortError::BadChannel`] describing the exact wiring mistake.
     pub fn add_channel(&mut self, config: ChannelConfig) -> Result<(), PortError> {
         let bad = |reason: String| PortError::BadChannel { reason };
-        if self.channels.iter().any(|c| c.id == config.id) {
+        if self.channel_index.contains_key(&config.id) {
             return Err(bad(format!("duplicate channel id {}", config.id)));
         }
         if config.destinations.is_empty() {
@@ -260,8 +342,11 @@ impl PortRegistry {
         if src_sampling == Some(false) && config.destinations.len() > 1 {
             return Err(bad("queuing channels are point-to-point".to_owned()));
         }
+        let mut local_dests = Vec::new();
+        let mut remote_count = 0u32;
         for dest in &config.destinations {
             let Destination::Local(addr) = dest else {
+                remote_count += 1;
                 continue; // remote addresses resolve on the peer node
             };
             match (self.is_sampling(addr), src_sampling) {
@@ -286,9 +371,17 @@ impl PortRegistry {
                     config.id, addr.partition
                 )));
             }
+            local_dests.push(self.key_of(addr).expect("existence checked above"));
         }
-        self.channel_state
-            .insert(config.id, ChannelState::default());
+        self.compiled.push(CompiledChannel {
+            id: config.id,
+            source: self.key_of(&config.source),
+            sampling: src_sampling.unwrap_or(true),
+            local_dests,
+            remote_count,
+            last_routed: None,
+        });
+        self.channel_index.insert(config.id, self.channels.len());
         self.channels.push(config);
         Ok(())
     }
@@ -307,74 +400,67 @@ impl PortRegistry {
     /// delivered immediately; frames for remote destinations are returned
     /// for the PMK to transmit over the link.
     ///
-    /// The PMK invokes this from its clock-tick handling, after the active
-    /// partition's execution — message transfer happens at partition
-    /// boundaries, never *into* another partition's window.
-    pub fn route(&mut self, _now: Ticks) -> Vec<Frame> {
+    /// Convenience wrapper over [`route_into`](Self::route_into); callers
+    /// on the tick path should prefer `route_into` with a reused buffer.
+    pub fn route(&mut self, now: Ticks) -> Vec<Frame> {
         let mut frames = Vec::new();
-        for ci in 0..self.channels.len() {
-            let (id, source, sampling) = {
-                let c = &self.channels[ci];
-                let Some(s) = self.is_sampling(&c.source) else {
-                    continue;
-                };
-                (c.id, c.source.clone(), s)
-            };
-            if sampling {
-                let Some(PortInstance::Sampling(port)) = self.ports.get(&source) else {
-                    continue;
-                };
-                let Some(msg) = port.last_written().cloned() else {
-                    continue;
-                };
-                let state = self.channel_state.entry(id).or_default();
-                if state.last_routed == Some(msg.written_at) {
-                    continue; // already propagated this write
-                }
-                state.last_routed = Some(msg.written_at);
-                self.fan_out(ci, id, msg.payload.clone(), msg.written_at, &mut frames);
-            } else {
-                while let Some(PortInstance::Queuing(port)) = self.ports.get_mut(&source) {
-                    let Some(msg) = port.take_outgoing() else {
-                        break;
-                    };
-                    self.fan_out(ci, id, msg.payload.clone(), msg.written_at, &mut frames);
-                }
-            }
-        }
+        self.route_into(now, &mut frames);
         frames
     }
 
-    /// Fans one message out to a channel's destinations. Local ports are
-    /// stamped with the **source write instant** so sampling validity and
-    /// latency measurements survive routing and the link.
-    fn fan_out(
-        &mut self,
-        channel_index: usize,
-        channel_id: u32,
-        payload: bytes::Bytes,
-        written_at: Ticks,
-        frames: &mut Vec<Frame>,
-    ) {
-        let destinations = self.channels[channel_index].destinations.clone();
-        for dest in destinations {
-            match dest {
-                Destination::Local(addr) => {
-                    let delivered = match self.ports.get_mut(&addr) {
-                        Some(PortInstance::Sampling(p)) => {
-                            p.deliver(payload.clone(), written_at).is_ok()
-                        }
-                        Some(PortInstance::Queuing(p)) => {
-                            p.deliver(payload.clone(), written_at).is_ok()
-                        }
-                        None => false,
-                    };
-                    if !delivered {
-                        self.dropped_deliveries += 1;
-                    }
+    /// Routes pending messages, appending frames for remote destinations
+    /// to `frames` (which the caller typically reuses tick over tick).
+    ///
+    /// The PMK invokes this from its clock-tick handling, after the active
+    /// partition's execution — message transfer happens at partition
+    /// boundaries, never *into* another partition's window.
+    ///
+    /// Steady-state this walk performs **no heap allocation** for
+    /// local-only channels: it iterates the compiled key arrays, payloads
+    /// are handed off by reference count, and destination queues were
+    /// allocated at their configured capacity up front.
+    pub fn route_into(&mut self, _now: Ticks, frames: &mut Vec<Frame>) {
+        let Self {
+            ports,
+            compiled,
+            dropped_deliveries,
+            ..
+        } = self;
+        for ch in compiled.iter_mut() {
+            let Some(src) = ch.source else {
+                continue; // inbound gateway: nothing originates here
+            };
+            if ch.sampling {
+                let PortInstance::Sampling(port) = &ports[src as usize] else {
+                    continue;
+                };
+                let Some(msg) = port.last_written() else {
+                    continue;
+                };
+                if ch.last_routed == Some(msg.written_at) {
+                    continue; // already propagated this write
                 }
-                Destination::Remote { .. } => {
-                    frames.push(Frame::new(channel_id, written_at, payload.clone()));
+                ch.last_routed = Some(msg.written_at);
+                let payload = msg.payload.clone();
+                let written_at = msg.written_at;
+                fan_out(ports, ch, &payload, written_at, dropped_deliveries, frames);
+            } else {
+                loop {
+                    let msg = match &mut ports[src as usize] {
+                        PortInstance::Queuing(port) => port.take_outgoing(),
+                        PortInstance::Sampling(_) => None,
+                    };
+                    let Some(msg) = msg else {
+                        break;
+                    };
+                    fan_out(
+                        ports,
+                        ch,
+                        &msg.payload,
+                        msg.written_at,
+                        dropped_deliveries,
+                        frames,
+                    );
                 }
             }
         }
@@ -387,21 +473,64 @@ impl PortRegistry {
     ///
     /// [`PortError::BadChannel`] when the channel id is unknown here.
     pub fn deliver_frame(&mut self, frame: &Frame, now: Ticks) -> Result<(), PortError> {
-        let Some(ci) = self.channels.iter().position(|c| c.id == frame.channel) else {
+        let Some(&ci) = self.channel_index.get(&frame.channel) else {
             return Err(PortError::BadChannel {
                 reason: format!("unknown channel {} in link frame", frame.channel),
             });
         };
         let _ = now;
-        let mut relay_frames = Vec::new();
-        self.fan_out(
-            ci,
-            frame.channel,
-            frame.payload.clone(),
+        let Self {
+            ports,
+            compiled,
+            dropped_deliveries,
+            ..
+        } = self;
+        deliver_local(
+            ports,
+            &compiled[ci],
+            &frame.payload,
             frame.written_at,
-            &mut relay_frames,
+            dropped_deliveries,
         );
         Ok(())
+    }
+}
+
+/// Delivers one message to a compiled channel's local destinations,
+/// counting failed deliveries (full queues) into `dropped`.
+fn deliver_local(
+    ports: &mut [PortInstance],
+    ch: &CompiledChannel,
+    payload: &Payload,
+    written_at: Ticks,
+    dropped: &mut u64,
+) {
+    for &key in &ch.local_dests {
+        let delivered = match &mut ports[key as usize] {
+            PortInstance::Sampling(p) => p.deliver(payload.clone(), written_at).is_ok(),
+            PortInstance::Queuing(p) => p.deliver(payload.clone(), written_at).is_ok(),
+        };
+        if !delivered {
+            *dropped += 1;
+        }
+    }
+}
+
+/// Fans one message out to a compiled channel's destinations. Local ports
+/// are stamped with the **source write instant** so sampling validity and
+/// latency measurements survive routing and the link; each remote
+/// destination costs one link frame.
+fn fan_out(
+    ports: &mut [PortInstance],
+    ch: &CompiledChannel,
+    payload: &Payload,
+    written_at: Ticks,
+    dropped: &mut u64,
+    frames: &mut Vec<Frame>,
+) {
+    deliver_local(ports, ch, payload, written_at, dropped);
+    for _ in 0..ch.remote_count {
+        frames.push(Frame::new(ch.id, written_at, payload.clone()));
     }
 }
 
@@ -743,5 +872,46 @@ mod tests {
             .is_ok());
         assert!(reg.has_port(p(0), "x"));
         assert!(!reg.has_port(p(2), "x"));
+    }
+
+    #[test]
+    fn port_keys_are_dense_and_stable() {
+        let mut reg = PortRegistry::new();
+        reg.create_sampling_port(p(0), SamplingPortConfig::source("a", 8))
+            .unwrap();
+        reg.create_queuing_port(p(1), QueuingPortConfig::source("b", 8, 1))
+            .unwrap();
+        reg.create_sampling_port(p(0), SamplingPortConfig::source("c", 8))
+            .unwrap();
+        assert_eq!(reg.port_key(p(0), "a"), Some(0));
+        assert_eq!(reg.port_key(p(1), "b"), Some(1));
+        assert_eq!(reg.port_key(p(0), "c"), Some(2));
+        assert_eq!(reg.port_key(p(1), "a"), None);
+    }
+
+    #[test]
+    fn route_into_reuses_the_frame_buffer() {
+        let mut reg = PortRegistry::new();
+        reg.create_queuing_port(p(0), QueuingPortConfig::source("tx", 16, 8))
+            .unwrap();
+        reg.add_channel(ChannelConfig {
+            id: 9,
+            source: PortAddr::new(p(0), "tx"),
+            destinations: vec![Destination::Remote {
+                addr: PortAddr::new(p(0), "rx"),
+            }],
+        })
+        .unwrap();
+        let mut frames = Vec::with_capacity(4);
+        for round in 0..3 {
+            reg.queuing_port_mut(p(0), "tx")
+                .unwrap()
+                .send(vec![round], Ticks(u64::from(round)))
+                .unwrap();
+            frames.clear();
+            reg.route_into(Ticks(u64::from(round)), &mut frames);
+            assert_eq!(frames.len(), 1);
+            assert_eq!(frames[0].payload[0], round);
+        }
     }
 }

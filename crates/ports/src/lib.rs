@@ -26,6 +26,7 @@
 pub mod channel;
 pub mod error;
 pub mod message;
+pub mod payload;
 pub mod queuing;
 pub mod sampling;
 pub mod wire;
@@ -33,5 +34,6 @@ pub mod wire;
 pub use channel::{ChannelConfig, Destination, PortAddr, PortRegistry};
 pub use error::PortError;
 pub use message::{Message, Validity};
+pub use payload::Payload;
 pub use queuing::{QueuingPort, QueuingPortConfig};
 pub use sampling::{SamplingPort, SamplingPortConfig};

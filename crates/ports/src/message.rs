@@ -1,25 +1,25 @@
 //! Messages and sampling-message validity.
 
-use bytes::Bytes;
+use crate::payload::Payload;
 
 use air_model::Ticks;
 
 /// A timestamped interpartition message.
 ///
-/// Payloads are [`Bytes`] so that local delivery ("memory-to-memory copy",
+/// Payloads are [`Payload`] so that local delivery ("memory-to-memory copy",
 /// Sect. 2.1) is a cheap reference-counted handoff while remaining
 /// immutable across partition boundaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// The payload bytes.
-    pub payload: Bytes,
+    pub payload: Payload,
     /// When the message was written at its source port.
     pub written_at: Ticks,
 }
 
 impl Message {
     /// Creates a message written at `written_at`.
-    pub fn new(payload: impl Into<Bytes>, written_at: Ticks) -> Self {
+    pub fn new(payload: impl Into<Payload>, written_at: Ticks) -> Self {
         Self {
             payload: payload.into(),
             written_at,

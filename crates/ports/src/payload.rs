@@ -1,0 +1,152 @@
+//! Reference-counted, immutable message payloads.
+//!
+//! Interpartition delivery is a "memory-to-memory copy" (Sect. 2.1): the
+//! payload is written once at the source port and handed to every
+//! destination without further copying. [`Payload`] gives that cheap-clone
+//! handoff — a clone is a pointer copy plus a reference-count bump (or just
+//! a pointer copy for static data) — while keeping the bytes immutable
+//! across partition boundaries. It is a dependency-free stand-in for the
+//! `bytes::Bytes` shape of API, so the workspace builds offline.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable byte payload.
+#[derive(Clone)]
+pub enum Payload {
+    /// Borrowed static data: cloning copies a wide pointer, nothing else.
+    Static(&'static [u8]),
+    /// Shared heap data: cloning bumps a reference count.
+    Shared(Arc<[u8]>),
+}
+
+impl Payload {
+    /// Wraps static data without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Payload::Static(bytes)
+    }
+
+    /// Copies `bytes` into a new shared payload.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Payload::Shared(Arc::from(bytes))
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Static(s) => s,
+            Payload::Shared(s) => s,
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the payload holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::Static(&[])
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload({:?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl std::hash::Hash for Payload {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl From<&'static [u8]> for Payload {
+    fn from(bytes: &'static [u8]) -> Self {
+        Payload::Static(bytes)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Payload {
+    fn from(bytes: &'static [u8; N]) -> Self {
+        Payload::Static(bytes)
+    }
+}
+
+impl From<&'static str> for Payload {
+    fn from(s: &'static str) -> Self {
+        Payload::Static(s.as_bytes())
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload::Shared(Arc::from(bytes))
+    }
+}
+
+impl From<Arc<[u8]>> for Payload {
+    fn from(bytes: Arc<[u8]>) -> Self {
+        Payload::Shared(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Payload::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        let (Payload::Shared(ra), Payload::Shared(rb)) = (&a, &b) else {
+            panic!("vec payloads are shared");
+        };
+        assert!(Arc::ptr_eq(ra, rb));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_payloads_never_allocate() {
+        let p = Payload::from_static(b"fixed");
+        assert_eq!(&p[..], b"fixed");
+        assert!(matches!(p.clone(), Payload::Static(_)));
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        assert_eq!(Payload::from_static(b"x"), Payload::from(vec![b'x']));
+        assert_ne!(Payload::from_static(b"x"), Payload::from_static(b"y"));
+        assert!(Payload::default().is_empty());
+        assert_eq!(Payload::copy_from_slice(b"abc").len(), 3);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
+use crate::payload::Payload;
 
 use air_model::Ticks;
 
@@ -106,7 +106,7 @@ impl QueuingPort {
     ///
     /// [`PortError::WrongDirection`], payload validation errors, or
     /// [`PortError::QueueFull`].
-    pub fn send(&mut self, payload: impl Into<Bytes>, now: Ticks) -> Result<(), PortError> {
+    pub fn send(&mut self, payload: impl Into<Payload>, now: Ticks) -> Result<(), PortError> {
         if self.config.direction != Direction::Source {
             return Err(PortError::WrongDirection);
         }
@@ -119,14 +119,14 @@ impl QueuingPort {
     ///
     /// [`PortError::WrongDirection`], payload validation errors, or
     /// [`PortError::QueueFull`].
-    pub fn deliver(&mut self, payload: impl Into<Bytes>, now: Ticks) -> Result<(), PortError> {
+    pub fn deliver(&mut self, payload: impl Into<Payload>, now: Ticks) -> Result<(), PortError> {
         if self.config.direction != Direction::Destination {
             return Err(PortError::WrongDirection);
         }
         self.enqueue(payload.into(), now)
     }
 
-    fn enqueue(&mut self, payload: Bytes, now: Ticks) -> Result<(), PortError> {
+    fn enqueue(&mut self, payload: Payload, now: Ticks) -> Result<(), PortError> {
         if payload.is_empty() {
             return Err(PortError::EmptyMessage);
         }

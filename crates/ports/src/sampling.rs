@@ -1,7 +1,7 @@
 //! Sampling ports: single-slot, overwrite semantics with refresh-period
 //! validity.
 
-use bytes::Bytes;
+use crate::payload::Payload;
 
 use air_model::Ticks;
 
@@ -109,7 +109,7 @@ impl SamplingPort {
     /// [`PortError::WrongDirection`] on a destination port,
     /// [`PortError::EmptyMessage`] / [`PortError::MessageTooLarge`] on bad
     /// payloads.
-    pub fn write(&mut self, payload: impl Into<Bytes>, now: Ticks) -> Result<(), PortError> {
+    pub fn write(&mut self, payload: impl Into<Payload>, now: Ticks) -> Result<(), PortError> {
         if self.config.direction != Direction::Source {
             return Err(PortError::WrongDirection);
         }
@@ -123,14 +123,14 @@ impl SamplingPort {
     ///
     /// [`PortError::WrongDirection`] on a source port, and payload
     /// validation errors as for [`write`](Self::write).
-    pub fn deliver(&mut self, payload: impl Into<Bytes>, now: Ticks) -> Result<(), PortError> {
+    pub fn deliver(&mut self, payload: impl Into<Payload>, now: Ticks) -> Result<(), PortError> {
         if self.config.direction != Direction::Destination {
             return Err(PortError::WrongDirection);
         }
         self.store(payload.into(), now)
     }
 
-    fn store(&mut self, payload: Bytes, now: Ticks) -> Result<(), PortError> {
+    fn store(&mut self, payload: Payload, now: Ticks) -> Result<(), PortError> {
         if payload.is_empty() {
             return Err(PortError::EmptyMessage);
         }

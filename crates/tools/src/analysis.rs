@@ -4,10 +4,9 @@ use std::collections::BTreeMap;
 
 use air_model::{PartitionId, Schedule, ScheduleSet, Ticks};
 
-use serde::{Deserialize, Serialize};
 
 /// Per-partition occupancy of one schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionOccupancy {
     /// The partition.
     pub partition: PartitionId,
@@ -22,7 +21,7 @@ pub struct PartitionOccupancy {
 }
 
 /// Summary of one schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleSummary {
     /// The schedule id.
     pub schedule: air_model::ScheduleId,

@@ -259,34 +259,34 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
+        use air_model::testkit::TestRng;
 
-        proptest! {
-            /// Whatever the synthesiser produces passes the verifier; when
-            /// it refuses, the refusal names a real shortfall.
-            #[test]
-            fn synthesized_tables_always_verify(
-                demands in proptest::collection::vec(
-                    (1u64..5, 1u64..30), 1..6
-                )
-            ) {
+        /// Whatever the synthesiser produces passes the verifier; when
+        /// it refuses, the refusal names a real shortfall.
+        #[test]
+        fn synthesized_tables_always_verify() {
+            let mut rng = TestRng::new(0x51C2);
+            for case in 0..256 {
                 // Cycles are multiples of a base to keep lcm small.
-                let reqs: Vec<PartitionRequirement> = demands
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(mult, d))| {
-                        let cycle = 40 * mult;
+                let n = rng.below_usize(5) + 1;
+                let reqs: Vec<PartitionRequirement> = (0..n)
+                    .map(|i| {
+                        let cycle = 40 * rng.range(1, 5);
+                        let d = rng.range(1, 30);
                         req(i as u32, cycle, d.min(cycle))
                     })
                     .collect();
                 match synthesize_schedule(ScheduleId(0), &reqs) {
                     Ok(s) => {
                         let r = verify_schedule(&s, &[]);
-                        prop_assert!(r.is_ok(), "synthesised table fails verification: {r}");
-                        prop_assert!(verify_schedule_brute_force(&s));
+                        assert!(
+                            r.is_ok(),
+                            "case {case}: synthesised table fails verification: {r}"
+                        );
+                        assert!(verify_schedule_brute_force(&s), "case {case}");
                     }
                     Err(SynthError::Infeasible { .. }) => {}
-                    Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+                    Err(e) => panic!("case {case}: unexpected {e} (seed 0x51C2)"),
                 }
             }
         }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verify plus lint. Run from the repo root.
+#
+#   scripts/ci.sh          # build + test + clippy
+#   scripts/ci.sh --bench  # additionally run the hotpath comparison
+#
+# The workspace is offline-first: everything here works with no network
+# and no registry deps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== lint: clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== hotpath before/after comparison =="
+    cargo run --release -p bench --bin hotpath
+fi
+
+echo "CI OK"
