@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod campaign;
 pub mod cluster;
 pub mod prototype;
 pub mod system;
@@ -54,6 +55,7 @@ pub mod trace;
 pub mod workload;
 
 pub use builder::{PartitionConfig, ProcessConfig, SystemBuilder};
+pub use campaign::{standard_plan, CampaignOutcome, CampaignRunner, EscalationTally, FaultRecord};
 pub use system::{AirSystem, KeyAction};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{RecoveryDisposition, Trace, TraceEvent};
 pub use workload::{FaultSwitch, ProcessApi, ProcessBody};

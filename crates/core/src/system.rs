@@ -14,7 +14,7 @@ use air_model::{PartitionId, ScheduleChangeAction, ScheduleId, ScheduleSet, Tick
 use air_pmk::{PartitionDispatcher, PartitionScheduler, PmkIpc, SpatialManager};
 use air_vitral::Vitral;
 
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{RecoveryDisposition, Trace, TraceEvent};
 use crate::workload::{FaultSwitch, ProcessApi, ProcessBody};
 
 /// Per-partition boot/restart recipe retained by the system: which
@@ -68,6 +68,8 @@ pub struct AirSystem {
     halted: bool,
     /// Whether the initial partition (tick-0 heir) was dispatched.
     booted: bool,
+    /// Wrapped guest clock-mask attempts already reported to HM.
+    wrapped_clock_seen: u64,
 }
 
 impl std::fmt::Debug for AirSystem {
@@ -115,6 +117,7 @@ impl AirSystem {
             vitral_synced: 0,
             halted: false,
             booted: false,
+            wrapped_clock_seen: 0,
         }
     }
 
@@ -128,6 +131,13 @@ impl AirSystem {
     /// The event trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Mutable trace access for in-crate harnesses (the fault-injection
+    /// campaign records its injection markers here so they interleave with
+    /// the system's own events in sequence order).
+    pub(crate) fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
     }
 
     /// The health monitor (tables, log, occurrence counters).
@@ -215,7 +225,7 @@ impl AirSystem {
                     error: ErrorId::MemoryViolation,
                     partition: Some(m),
                 });
-                self.apply_decision(decision, now);
+                self.apply_decision_for(ErrorId::MemoryViolation, decision, now);
                 Err(fault)
             }
         }
@@ -327,8 +337,50 @@ impl AirSystem {
                     }
                 }
                 InterruptLine::ConsoleInput => self.on_console_input(),
-                InterruptLine::Device(_) => {}
+                InterruptLine::Device(line) => {
+                    // No device is configured on these lines: any interrupt
+                    // here is spurious (fault injection, or a real platform
+                    // glitch) and goes to health monitoring as a module-
+                    // scoped hardware fault.
+                    let decision = self.hm.report(
+                        now,
+                        ErrorId::HardwareFault,
+                        ErrorSource::Module,
+                        format!("spurious trap on device line {line}"),
+                    );
+                    self.trace.record(TraceEvent::HmReport {
+                        at: now,
+                        error: ErrorId::HardwareFault,
+                        partition: None,
+                    });
+                    self.apply_decision_for(ErrorId::HardwareFault, decision, now);
+                }
             }
+        }
+
+        // Paravirtualised clock protection (Sect. 2.5): guest attempts to
+        // mask the clock-tick source were wrapped by the interrupt
+        // controller; surface each as an HM report against the partition
+        // that was running. Report-only — the wrap already *is* the
+        // recovery; the log entry is the observable detection.
+        let wrapped = self.machine.intc.wrapped_clock_attempts();
+        while self.wrapped_clock_seen < wrapped {
+            self.wrapped_clock_seen += 1;
+            let source = match self.dispatcher.active_partition() {
+                Some(m) => ErrorSource::Partition(m),
+                None => ErrorSource::Module,
+            };
+            self.hm.report(
+                now,
+                ErrorId::IllegalRequest,
+                source,
+                "guest attempt to mask the clock-tick source (wrapped)",
+            );
+            self.trace.record(TraceEvent::HmReport {
+                at: now,
+                error: ErrorId::IllegalRequest,
+                partition: self.dispatcher.active_partition(),
+            });
         }
 
         // Execute the active partition's heir process for this tick.
@@ -373,6 +425,11 @@ impl AirSystem {
         for e in frame_errors {
             self.hm
                 .report(now, ErrorId::HardwareFault, ErrorSource::Module, e.to_string());
+            self.trace.record(TraceEvent::HmReport {
+                at: now,
+                error: ErrorId::HardwareFault,
+                partition: None,
+            });
         }
 
         if let Some(sid) = event.switched_to {
@@ -464,21 +521,17 @@ impl AirSystem {
         }
         self.machine.cpu.retire_work(1);
         self.bodies.insert(gpid, body);
-        // RAISE_APPLICATION_ERROR path: route raised errors through HM.
-        for (raiser, message) in raised {
+        // RAISE_APPLICATION_ERROR path (and the reporting port services):
+        // route raised errors through HM under their own error class.
+        for (raiser, error, message) in raised {
             let gp = GlobalProcessId::new(m, raiser);
-            let decision = self.hm.report(
-                now,
-                ErrorId::ApplicationError,
-                ErrorSource::Process(gp),
-                message,
-            );
+            let decision = self.hm.report(now, error, ErrorSource::Process(gp), message);
             self.trace.record(TraceEvent::HmReport {
                 at: now,
-                error: ErrorId::ApplicationError,
+                error,
                 partition: Some(m),
             });
-            self.apply_decision_for(ErrorId::ApplicationError, decision, now);
+            self.apply_decision_for(error, decision, now);
         }
     }
 
@@ -516,16 +569,15 @@ impl AirSystem {
                 error: ErrorId::DeadlineMissed,
                 partition: Some(m),
             });
-            self.apply_decision(decision, now);
+            self.apply_decision_for(ErrorId::DeadlineMissed, decision, now);
         }
     }
 
-    fn apply_decision(&mut self, decision: HmDecision, now: Ticks) {
-        self.apply_decision_for(ErrorId::DeadlineMissed, decision, now);
-    }
-
+    /// Enforces an HM decision for `error` and records exactly one
+    /// [`TraceEvent::RecoveryApplied`] describing what was done — the
+    /// campaign's escalation-count invariants read that record.
     fn apply_decision_for(&mut self, error: ErrorId, decision: HmDecision, now: Ticks) {
-        match decision {
+        let (partition, disposition) = match decision {
             HmDecision::InvokeErrorHandler {
                 process,
                 fallback,
@@ -539,38 +591,62 @@ impl AirSystem {
                     occurrences,
                     now,
                 );
-                match escalation {
-                    RecoveryEscalation::None => {}
+                let disposition = match escalation {
+                    RecoveryEscalation::None => RecoveryDisposition::HandlerContained,
                     RecoveryEscalation::RestartPartition => {
-                        self.restart_partition(process.partition, true, now)
+                        self.restart_partition(process.partition, true, now);
+                        RecoveryDisposition::PartitionWarmRestart
                     }
                     RecoveryEscalation::StopPartition => {
-                        self.stop_partition(process.partition, now)
+                        self.stop_partition(process.partition, now);
+                        RecoveryDisposition::PartitionStopped
                     }
-                }
+                };
+                (Some(process.partition), disposition)
             }
-            HmDecision::PartitionAction { partition, action } => match action {
-                PartitionRecoveryAction::Ignore => {}
-                PartitionRecoveryAction::WarmRestart => {
-                    self.restart_partition(partition, true, now)
-                }
-                PartitionRecoveryAction::ColdRestart => {
-                    self.restart_partition(partition, false, now)
-                }
-                PartitionRecoveryAction::Stop => self.stop_partition(partition, now),
-            },
-            HmDecision::ModuleAction { action } => match action {
-                ModuleRecoveryAction::Ignore => {}
-                ModuleRecoveryAction::Shutdown => self.halted = true,
-                ModuleRecoveryAction::Reset => {
-                    let ids: Vec<PartitionId> =
-                        self.partitions.iter().map(ApexPartition::id).collect();
-                    for m in ids {
-                        self.restart_partition(m, false, now);
+            HmDecision::PartitionAction { partition, action } => {
+                let disposition = match action {
+                    PartitionRecoveryAction::Ignore => RecoveryDisposition::Logged,
+                    PartitionRecoveryAction::WarmRestart => {
+                        self.restart_partition(partition, true, now);
+                        RecoveryDisposition::PartitionWarmRestart
                     }
-                }
-            },
-        }
+                    PartitionRecoveryAction::ColdRestart => {
+                        self.restart_partition(partition, false, now);
+                        RecoveryDisposition::PartitionColdRestart
+                    }
+                    PartitionRecoveryAction::Stop => {
+                        self.stop_partition(partition, now);
+                        RecoveryDisposition::PartitionStopped
+                    }
+                };
+                (Some(partition), disposition)
+            }
+            HmDecision::ModuleAction { action } => {
+                let disposition = match action {
+                    ModuleRecoveryAction::Ignore => RecoveryDisposition::Logged,
+                    ModuleRecoveryAction::Shutdown => {
+                        self.halted = true;
+                        RecoveryDisposition::ModuleShutdown
+                    }
+                    ModuleRecoveryAction::Reset => {
+                        let ids: Vec<PartitionId> =
+                            self.partitions.iter().map(ApexPartition::id).collect();
+                        for m in ids {
+                            self.restart_partition(m, false, now);
+                        }
+                        RecoveryDisposition::ModuleReset
+                    }
+                };
+                (None, disposition)
+            }
+        };
+        self.trace.record(TraceEvent::RecoveryApplied {
+            at: now,
+            error,
+            partition,
+            disposition,
+        });
     }
 
     /// Restarts partition `m` through its ARINC mode automaton and re-runs
@@ -596,6 +672,10 @@ impl AirSystem {
         for pid in auto {
             let _ = apex.start(pid, now);
         }
+        // Restarting re-establishes the partition's spatial configuration
+        // from its descriptors, healing any corrupted/revoked mappings
+        // (partitions without a spatial configuration have nothing to do).
+        let _ = self.spatial.reload_partition(m);
         self.trace.record(TraceEvent::PartitionRestart {
             at: now,
             partition: m,
@@ -624,9 +704,12 @@ impl AirSystem {
             }
         }
         // Mirror trace events not yet shown into the AIR / HM windows.
+        // Campaign bookkeeping events (injection markers, recovery
+        // dispositions) are observability metadata, not VITRAL content.
         for event in &self.trace.events()[self.vitral_synced..] {
             let line = format!("{event:?}");
             match event {
+                TraceEvent::FaultInjected { .. } | TraceEvent::RecoveryApplied { .. } => {}
                 TraceEvent::DeadlineMiss { .. } | TraceEvent::HmReport { .. } => {
                     vitral.hm_window_mut().write_line(&line)
                 }

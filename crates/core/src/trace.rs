@@ -2,8 +2,32 @@
 //! experiment in EXPERIMENTS.md reads its numbers from.
 
 use air_hm::ErrorId;
+use air_hw::inject::FaultClass;
 use air_model::ids::GlobalProcessId;
 use air_model::{PartitionId, ScheduleChangeAction, ScheduleId, Ticks};
+
+/// How an HM decision was discharged — the terminal edge of every
+/// report → classify → act chain, recorded so fault-injection campaigns
+/// can count escalations without re-deriving them from restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryDisposition {
+    /// The partition's error handler (or process-level fallback) contained
+    /// the error at process scope.
+    HandlerContained,
+    /// The error was logged and deliberately ignored (log-N-then-act below
+    /// threshold, or an `Ignore` table entry).
+    Logged,
+    /// Partition warm restart.
+    PartitionWarmRestart,
+    /// Partition cold restart.
+    PartitionColdRestart,
+    /// The partition was stopped (set idle).
+    PartitionStopped,
+    /// Module-level reset: every partition cold-restarted.
+    ModuleReset,
+    /// Module-level shutdown: the system halted.
+    ModuleShutdown,
+}
 
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +93,28 @@ pub enum TraceEvent {
         /// The stopped partition.
         partition: PartitionId,
     },
+    /// A fault-injection campaign delivered a planned fault into the
+    /// machine (marker event; the detection, if any, appears as a later
+    /// [`TraceEvent::HmReport`]).
+    FaultInjected {
+        /// Injection instant.
+        at: Ticks,
+        /// The injected fault class.
+        class: FaultClass,
+        /// The partition the fault aims at, when partition-scoped.
+        partition: Option<PartitionId>,
+    },
+    /// A health-monitoring decision was enforced.
+    RecoveryApplied {
+        /// When.
+        at: Ticks,
+        /// The error the decision answered.
+        error: ErrorId,
+        /// The partition the recovery applied to (`None`: module scope).
+        partition: Option<PartitionId>,
+        /// What was actually done.
+        disposition: RecoveryDisposition,
+    },
 }
 
 impl TraceEvent {
@@ -81,7 +127,9 @@ impl TraceEvent {
             | TraceEvent::DeadlineMiss { at, .. }
             | TraceEvent::HmReport { at, .. }
             | TraceEvent::PartitionRestart { at, .. }
-            | TraceEvent::PartitionStop { at, .. } => *at,
+            | TraceEvent::PartitionStop { at, .. }
+            | TraceEvent::FaultInjected { at, .. }
+            | TraceEvent::RecoveryApplied { at, .. } => *at,
         }
     }
 }
@@ -93,6 +141,8 @@ pub struct Trace {
     /// Hard cap on retained events (long benches would otherwise grow
     /// unbounded); counters keep counting past it.
     retain_limit: usize,
+    /// Total events ever recorded (including ones dropped by the cap).
+    recorded: u64,
     partition_switches: u64,
     deadline_miss_count: u64,
     schedule_switch_count: u64,
@@ -113,6 +163,12 @@ impl Trace {
     }
 
     /// Records `event`.
+    ///
+    /// Events recorded within the same tick keep their emission order: the
+    /// retained vector is append-only (the cap drops the *tail*, never
+    /// reorders), so an event's index is a stable sequence number — equal
+    /// runs produce byte-identical [`render_log`](Trace::render_log)
+    /// output, which is what the fault-campaign differential tests diff.
     pub fn record(&mut self, event: TraceEvent) {
         match &event {
             TraceEvent::PartitionSwitch { .. } => self.partition_switches += 1,
@@ -120,6 +176,7 @@ impl Trace {
             TraceEvent::ScheduleSwitch { .. } => self.schedule_switch_count += 1,
             _ => {}
         }
+        self.recorded += 1;
         if self.events.len() < self.retain_limit {
             self.events.push(event);
         }
@@ -128,6 +185,31 @@ impl Trace {
     /// All retained events, in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Total events ever recorded, including any dropped by the retention
+    /// cap (counter, not capped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Retained events with their stable sequence numbers. The sequence
+    /// number is assigned at recording time (it is the retained index), so
+    /// two events at the same tick always compare in emission order.
+    pub fn sequenced(&self) -> impl Iterator<Item = (u64, &TraceEvent)> {
+        self.events.iter().enumerate().map(|(i, e)| (i as u64, e))
+    }
+
+    /// Renders the retained events as a canonical text log, one line per
+    /// event: `seq tick event`. Byte-stable for equal runs (same seed ⇒
+    /// identical bytes), which makes campaign determinism checkable with a
+    /// plain string comparison.
+    pub fn render_log(&self) -> String {
+        let mut out = String::new();
+        for (seq, event) in self.sequenced() {
+            out.push_str(&format!("{seq:06} t={} {event:?}\n", event.at().as_u64()));
+        }
+        out
     }
 
     /// Retained deadline-miss events.
@@ -217,6 +299,7 @@ impl Trace {
     /// Clears retained events and counters.
     pub fn reset(&mut self) {
         self.events.clear();
+        self.recorded = 0;
         self.partition_switches = 0;
         self.deadline_miss_count = 0;
         self.schedule_switch_count = 0;
@@ -289,5 +372,62 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn gantt_zero_resolution_panics() {
         Trace::new().render_gantt(0);
+    }
+
+    fn same_tick_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::HmReport {
+                at: Ticks(7),
+                error: ErrorId::DeadlineMissed,
+                partition: Some(PartitionId(0)),
+            },
+            TraceEvent::RecoveryApplied {
+                at: Ticks(7),
+                error: ErrorId::DeadlineMissed,
+                partition: Some(PartitionId(0)),
+                disposition: RecoveryDisposition::HandlerContained,
+            },
+            TraceEvent::FaultInjected {
+                at: Ticks(7),
+                class: FaultClass::SpuriousTrap,
+                partition: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn same_tick_events_keep_emission_order() {
+        let mut t = Trace::new();
+        for e in same_tick_events() {
+            t.record(e);
+        }
+        let seqs: Vec<u64> = t.sequenced().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        // Sorting by (tick, seq) must be the identity: the sequence number
+        // is the tiebreaker that makes same-tick ordering total.
+        let mut keyed: Vec<(u64, u64)> = t
+            .sequenced()
+            .map(|(s, e)| (e.at().as_u64(), s))
+            .collect();
+        let original = keyed.clone();
+        keyed.sort();
+        assert_eq!(keyed, original);
+        assert_eq!(t.recorded(), 3);
+    }
+
+    #[test]
+    fn render_log_is_byte_stable_across_equal_runs() {
+        let build = || {
+            let mut t = Trace::new();
+            for e in same_tick_events() {
+                t.record(e);
+            }
+            t.render_log()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 3);
+        assert!(a.starts_with("000000 t=7 "), "{a}");
     }
 }

@@ -13,10 +13,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use air_apex::ApexPartition;
+use air_hm::ErrorId;
 use air_model::ids::ProcessId;
 use air_model::{ScheduleId, Ticks};
 use air_pmk::PartitionScheduler;
-use air_ports::PortRegistry;
+use air_ports::{Message, PortRegistry};
 
 /// A shared on/off switch for fault injection (the prototype's "activating
 /// the faulty process on P1" keyboard command, Sect. 6).
@@ -65,9 +66,9 @@ pub struct ProcessApi<'a> {
     pub scheduler: &'a mut PartitionScheduler,
     /// The partition's console output channel.
     pub console: &'a mut String,
-    /// Application errors raised this tick, drained by the PMK into
-    /// health monitoring after the body returns.
-    pub raised_errors: &'a mut Vec<(ProcessId, String)>,
+    /// Errors raised this tick (raiser, error class, detail), drained by
+    /// the PMK into health monitoring after the body returns.
+    pub raised_errors: &'a mut Vec<(ProcessId, ErrorId, String)>,
 }
 
 impl ProcessApi<'_> {
@@ -91,7 +92,49 @@ impl ProcessApi<'_> {
     /// partition's error handler — or the configured fallback — decides
     /// the recovery).
     pub fn raise_application_error(&mut self, message: impl Into<String>) {
-        self.raised_errors.push((self.me, message.into()));
+        self.raised_errors
+            .push((self.me, ErrorId::ApplicationError, message.into()));
+    }
+
+    /// `SEND_QUEUING_MESSAGE` that reports failures to health monitoring
+    /// instead of silently succeeding: a full destination queue (overflow)
+    /// raises an [`ErrorId::IllegalRequest`] against the caller. Returns
+    /// whether the message was accepted.
+    pub fn send_queuing_reporting(&mut self, port: &str, payload: Vec<u8>) -> bool {
+        match self
+            .apex
+            .send_queuing_message(self.ports, port, payload, self.now)
+        {
+            Ok(()) => true,
+            Err(e) => {
+                self.raised_errors.push((
+                    self.me,
+                    ErrorId::IllegalRequest,
+                    format!("queuing overflow on '{port}': {e}"),
+                ));
+                false
+            }
+        }
+    }
+
+    /// `READ_SAMPLING_MESSAGE` that reports a stale read (validity
+    /// `Invalid`: the message is older than the port's refresh period) to
+    /// health monitoring as an [`ErrorId::ApplicationError`]. Returns the
+    /// message when one was present, stale or not.
+    pub fn read_sampling_reporting(&mut self, port: &str) -> Option<Message> {
+        match self.apex.read_sampling_message(self.ports, port, self.now) {
+            Ok((msg, validity)) => {
+                if !validity.is_valid() {
+                    self.raised_errors.push((
+                        self.me,
+                        ErrorId::ApplicationError,
+                        format!("stale sampling message on '{port}'"),
+                    ));
+                }
+                Some(msg)
+            }
+            Err(_) => None,
+        }
     }
 
     /// `REPORT_APPLICATION_MESSAGE`: writes a diagnostic message to the

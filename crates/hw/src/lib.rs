@@ -21,7 +21,11 @@
 //! * a **text console** device — the output target of the VITRAL window
 //!   manager ([`console`]);
 //! * an **inter-node link** carrying interpartition messages between
-//!   physically separated platforms ([`link`]).
+//!   physically separated platforms ([`link`]);
+//! * seeded **fault injection** — deterministic plans of hardware-level
+//!   faults (spurious traps, link loss/corruption, clock interference)
+//!   delivered through the same device surfaces the PMK already watches
+//!   ([`inject`]).
 //!
 //! Everything is synchronous and driven by [`machine::Machine::advance_tick`];
 //! determinism is what makes the paper's timing experiments (deadline
@@ -33,6 +37,7 @@
 pub mod clock;
 pub mod console;
 pub mod cpu;
+pub mod inject;
 pub mod interrupt;
 pub mod link;
 pub mod machine;
@@ -42,6 +47,7 @@ pub mod mmu;
 pub use clock::SystemClock;
 pub use console::Console;
 pub use cpu::{Cpu, CpuContext};
+pub use inject::{FaultClass, FaultEvent, FaultPlan};
 pub use interrupt::{InterruptController, InterruptLine};
 pub use link::{InterNodeLink, LinkEndpoint};
 pub use machine::Machine;

@@ -58,6 +58,7 @@ pub struct InterNodeLink {
     sent: u64,
     dropped: u64,
     delivered: u64,
+    tampered: u64,
 }
 
 impl InterNodeLink {
@@ -71,6 +72,7 @@ impl InterNodeLink {
             sent: 0,
             dropped: 0,
             delivered: 0,
+            tampered: 0,
         }
     }
 
@@ -130,6 +132,44 @@ impl InterNodeLink {
         queue.front().is_some_and(|f| f.deliver_at <= now)
     }
 
+    /// Destroys the newest frame still in flight towards `to`, as if it
+    /// was lost in transit. Returns whether a frame was there to lose.
+    /// Fault injection: the sender's counters already include the frame,
+    /// the receiver simply never sees it.
+    pub fn drop_in_flight(&mut self, to: LinkEndpoint) -> bool {
+        let queue = match to {
+            LinkEndpoint::A => &mut self.b_to_a,
+            LinkEndpoint::B => &mut self.a_to_b,
+        };
+        if queue.pop_back().is_some() {
+            self.dropped += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Flips bits (per `mask`) in one byte of the newest frame in flight
+    /// towards `to`, modelling transmission corruption. `byte_index` wraps
+    /// modulo the frame length; a zero mask is promoted to `0x01` so the
+    /// call always changes the frame. Returns whether a frame was there to
+    /// corrupt.
+    pub fn tamper_in_flight(&mut self, to: LinkEndpoint, byte_index: usize, mask: u8) -> bool {
+        let queue = match to {
+            LinkEndpoint::A => &mut self.b_to_a,
+            LinkEndpoint::B => &mut self.a_to_b,
+        };
+        let Some(frame) = queue.back_mut() else {
+            return false;
+        };
+        if frame.payload.is_empty() {
+            return false;
+        }
+        let idx = byte_index % frame.payload.len();
+        frame.payload[idx] ^= if mask == 0 { 0x01 } else { mask };
+        self.tampered += 1;
+        true
+    }
+
     /// Frames sent (including dropped ones).
     pub fn sent(&self) -> u64 {
         self.sent
@@ -143,6 +183,11 @@ impl InterNodeLink {
     /// Frames delivered to a receiver.
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Frames corrupted in flight by fault injection.
+    pub fn tampered(&self) -> u64 {
+        self.tampered
     }
 }
 
@@ -208,6 +253,36 @@ mod tests {
         assert!(link.has_deliverable(LinkEndpoint::B, 1));
         assert_eq!(link.receive(LinkEndpoint::B, 1), Some(vec![9]));
         assert!(!link.has_deliverable(LinkEndpoint::B, 1));
+    }
+
+    #[test]
+    fn drop_in_flight_loses_newest_frame() {
+        let mut link = InterNodeLink::new(0);
+        link.send(LinkEndpoint::B, 0, vec![1]);
+        link.send(LinkEndpoint::B, 0, vec![2]);
+        assert!(link.drop_in_flight(LinkEndpoint::A));
+        assert_eq!(link.receive(LinkEndpoint::A, 0), Some(vec![1]));
+        assert_eq!(link.receive(LinkEndpoint::A, 0), None);
+        assert_eq!(link.dropped(), 1);
+        assert!(!link.drop_in_flight(LinkEndpoint::A), "queue now empty");
+    }
+
+    #[test]
+    fn tamper_in_flight_corrupts_newest_frame() {
+        let mut link = InterNodeLink::new(0);
+        link.send(LinkEndpoint::B, 0, vec![0xAA, 0xBB]);
+        assert!(link.tamper_in_flight(LinkEndpoint::A, 1, 0xFF));
+        assert_eq!(link.receive(LinkEndpoint::A, 0), Some(vec![0xAA, 0x44]));
+        assert_eq!(link.tampered(), 1);
+        assert!(!link.tamper_in_flight(LinkEndpoint::A, 0, 0xFF));
+    }
+
+    #[test]
+    fn tamper_zero_mask_still_corrupts() {
+        let mut link = InterNodeLink::new(0);
+        link.send(LinkEndpoint::B, 0, vec![0x10]);
+        assert!(link.tamper_in_flight(LinkEndpoint::A, 5, 0x00));
+        assert_eq!(link.receive(LinkEndpoint::A, 0), Some(vec![0x11]));
     }
 
     #[test]

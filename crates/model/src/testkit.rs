@@ -8,6 +8,13 @@
 //! small, seedable xorshift64* generator instead of an external property
 //! testing framework. Failures print the seed, so any run is reproducible
 //! by pinning it.
+//!
+//! The module also hosts the reusable **isolation assertion** of the
+//! fault-injection campaigns: restrict two event streams to one
+//! partition's events and demand they are identical — the executable form
+//! of "a fault in partition A never perturbs partition B".
+
+use crate::ids::PartitionId;
 
 /// A seedable xorshift64* pseudo-random generator.
 ///
@@ -61,6 +68,56 @@ impl TestRng {
     }
 }
 
+/// The events of `events` owned by `partition`, per the caller-supplied
+/// ownership extractor (`None` marks events with no single owner — module
+/// scope, injection markers — which never count towards any partition).
+pub fn events_of_partition<'a, E>(
+    events: &'a [E],
+    partition: PartitionId,
+    owner: &dyn Fn(&E) -> Option<PartitionId>,
+) -> Vec<&'a E> {
+    events
+        .iter()
+        .filter(|e| owner(e) == Some(partition))
+        .collect()
+}
+
+/// The isolation invariant: `partition`'s view of `faulted` must equal its
+/// view of `clean`. Returns `None` when the restricted streams are
+/// identical, or a description of the first divergence.
+///
+/// This is the differential-test core — callers run the same workload with
+/// and without a fault aimed at *another* partition and assert that this
+/// partition cannot tell the difference.
+pub fn isolation_divergence<E, F>(
+    clean: &[E],
+    faulted: &[E],
+    partition: PartitionId,
+    owner: F,
+) -> Option<String>
+where
+    E: PartialEq + std::fmt::Debug,
+    F: Fn(&E) -> Option<PartitionId>,
+{
+    let c = events_of_partition(clean, partition, &owner);
+    let f = events_of_partition(faulted, partition, &owner);
+    for (i, (ce, fe)) in c.iter().zip(f.iter()).enumerate() {
+        if ce != fe {
+            return Some(format!(
+                "{partition} event #{i} diverges: clean {ce:?}, faulted {fe:?}"
+            ));
+        }
+    }
+    if c.len() != f.len() {
+        return Some(format!(
+            "{partition} event count diverges: clean {}, faulted {}",
+            c.len(),
+            f.len()
+        ));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +147,34 @@ mod tests {
     fn zero_seed_is_remapped() {
         let mut rng = TestRng::new(0);
         assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Ev(u32, &'static str);
+
+    fn owner(e: &Ev) -> Option<PartitionId> {
+        // Partition 99 stands for "no owner".
+        (e.0 != 99).then_some(PartitionId(e.0))
+    }
+
+    #[test]
+    fn isolation_holds_when_restrictions_match() {
+        let clean = vec![Ev(0, "a"), Ev(1, "x"), Ev(0, "b")];
+        let faulted = vec![Ev(0, "a"), Ev(1, "y"), Ev(99, "inject"), Ev(0, "b")];
+        // Partition 0's view is untouched by partition 1's divergence and
+        // by ownerless events.
+        assert_eq!(
+            isolation_divergence(&clean, &faulted, PartitionId(0), owner),
+            None
+        );
+        assert!(isolation_divergence(&clean, &faulted, PartitionId(1), owner).is_some());
+    }
+
+    #[test]
+    fn isolation_reports_count_divergence() {
+        let clean = vec![Ev(2, "a")];
+        let faulted = vec![Ev(2, "a"), Ev(2, "extra")];
+        let msg = isolation_divergence(&clean, &faulted, PartitionId(2), owner).unwrap();
+        assert!(msg.contains("count"), "{msg}");
     }
 }

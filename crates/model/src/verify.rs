@@ -143,6 +143,47 @@ pub enum Violation {
         /// Required duration `d`.
         required: Ticks,
     },
+    /// Robustness: an injected fault never surfaced as a health-monitor
+    /// event — detection coverage is broken (Sect. 2.4's claim is that
+    /// every such event is "detected and handled").
+    FaultUndetected {
+        /// Injection instant.
+        at: Ticks,
+        /// Human-readable fault description (class and target).
+        fault: String,
+    },
+    /// Robustness: a health-monitor event matched no injected fault —
+    /// either a false positive or a real fault the campaign did not plan.
+    SpuriousDetection {
+        /// Detection instant.
+        at: Ticks,
+        /// The unexplained health-monitor entry.
+        detail: String,
+    },
+    /// Robustness: one injected fault produced more than one
+    /// health-monitor decision ("exactly one" is the campaign invariant).
+    DuplicateDetection {
+        /// Injection instant of the over-reported fault.
+        at: Ticks,
+        /// Human-readable fault description.
+        fault: String,
+        /// How many health-monitor events matched it.
+        count: u64,
+    },
+    /// Robustness: a fault aimed at one partition perturbed the behaviour
+    /// of another — the partitioning (temporal or spatial) leaked.
+    IsolationBreach {
+        /// The partition that should have been unaffected.
+        partition: PartitionId,
+        /// What diverged from the clean run.
+        detail: String,
+    },
+    /// Robustness: a log-N-then-act recovery action escalated at the wrong
+    /// occurrence count.
+    EscalationMiscount {
+        /// What fired when, versus what was configured.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -225,6 +266,22 @@ impl fmt::Display for Violation {
                 f,
                 "{schedule}: {partition} gets {assigned} in cycle {cycle_index}, needs {required} (Eq. 23)"
             ),
+            Violation::FaultUndetected { at, fault } => {
+                write!(f, "fault injected at {at} never detected: {fault}")
+            }
+            Violation::SpuriousDetection { at, detail } => {
+                write!(f, "health-monitor event at {at} matches no injected fault: {detail}")
+            }
+            Violation::DuplicateDetection { at, fault, count } => write!(
+                f,
+                "fault injected at {at} detected {count} times (expected exactly one): {fault}"
+            ),
+            Violation::IsolationBreach { partition, detail } => {
+                write!(f, "isolation breach: {partition} perturbed by a foreign fault: {detail}")
+            }
+            Violation::EscalationMiscount { detail } => {
+                write!(f, "log-N-then-act escalation miscount: {detail}")
+            }
         }
     }
 }
@@ -258,6 +315,14 @@ impl Report {
     /// Merges another report's findings into this one.
     pub fn merge(&mut self, other: Report) {
         self.violations.extend(other.violations);
+    }
+
+    /// Records an externally discovered violation — the entry point for
+    /// checkers living outside this module (e.g. the fault-injection
+    /// campaign's robustness invariants), so their findings flow into the
+    /// same report type integration tooling already consumes.
+    pub fn record(&mut self, v: Violation) {
+        self.violations.push(v);
     }
 
     fn push(&mut self, v: Violation) {

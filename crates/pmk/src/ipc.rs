@@ -24,6 +24,15 @@ pub struct PmkIpc {
     frames_sent: u64,
     frames_received: u64,
     frames_rejected: u64,
+    /// When set, outgoing frames carry link sequence numbers 1, 2, 3, …
+    /// so the peer can detect silent loss. Off by default: unsequenced
+    /// frames (`link_seq` 0) are wire-compatible with legacy senders.
+    link_sequencing: bool,
+    /// Last sequence number stamped on an outgoing frame.
+    last_seq_sent: u64,
+    /// Highest sequence number seen on an incoming sequenced frame.
+    last_seq_seen: u64,
+    sequence_gaps: u64,
 }
 
 impl PmkIpc {
@@ -65,13 +74,30 @@ impl PmkIpc {
         self.frames_rejected
     }
 
+    /// Enables/disables outgoing link-frame sequencing. Incoming gap
+    /// detection is always on for sequenced frames, so this only governs
+    /// what this node transmits.
+    pub fn set_link_sequencing(&mut self, on: bool) {
+        self.link_sequencing = on;
+    }
+
+    /// Sequence gaps observed on incoming sequenced frames — each one is
+    /// evidence of frames lost in transit.
+    pub fn sequence_gaps(&self) -> u64 {
+        self.sequence_gaps
+    }
+
     /// Routes pending messages: local deliveries happen inside the
     /// registry; remote frames are encoded and transmitted on `link`.
     /// Called by the PMK at partition preemption points — transfers happen
     /// at partition boundaries, outside any partition's window.
     pub fn route(&mut self, link: &mut InterNodeLink, now: Ticks) {
         self.registry.route_into(now, &mut self.frames);
-        for frame in self.frames.drain(..) {
+        for mut frame in self.frames.drain(..) {
+            if self.link_sequencing {
+                self.last_seq_sent += 1;
+                frame.link_seq = self.last_seq_sent;
+            }
             link.send(LinkEndpoint::A, now.as_u64(), frame.encode());
             self.frames_sent += 1;
         }
@@ -88,13 +114,33 @@ impl PmkIpc {
         let mut errors = Vec::new();
         while let Some(bytes) = link.receive(LinkEndpoint::A, now.as_u64()) {
             match Frame::decode(&bytes) {
-                Ok(frame) => match self.registry.deliver_frame(&frame, now) {
-                    Ok(()) => self.frames_received += 1,
-                    Err(e) => {
-                        self.frames_rejected += 1;
-                        errors.push(IncomingFrameError::Unroutable(e));
+                Ok(frame) => {
+                    // Loss detection: a jump in the sequence stream means
+                    // frames vanished in transit. The carrying frame is
+                    // still good and is delivered; the gap itself goes to
+                    // health monitoring. Unsequenced frames (seq 0) and
+                    // stale reorders are exempt.
+                    if frame.link_seq != 0 {
+                        let expected = self.last_seq_seen + 1;
+                        if frame.link_seq > expected {
+                            self.sequence_gaps += 1;
+                            errors.push(IncomingFrameError::SequenceGap {
+                                expected,
+                                got: frame.link_seq,
+                            });
+                        }
+                        if frame.link_seq >= expected {
+                            self.last_seq_seen = frame.link_seq;
+                        }
                     }
-                },
+                    match self.registry.deliver_frame(&frame, now) {
+                        Ok(()) => self.frames_received += 1,
+                        Err(e) => {
+                            self.frames_rejected += 1;
+                            errors.push(IncomingFrameError::Unroutable(e));
+                        }
+                    }
+                }
                 Err(e) => {
                     self.frames_rejected += 1;
                     errors.push(IncomingFrameError::Corrupt(e));
@@ -116,11 +162,20 @@ impl PmkIpc {
 /// A problem with an incoming link frame, reported to health monitoring
 /// as a (module-level) hardware/communication fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum IncomingFrameError {
     /// The frame failed integrity checks.
     Corrupt(FrameError),
     /// The frame decoded but no local channel/destination accepts it.
     Unroutable(PortError),
+    /// The sequence stream jumped: frames between `expected` and `got`
+    /// were lost in transit. The frame carrying `got` was delivered.
+    SequenceGap {
+        /// The sequence number the receiver was waiting for.
+        expected: u64,
+        /// The sequence number that actually arrived.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for IncomingFrameError {
@@ -128,6 +183,10 @@ impl std::fmt::Display for IncomingFrameError {
         match self {
             IncomingFrameError::Corrupt(e) => write!(f, "corrupt link frame: {e}"),
             IncomingFrameError::Unroutable(e) => write!(f, "unroutable link frame: {e}"),
+            IncomingFrameError::SequenceGap { expected, got } => write!(
+                f,
+                "link frame loss: sequence gap (expected {expected}, got {got})"
+            ),
         }
     }
 }
@@ -227,6 +286,83 @@ mod tests {
                 .len(),
             0
         );
+    }
+
+    #[test]
+    fn sequencing_stamps_outgoing_frames() {
+        let mut link = InterNodeLink::new(0);
+        let mut tx = sender();
+        tx.set_link_sequencing(true);
+        for _ in 0..2 {
+            tx.registry_mut()
+                .queuing_port_mut(p(0), "tx")
+                .unwrap()
+                .send(&b"x"[..], Ticks(0))
+                .unwrap();
+            tx.route(&mut link, Ticks(0));
+        }
+        let first = Frame::decode(&link.receive(LinkEndpoint::B, 0).unwrap()).unwrap();
+        let second = Frame::decode(&link.receive(LinkEndpoint::B, 0).unwrap()).unwrap();
+        assert_eq!(first.link_seq, 1);
+        assert_eq!(second.link_seq, 2);
+    }
+
+    #[test]
+    fn sequence_gap_detected_and_frame_still_delivered() {
+        let mut rx = receiver();
+        let mut link = InterNodeLink::new(0);
+        // Frames 1 and 3 arrive; 2 was lost in transit.
+        for seq in [1u64, 3] {
+            link.send(
+                LinkEndpoint::B,
+                0,
+                Frame::new(5, Ticks(0), &b"data"[..])
+                    .with_link_seq(seq)
+                    .encode(),
+            );
+        }
+        let errors = rx.receive(&mut link, Ticks(0));
+        assert_eq!(errors.len(), 1);
+        assert_eq!(
+            errors[0],
+            IncomingFrameError::SequenceGap {
+                expected: 2,
+                got: 3
+            }
+        );
+        assert_eq!(rx.sequence_gaps(), 1);
+        // Gap frames are delivered, not rejected: both made it to the port.
+        assert_eq!(rx.frames_received(), 2);
+        assert_eq!(rx.frames_rejected(), 0);
+        assert_eq!(
+            rx.registry_mut().queuing_port_mut(p(2), "rx").unwrap().len(),
+            2
+        );
+        // The stream resynchronises: 4 follows 3 without complaint.
+        link.send(
+            LinkEndpoint::B,
+            0,
+            Frame::new(5, Ticks(0), &b"data"[..])
+                .with_link_seq(4)
+                .encode(),
+        );
+        assert!(rx.receive(&mut link, Ticks(0)).is_empty());
+    }
+
+    #[test]
+    fn unsequenced_frames_exempt_from_gap_tracking() {
+        let mut rx = receiver();
+        let mut link = InterNodeLink::new(0);
+        for _ in 0..3 {
+            link.send(
+                LinkEndpoint::B,
+                0,
+                Frame::new(5, Ticks(0), &b"data"[..]).encode(),
+            );
+        }
+        assert!(rx.receive(&mut link, Ticks(0)).is_empty());
+        assert_eq!(rx.sequence_gaps(), 0);
+        assert_eq!(rx.frames_received(), 3);
     }
 
     #[test]

@@ -300,6 +300,60 @@ impl SpatialManager {
         Ok(())
     }
 
+    /// Fault injection: revokes the mapping of the single page containing
+    /// `va` in `partition`'s context, as if the page table had been
+    /// corrupted. The next access through [`translate`](Self::translate)
+    /// faults exactly as real hardware would. The descriptor bookkeeping
+    /// is untouched, so [`reload_partition`](Self::reload_partition)
+    /// restores the mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`SpatialError::NotConfigured`] for an unknown partition;
+    /// [`SpatialError::Map`] if the MMU rejects the unmap.
+    pub fn revoke_page(&mut self, partition: PartitionId, va: u64) -> Result<(), SpatialError> {
+        let context = self
+            .partitions
+            .get(&partition)
+            .map(|s| s.context)
+            .ok_or(SpatialError::NotConfigured(partition))?;
+        let page = va & !(PAGE_SIZE - 1);
+        self.mmu.unmap(context, page, PAGE_SIZE)?;
+        Ok(())
+    }
+
+    /// Reinstalls every configured mapping of `partition` from its
+    /// descriptors — the spatial half of a partition restart: the
+    /// integration loader reloads the partition image, undoing any
+    /// revoked/corrupted page mappings. Physical frame assignments are
+    /// preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`SpatialError::NotConfigured`] for an unknown partition;
+    /// [`SpatialError::Map`] if the MMU rejects a mapping.
+    pub fn reload_partition(&mut self, partition: PartitionId) -> Result<(), SpatialError> {
+        let space = self
+            .partitions
+            .get(&partition)
+            .cloned()
+            .ok_or(SpatialError::NotConfigured(partition))?;
+        for (desc, pa) in &space.regions {
+            let size = desc.size.max(PAGE_SIZE).next_multiple_of(PAGE_SIZE);
+            // Unmap tolerates holes, so partially revoked regions reload
+            // cleanly; map is atomic over the then-empty range.
+            self.mmu.unmap(space.context, desc.virtual_base, size)?;
+            self.mmu.map(
+                space.context,
+                desc.virtual_base,
+                *pa,
+                size,
+                PageFlags::from_sparc_acc(desc.acc_code()),
+            )?;
+        }
+        Ok(())
+    }
+
     /// Translation/fault statistics from the underlying MMU.
     pub fn mmu_stats(&self) -> (u64, u64) {
         (self.mmu.translations(), self.mmu.faults())
@@ -446,6 +500,40 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, SpatialError::OutOfPhysicalMemory { .. }));
+    }
+
+    #[test]
+    fn revoked_page_faults_until_reload() {
+        let mut s = two_partitions();
+        let va = 0x5000_0000u64; // application data base
+        assert!(s.translate(p(0), va + 0x10, AccessKind::Read, Privilege::User).is_ok());
+        s.revoke_page(p(0), va + 0x10).unwrap();
+        assert!(matches!(
+            s.translate(p(0), va + 0x10, AccessKind::Read, Privilege::User),
+            Err(MmuFault::Unmapped { .. })
+        ));
+        // Other pages of the same region are untouched.
+        assert!(s
+            .translate(p(0), va + PAGE_SIZE, AccessKind::Read, Privilege::User)
+            .is_ok());
+        // Reload restores the mapping with the original physical frame.
+        let before = s.regions_of(p(0)).unwrap().to_vec();
+        s.reload_partition(p(0)).unwrap();
+        assert_eq!(s.regions_of(p(0)).unwrap(), &before[..]);
+        assert!(s.translate(p(0), va + 0x10, AccessKind::Read, Privilege::User).is_ok());
+    }
+
+    #[test]
+    fn revoke_and_reload_require_configuration() {
+        let mut s = two_partitions();
+        assert!(matches!(
+            s.revoke_page(p(7), 0x5000_0000),
+            Err(SpatialError::NotConfigured(_))
+        ));
+        assert!(matches!(
+            s.reload_partition(p(7)),
+            Err(SpatialError::NotConfigured(_))
+        ));
     }
 
     #[test]

@@ -3,9 +3,14 @@
 //! Remote channel destinations receive their messages as frames over the
 //! communication infrastructure (Sect. 2.1). The format is deliberately
 //! simple and self-checking: a magic, the channel identifier, the source
-//! write timestamp, the payload, and a checksum — enough for the PMK to
-//! uphold "message delivery guarantees" (detect truncation/corruption and
-//! re-route to health monitoring rather than deliver garbage).
+//! write timestamp, a link sequence number, the payload, and a checksum —
+//! enough for the PMK to uphold "message delivery guarantees" (detect
+//! truncation/corruption/loss and re-route to health monitoring rather
+//! than deliver garbage). The sequence number lets a receiver notice
+//! silently dropped frames: senders that opt into sequencing stamp frames
+//! 1, 2, 3, … per link, and a gap in the stream means loss in transit.
+//! Sequence 0 marks an unsequenced frame (legacy senders), which receivers
+//! exempt from gap tracking.
 
 use crate::payload::Payload;
 
@@ -13,8 +18,9 @@ use air_model::Ticks;
 
 /// Frame magic: "AI".
 const MAGIC: [u8; 2] = *b"AI";
-/// Fixed header length: magic(2) + channel(4) + written_at(8) + len(4).
-const HEADER_LEN: usize = 18;
+/// Fixed header length:
+/// magic(2) + channel(4) + written_at(8) + link_seq(8) + len(4).
+const HEADER_LEN: usize = 26;
 
 /// A decoded link frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +29,8 @@ pub struct Frame {
     pub channel: u32,
     /// Source-side write instant.
     pub written_at: Ticks,
+    /// Per-link sequence number; 0 means unsequenced.
+    pub link_seq: u64,
     /// The message payload.
     pub payload: Payload,
 }
@@ -66,13 +74,22 @@ fn checksum(bytes: &[u8]) -> u16 {
 }
 
 impl Frame {
-    /// Creates a frame.
+    /// Creates an unsequenced frame (`link_seq` 0).
     pub fn new(channel: u32, written_at: Ticks, payload: impl Into<Payload>) -> Self {
         Self {
             channel,
             written_at,
+            link_seq: 0,
             payload: payload.into(),
         }
+    }
+
+    /// Stamps the frame with a per-link sequence number (must be non-zero
+    /// to take part in gap detection).
+    #[must_use]
+    pub fn with_link_seq(mut self, link_seq: u64) -> Self {
+        self.link_seq = link_seq;
+        self
     }
 
     /// Encodes the frame into link bytes.
@@ -81,6 +98,7 @@ impl Frame {
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&self.channel.to_be_bytes());
         out.extend_from_slice(&self.written_at.as_u64().to_be_bytes());
+        out.extend_from_slice(&self.link_seq.to_be_bytes());
         out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
         out.extend_from_slice(&self.payload);
         let ck = checksum(&out);
@@ -103,7 +121,8 @@ impl Frame {
         }
         let channel = u32::from_be_bytes(bytes[2..6].try_into().expect("4 bytes"));
         let written_at = u64::from_be_bytes(bytes[6..14].try_into().expect("8 bytes"));
-        let len = u32::from_be_bytes(bytes[14..18].try_into().expect("4 bytes")) as usize;
+        let link_seq = u64::from_be_bytes(bytes[14..22].try_into().expect("8 bytes"));
+        let len = u32::from_be_bytes(bytes[22..26].try_into().expect("4 bytes")) as usize;
         if bytes.len() != HEADER_LEN + len + 2 {
             return Err(FrameError::LengthMismatch);
         }
@@ -116,6 +135,7 @@ impl Frame {
         Ok(Frame {
             channel,
             written_at: Ticks(written_at),
+            link_seq,
             payload: Payload::copy_from_slice(&bytes[HEADER_LEN..body_end]),
         })
     }
@@ -130,6 +150,14 @@ mod tests {
         let f = Frame::new(7, Ticks(1300), &b"attitude"[..]);
         let encoded = f.encode();
         assert_eq!(Frame::decode(&encoded).unwrap(), f);
+    }
+
+    #[test]
+    fn sequenced_roundtrip() {
+        let f = Frame::new(7, Ticks(1300), &b"attitude"[..]).with_link_seq(42);
+        let decoded = Frame::decode(&f.encode()).unwrap();
+        assert_eq!(decoded, f);
+        assert_eq!(decoded.link_seq, 42);
     }
 
     #[test]

@@ -18,9 +18,14 @@ cargo test -q
 echo "== lint: clippy (all targets, warnings are errors) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== smoke fault-injection campaign (3 seeds x all fault classes) =="
+cargo run --release -q -p bench --bin campaign -- --smoke
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== hotpath before/after comparison =="
     cargo run --release -p bench --bin hotpath
+    echo "== full fault-injection campaign matrix =="
+    cargo run --release -p bench --bin campaign
 fi
 
 echo "CI OK"

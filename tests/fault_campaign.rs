@@ -1,0 +1,103 @@
+//! Differential fault-injection tests over the campaign harness: removing
+//! one fault class from a plan must leave every partition that class never
+//! touched with a byte-identical event stream, and equal seeds must yield
+//! byte-identical trace logs.
+//!
+//! The restriction/comparison core is the reusable
+//! [`air_model::testkit::isolation_divergence`] assertion — the executable
+//! form of the paper's "a fault in partition A never perturbs partition B".
+
+use air_core::campaign::{event_owner, standard_plan, CampaignOutcome, CampaignRunner};
+use air_hw::inject::FaultClass;
+use air_model::testkit::isolation_divergence;
+use air_model::PartitionId;
+
+const PARTITIONS: [PartitionId; 3] = [PartitionId(0), PartitionId(1), PartitionId(2)];
+
+fn affected_by_class(outcome: &CampaignOutcome, class: FaultClass) -> Vec<PartitionId> {
+    outcome
+        .records
+        .iter()
+        .filter(|r| r.event.class == class)
+        .filter_map(|r| r.affected)
+        .collect()
+}
+
+#[test]
+fn removing_a_fault_class_only_perturbs_its_victims() {
+    let seed = 9;
+    let plan = standard_plan(seed, 1);
+    let full = CampaignRunner::new(plan.clone()).run();
+    assert!(full.is_ok(), "{}", full.report);
+    assert_eq!(full.detected(), full.injected());
+
+    for &class in &FaultClass::ALL {
+        let reduced_plan = plan.without_class(class);
+        assert_eq!(reduced_plan.len(), plan.len() - 1);
+        // Keep the horizon identical so both runs cover the same ticks.
+        let reduced = CampaignRunner::new(reduced_plan)
+            .with_horizon(plan.horizon() + 4 * air_core::campaign::CAMPAIGN_MTF)
+            .run();
+        assert!(reduced.is_ok(), "minus {class}: {}", reduced.report);
+
+        // The differential invariant: a partition the removed class never
+        // touched cannot tell the two campaigns apart.
+        let victims = affected_by_class(&full, class);
+        for &m in &PARTITIONS {
+            if victims.contains(&m) {
+                continue;
+            }
+            assert_eq!(
+                isolation_divergence(&reduced.events, &full.events, m, event_owner),
+                None,
+                "removing {class} perturbed {m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unaffected_partitions_match_the_clean_baseline() {
+    // A plan aimed solely at the control partition (process overruns):
+    // the producer and consumer partitions must see exactly the clean
+    // run's event stream.
+    let plan = standard_plan(21, 1)
+        .without_class(FaultClass::MmuTamper)
+        .without_class(FaultClass::SpuriousTrap)
+        .without_class(FaultClass::LinkDrop)
+        .without_class(FaultClass::LinkBitFlip)
+        .without_class(FaultClass::ClockInterference);
+    let outcome = CampaignRunner::new(plan).run();
+    assert!(outcome.is_ok(), "{}", outcome.report);
+    assert_eq!(outcome.detected(), 1);
+    let victims = affected_by_class(&outcome, FaultClass::ProcessOverrun);
+    assert_eq!(victims, vec![PartitionId(0)]);
+    for m in [PartitionId(1), PartitionId(2)] {
+        assert_eq!(
+            isolation_divergence(&outcome.clean_events, &outcome.events, m, event_owner),
+            None,
+            "an overrun in partition 0 perturbed {m}"
+        );
+    }
+    // The victim itself, of course, diverges (miss + restart events).
+    assert!(isolation_divergence(
+        &outcome.clean_events,
+        &outcome.events,
+        PartitionId(0),
+        event_owner
+    )
+    .is_some());
+}
+
+#[test]
+fn equal_seeds_give_byte_identical_campaigns() {
+    let a = CampaignRunner::new(standard_plan(33, 2)).run();
+    let b = CampaignRunner::new(standard_plan(33, 2)).run();
+    assert!(a.deterministic && b.deterministic);
+    assert_eq!(a.trace_log, b.trace_log);
+    assert_eq!(a.clean_trace_log, b.clean_trace_log);
+    assert_eq!(a.hm_entries, b.hm_entries);
+    // A different seed reshuffles the plan and leaves a different log.
+    let c = CampaignRunner::new(standard_plan(34, 2)).run();
+    assert_ne!(a.trace_log, c.trace_log);
+}
