@@ -1,0 +1,20 @@
+//! Scratch: scan seeds for campaign invariant violations.
+use air_core::campaign::{standard_plan, CampaignRunner};
+
+fn main() {
+    let mut bad = 0;
+    for seed in 1..=120u64 {
+        let outcome = CampaignRunner::new(standard_plan(seed, 2)).run();
+        if !outcome.is_ok() || outcome.detected() != outcome.injected() {
+            bad += 1;
+            println!(
+                "seed {seed}: detected {}/{}, deterministic={}",
+                outcome.detected(),
+                outcome.injected(),
+                outcome.deterministic
+            );
+            print!("{}", outcome.report);
+        }
+    }
+    println!("done, {bad} bad seeds of 120");
+}
