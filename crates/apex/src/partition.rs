@@ -56,6 +56,17 @@ impl ErrorHandlerTable {
             .copied()
             .unwrap_or(self.default_action)
     }
+
+    /// The explicitly-configured `(error, action)` entries, for
+    /// integration-time inspection (static analysis of HM configuration).
+    pub fn actions(&self) -> impl Iterator<Item = (ErrorId, ProcessRecoveryAction)> + '_ {
+        self.actions.iter().map(|(e, a)| (*e, *a))
+    }
+
+    /// The action for errors without a specific entry.
+    pub fn default_action(&self) -> ProcessRecoveryAction {
+        self.default_action
+    }
 }
 
 /// What a process-level recovery decided about the partition: most actions

@@ -5,6 +5,8 @@
 //! data series — the part to compare against the paper — and then runs
 //! Criterion timings for the implementation-cost claims.
 
+#![warn(missing_docs)]
+
 pub mod criterion;
 pub mod legacy;
 

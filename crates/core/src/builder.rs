@@ -10,8 +10,8 @@ use air_hw::machine::MachineConfig;
 use air_hw::{CpuContext, Machine};
 use air_model::ids::GlobalProcessId;
 use air_model::partition::{OperatingMode, Partition, PosKind, StartCondition};
+use air_lint::{LintReport, SystemModel};
 use air_model::process::ProcessAttributes;
-use air_model::verify::verify_schedule_set;
 use air_model::{ScheduleSet, Ticks};
 use air_pal::pal::RegistryKind;
 use air_pmk::spatial::standard_application_layout;
@@ -121,9 +121,10 @@ impl PartitionConfig {
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum BuildError {
-    /// The scheduling tables violate the model conditions (Eq. 21–23);
-    /// the report lists every violation.
-    InvalidSchedules(air_model::verify::Report),
+    /// Static analysis found Error-level defects in the configuration
+    /// (Eq. 21–23 violations, broken channel wiring, duplicate names, …);
+    /// the report lists every finding with its stable `AIR` code.
+    Lint(LintReport),
     /// Partition ids must be contiguous `0..n` in declaration order.
     NonContiguousPartitionIds,
     /// A POS/APEX/port initialisation step failed.
@@ -133,7 +134,7 @@ pub enum BuildError {
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BuildError::InvalidSchedules(r) => write!(f, "invalid scheduling tables: {r}"),
+            BuildError::Lint(r) => write!(f, "configuration rejected by static analysis:\n{r}"),
             BuildError::NonContiguousPartitionIds => {
                 f.write_str("partition ids must be contiguous from 0 in declaration order")
             }
@@ -235,22 +236,77 @@ impl SystemBuilder {
         self
     }
 
+    /// Runs the `air-lint` static analyses over the builder's current
+    /// description, without building anything.
+    ///
+    /// This is the same snapshot [`SystemBuilder::build`] gates on:
+    /// temporal (Eq. 21–23 and schedulability), mode-graph, port/channel
+    /// and health-monitoring checks. Warnings never block a build —
+    /// inspect them here.
+    pub fn lint(&self) -> LintReport {
+        let mut model = SystemModel {
+            partitions: self.partitions.iter().map(|p| p.partition.clone()).collect(),
+            schedules: self.schedules.iter().cloned().collect(),
+            channels: self.channels.clone(),
+            // Programmatic descriptions may legitimately wire gateway
+            // channels whose source lives on another node (see
+            // `tests/cluster.rs`), and always carry complete standard HM
+            // tables, so coverage checks stay off.
+            gateways_allowed: true,
+            hm_declared: false,
+            ..SystemModel::default()
+        };
+        for p in &self.partitions {
+            let m = p.partition.id();
+            for proc in &p.processes {
+                model.processes.push((m, proc.attributes.clone()));
+            }
+            for cfg in &p.sampling_ports {
+                model.sampling_ports.push((m, cfg.clone()));
+            }
+            for cfg in &p.queuing_ports {
+                model.queuing_ports.push((m, cfg.clone()));
+            }
+            if let Some(handler) = &p.error_handler {
+                for (error, action) in handler.actions() {
+                    model.handlers.push((m, error, action));
+                }
+            }
+        }
+        air_lint::lint(&model)
+    }
+
     /// Verifies the configuration and assembles the system: the
     /// "integration and configuration" the ARINC 653 spec insists on
-    /// (Sect. 6) happens here.
+    /// (Sect. 6) happens here. The configuration is first linted
+    /// ([`SystemBuilder::lint`]); any Error-level finding refuses the
+    /// build. [`SystemBuilder::build_unchecked`] skips the gate.
     ///
     /// # Errors
     ///
-    /// [`BuildError`] when the tables fail Eq. (21)–(23) verification, the
-    /// partition ids are not contiguous, or an initialisation step fails.
+    /// [`BuildError::Lint`] when static analysis finds Error-level
+    /// defects, or [`BuildError`] when partition ids are not contiguous
+    /// or an initialisation step fails.
     pub fn build(self) -> Result<AirSystem, BuildError> {
-        // 1. Model-level verification of the integrator's tables.
-        let partition_models: Vec<Partition> =
-            self.partitions.iter().map(|p| p.partition.clone()).collect();
-        let report = verify_schedule_set(&self.schedules, &partition_models);
-        if !report.is_ok() {
-            return Err(BuildError::InvalidSchedules(report));
+        let report = self.lint();
+        if report.has_errors() {
+            return Err(BuildError::Lint(report));
         }
+        self.build_unchecked()
+    }
+
+    /// Assembles the system without the static-analysis gate.
+    ///
+    /// The escape hatch for deliberately broken configurations —
+    /// fault-injection campaigns and robustness tests that *want* to run
+    /// defective tables. Production integrations should call
+    /// [`SystemBuilder::build`].
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] when partition ids are not contiguous or an
+    /// initialisation step fails.
+    pub fn build_unchecked(self) -> Result<AirSystem, BuildError> {
         for (i, p) in self.partitions.iter().enumerate() {
             if p.partition.id().as_usize() != i {
                 return Err(BuildError::NonContiguousPartitionIds);
@@ -401,15 +457,11 @@ mod tests {
             .with_partition(PartitionConfig::new(Partition::new(PartitionId(1), "b")))
             .build()
             .unwrap_err();
-        let BuildError::InvalidSchedules(report) = err else {
-            panic!("expected InvalidSchedules, got {err}");
+        let BuildError::Lint(report) = &err else {
+            panic!("expected Lint, got {err}");
         };
-        assert!(!report.is_ok());
-        assert!(err_to_string_contains(&BuildError::InvalidSchedules(report), "Eq. 21"));
-    }
-
-    fn err_to_string_contains(e: &BuildError, needle: &str) -> bool {
-        e.to_string().contains(needle)
+        assert!(report.has_code(air_lint::Code::WindowsOverlap), "{report}");
+        assert!(err.to_string().contains("Eq. 21"), "{err}");
     }
 
     #[test]
@@ -420,11 +472,17 @@ mod tests {
             .with_partition(PartitionConfig::new(Partition::new(PartitionId(2), "c")))
             .build()
             .unwrap_err();
-        assert!(matches!(err, BuildError::NonContiguousPartitionIds));
+        let BuildError::Lint(report) = &err else {
+            panic!("expected Lint, got {err}");
+        };
+        assert!(
+            report.has_code(air_lint::Code::NonContiguousPartitionIds),
+            "{report}"
+        );
     }
 
     #[test]
-    fn duplicate_port_names_fail_initialisation() {
+    fn duplicate_port_names_rejected_by_lint() {
         let set = schedule(vec![(0, 0, 40)]);
         let err = SystemBuilder::new(set)
             .with_partition(
@@ -434,11 +492,30 @@ mod tests {
             )
             .build()
             .unwrap_err();
+        let BuildError::Lint(report) = &err else {
+            panic!("expected Lint, got {err}");
+        };
+        assert!(report.has_code(air_lint::Code::DuplicatePortName), "{report}");
+    }
+
+    #[test]
+    fn duplicate_port_names_still_fail_unchecked_initialisation() {
+        // The escape hatch skips the linter but not the registry's own
+        // integration-time rules.
+        let set = schedule(vec![(0, 0, 40)]);
+        let err = SystemBuilder::new(set)
+            .with_partition(
+                PartitionConfig::new(Partition::new(PartitionId(0), "a"))
+                    .with_sampling_port(SamplingPortConfig::source("x", 8))
+                    .with_queuing_port(QueuingPortConfig::source("x", 8, 2)),
+            )
+            .build_unchecked()
+            .unwrap_err();
         assert!(matches!(err, BuildError::Initialisation(_)), "{err}");
     }
 
     #[test]
-    fn duplicate_process_names_fail_initialisation() {
+    fn duplicate_process_names_rejected_by_lint() {
         let set = schedule(vec![(0, 0, 40)]);
         let err = SystemBuilder::new(set)
             .with_partition(
@@ -454,11 +531,14 @@ mod tests {
             )
             .build()
             .unwrap_err();
-        assert!(matches!(err, BuildError::Initialisation(_)));
+        let BuildError::Lint(report) = &err else {
+            panic!("expected Lint, got {err}");
+        };
+        assert!(report.has_code(air_lint::Code::DuplicateProcessName), "{report}");
     }
 
     #[test]
-    fn bad_channel_wiring_fails_initialisation() {
+    fn bad_channel_wiring_rejected_by_lint() {
         let set = schedule(vec![(0, 0, 40)]);
         let err = SystemBuilder::new(set)
             .with_partition(PartitionConfig::new(Partition::new(PartitionId(0), "a")))
@@ -469,7 +549,32 @@ mod tests {
             })
             .build()
             .unwrap_err();
-        assert!(matches!(err, BuildError::Initialisation(_)));
+        let BuildError::Lint(report) = &err else {
+            panic!("expected Lint, got {err}");
+        };
+        assert!(report.has_code(air_lint::Code::EmptyChannel), "{report}");
+    }
+
+    #[test]
+    fn overlapping_windows_build_through_the_escape_hatch() {
+        // Robustness campaigns deliberately run defective tables; the
+        // unchecked path must still assemble them.
+        let set = schedule(vec![(0, 0, 60), (1, 40, 40)]);
+        let system = SystemBuilder::new(set)
+            .with_partition(PartitionConfig::new(Partition::new(PartitionId(0), "a")))
+            .with_partition(PartitionConfig::new(Partition::new(PartitionId(1), "b")))
+            .build_unchecked();
+        assert!(system.is_ok());
+    }
+
+    #[test]
+    fn lint_is_inspectable_without_building() {
+        let set = schedule(vec![(0, 0, 40)]);
+        let builder = SystemBuilder::new(set)
+            .with_partition(PartitionConfig::new(Partition::new(PartitionId(0), "a")));
+        let report = builder.lint();
+        assert!(!report.has_errors(), "{report}");
+        assert!(builder.build().is_ok());
     }
 
     #[test]

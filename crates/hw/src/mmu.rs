@@ -164,7 +164,7 @@ impl PageFlags {
             5 => Self { user: AccessPermissions::R, supervisor: AccessPermissions::RW },
             6 => Self { user: AccessPermissions::NONE, supervisor: AccessPermissions::RX },
             7 => Self { user: AccessPermissions::NONE, supervisor: AccessPermissions::RWX },
-            other => panic!("SPARC ACC code out of range: {other}"),
+            other => panic!("SPARC ACC code out of range: {other}"), // lint: allow(panic) -- 3-bit field, values 0..=7 are exhaustive; hardware halt
         }
     }
 
@@ -507,7 +507,7 @@ impl Mmu {
         let space = self
             .contexts
             .get_mut(&context)
-            .expect("checked above");
+            .expect("checked above"); // lint: allow(panic) -- presence verified by the loop above
         let mut cur_va = va;
         let mut cur_pa = pa;
         while cur_va < end {

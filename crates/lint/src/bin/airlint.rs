@@ -1,0 +1,61 @@
+//! `airlint`: lint AIR configuration files from the command line.
+//!
+//! ```text
+//! airlint [--json] <config.air> [more.air ...]
+//! ```
+//!
+//! Human-readable findings go to stdout (or line-oriented JSON with
+//! `--json`). Exit status: 0 when no `Error`-level finding was emitted,
+//! 1 when at least one was, 2 on usage or I/O problems.
+
+use std::process::ExitCode;
+
+use air_lint::lint_config_text;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: airlint [--json] <config.air>...");
+                println!("exit status: 0 clean, 1 errors found, 2 usage/I/O failure");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("airlint: unknown option '{other}'");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: airlint [--json] <config.air>...");
+        return ExitCode::from(2);
+    }
+
+    let mut any_error = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("airlint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = lint_config_text(&text);
+        any_error |= report.has_errors();
+        if json {
+            print!("{}", report.to_json_lines());
+        } else {
+            println!("== {file} ==");
+            println!("{report}");
+        }
+    }
+    if any_error {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

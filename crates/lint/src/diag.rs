@@ -1,0 +1,340 @@
+//! The diagnostic model: stable codes, severities, and the lint report
+//! with its human and line-oriented JSON renderers.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error`-level findings describe configurations the paper's model rules
+/// out (or that the runtime would refuse); a report containing any makes
+/// [`LintReport::has_errors`] true and the `airlint` binary exit non-zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The configuration is invalid; the system must not be built from it.
+    Error,
+    /// The configuration is suspicious or wasteful but representable.
+    Warning,
+    /// Noteworthy but harmless.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+macro_rules! codes {
+    ($($variant:ident = ($code:literal, $severity:ident, $title:literal),)*) => {
+        /// Stable diagnostic codes (`AIRnnn`).
+        ///
+        /// Codes are append-only: a published code never changes meaning
+        /// or disappears. The registry (code → analysis → paper section)
+        /// is tabulated in `DESIGN.md`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[allow(missing_docs)] // each variant is documented by its title
+        pub enum Code {
+            $($variant,)*
+        }
+
+        impl Code {
+            /// The stable `AIRnnn` string.
+            pub fn as_str(self) -> &'static str {
+                match self { $(Code::$variant => $code,)* }
+            }
+
+            /// The fixed severity of this code.
+            pub fn severity(self) -> Severity {
+                match self { $(Code::$variant => Severity::$severity,)* }
+            }
+
+            /// A short title of what the code flags.
+            pub fn title(self) -> &'static str {
+                match self { $(Code::$variant => $title,)* }
+            }
+
+            /// Every defined code, for registry rendering and tests.
+            pub const ALL: &'static [Code] = &[$(Code::$variant,)*];
+        }
+    };
+}
+
+codes! {
+    // Parsing.
+    ParseError = ("AIR000", Error, "configuration text failed to parse"),
+    // Temporal: schedule-table structure (Eq. 20–23) and schedulability.
+    ZeroMtf = ("AIR001", Error, "major time frame is zero"),
+    ZeroWindowDuration = ("AIR002", Error, "window has zero duration"),
+    WindowsOverlap = ("AIR003", Error, "windows overlap (Eq. 21)"),
+    WindowBeyondMtf = ("AIR004", Error, "window runs past the MTF (Eq. 21)"),
+    WindowForUnknownPartition = ("AIR005", Error, "window names a partition without a requirement (Eq. 20)"),
+    RequirementForUnknownPartition = ("AIR006", Error, "requirement names an undeclared partition"),
+    PartitionWithoutWindows = ("AIR007", Error, "partition requires time but has no window (Eq. 23)"),
+    ZeroCycle = ("AIR008", Error, "partition cycle is zero"),
+    CycleDoesNotDivideMtf = ("AIR009", Error, "cycle does not divide the MTF (Eq. 22)"),
+    MtfNotMultipleOfLcm = ("AIR010", Error, "MTF is not a multiple of the cycles' lcm (Eq. 22)"),
+    InsufficientDurationInCycle = ("AIR011", Error, "cycle receives less than the required duration (Eq. 23)"),
+    ProcessUnschedulable = ("AIR012", Warning, "process may miss its deadline under the supply bound"),
+    ProcessAnalysisInconclusive = ("AIR013", Warning, "process cannot be analysed (missing WCET or unbounded releases)"),
+    OtherModelViolation = ("AIR014", Error, "model verification violation"),
+    // Mode graph: multiple-schedule (mode-based) configuration.
+    ActionForUnknownPartition = ("AIR020", Error, "schedule-change action names an undeclared partition"),
+    NoScheduleAuthority = ("AIR021", Warning, "several schedules but no partition may request a switch"),
+    UnreachableSchedule = ("AIR022", Warning, "schedule is unreachable from the initial schedule"),
+    ScheduleTrap = ("AIR023", Info, "schedule gives no window to any authority partition (no way out)"),
+    PartitionNeverScheduled = ("AIR024", Warning, "partition has no window in any schedule"),
+    // Ports and channels.
+    DanglingPort = ("AIR030", Warning, "port is not connected to any channel"),
+    UnknownSourcePort = ("AIR031", Error, "channel source port does not exist"),
+    UnknownDestinationPort = ("AIR032", Error, "channel destination port does not exist"),
+    DirectionMismatch = ("AIR033", Error, "port direction does not match its channel role"),
+    KindMismatch = ("AIR034", Error, "sampling/queuing kinds differ across the channel"),
+    MessageSizeMismatch = ("AIR035", Error, "destination accepts smaller messages than the source emits"),
+    ZeroQueueDepth = ("AIR036", Error, "queuing port has queue depth zero"),
+    DuplicateChannelEndpoint = ("AIR037", Error, "duplicate channel id or destination endpoint"),
+    QueuingFanOut = ("AIR038", Error, "queuing channel has more than one destination"),
+    ChannelSelfLoop = ("AIR039", Error, "channel loops back into its source partition"),
+    DuplicatePortName = ("AIR040", Error, "two ports of one partition share a name"),
+    EmptyChannel = ("AIR041", Error, "channel has no destination"),
+    // Spatial partitioning.
+    MemoryOverlap = ("AIR050", Error, "memory regions of different partitions overlap"),
+    SharedPermissionConflict = ("AIR051", Error, "write permission on a region another partition shares read-only"),
+    MisalignedRegion = ("AIR052", Warning, "memory region is not page-aligned"),
+    ZeroSizeRegion = ("AIR053", Warning, "memory region has zero size"),
+    // Health monitoring.
+    HmUnhandledError = ("AIR060", Warning, "error id has no action at any level"),
+    UnreachableLogThreshold = ("AIR061", Warning, "log-then-act threshold of zero never logs"),
+    // System structure.
+    DuplicatePartitionId = ("AIR070", Error, "duplicate partition id"),
+    DuplicateScheduleId = ("AIR071", Error, "duplicate schedule id"),
+    NoSchedules = ("AIR072", Error, "no scheduling table declared"),
+    NonContiguousPartitionIds = ("AIR073", Error, "partition ids are not contiguous from zero in declaration order"),
+    DuplicateProcessName = ("AIR074", Error, "two processes of one partition share a name"),
+    UnknownPartitionReference = ("AIR075", Error, "declaration references an undeclared partition"),
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a stable code, its severity, a message, and (when the
+/// system came from configuration text) the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Human-readable description of this particular finding.
+    pub message: String,
+    /// 1-based line in the configuration text, when known.
+    pub line: Option<usize>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without a source span.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// Attaches a source line.
+    #[must_use]
+    pub fn with_line(mut self, line: Option<usize>) -> Self {
+        self.line = line;
+        self
+    }
+
+    /// The fixed severity of the diagnostic's code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// The finding as one line of JSON (the `airlint --json` format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":\"{}\"", self.code));
+        out.push_str(&format!(",\"severity\":\"{}\"", self.severity()));
+        match self.line {
+            Some(n) => out.push_str(&format!(",\"line\":{n}")),
+            None => out.push_str(",\"line\":null"),
+        }
+        out.push_str(&format!(",\"message\":\"{}\"", json_escape(&self.message)));
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(
+                f,
+                "{} [{}] line {}: {}",
+                self.severity(),
+                self.code,
+                n,
+                self.message
+            ),
+            None => write!(f, "{} [{}]: {}", self.severity(), self.code, self.message),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The outcome of linting one system description.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Sorts findings into the stable presentation order (code, then
+    /// source line, then message).
+    pub fn finish(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (a.code, a.line, &a.message).cmp(&(b.code, b.line, &b.message)));
+    }
+
+    /// All findings.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of `Error`-level findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning`-level findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any `Error`-level finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the report is completely empty.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether a finding with `code` is present.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// The findings as line-oriented JSON, one object per line.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "clean: no findings");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        for (i, a) in Code::ALL.iter().enumerate() {
+            assert!(a.as_str().starts_with("AIR"), "{a}");
+            assert_eq!(a.as_str().len(), 6, "{a}");
+            for b in &Code::ALL[i + 1..] {
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn json_lines_escape_and_carry_spans() {
+        let mut report = LintReport::new();
+        report.push(
+            Diagnostic::new(Code::ParseError, "bad \"token\"\non line").with_line(Some(3)),
+        );
+        report.push(Diagnostic::new(Code::NoSchedules, "none declared"));
+        report.finish();
+        let json = report.to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"code\":\"AIR000\",\"severity\":\"error\",\"line\":3,\
+             \"message\":\"bad \\\"token\\\"\\non line\"}"
+        );
+        assert!(lines[1].contains("\"line\":null"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let mut report = LintReport::new();
+        report.push(Diagnostic::new(Code::WindowsOverlap, "x"));
+        report.push(Diagnostic::new(Code::DanglingPort, "y"));
+        assert!(report.has_errors());
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.has_code(Code::WindowsOverlap));
+        assert!(!report.has_code(Code::ZeroMtf));
+    }
+}

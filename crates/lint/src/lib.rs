@@ -1,0 +1,113 @@
+//! `air-lint`: whole-system static analysis of AIR configurations.
+//!
+//! The paper insists that timing and partitioning faults "can be
+//! predicted and avoided using offline tools that verify the fulfilment
+//! of the timing requirements" (Sect. 5), and that the formal model
+//! exists to enable "automated aids to the definition of system
+//! parameters" (Abstract). This crate is that offline tool: it takes a
+//! complete system description — a parsed configuration document or a
+//! programmatic [`SystemModel`] snapshot — and, without executing a
+//! single tick, emits structured [`Diagnostic`]s, each with a stable
+//! code (`AIR000`…), a severity, a message, and (when the description
+//! came from text) the source line.
+//!
+//! Five analyses run over the snapshot:
+//!
+//! 1. **temporal** — window overlap / out-of-MTF placement, Eq. (21)–(23)
+//!    fulfilment, and deadline-vs-supply schedulability;
+//! 2. **mode graph** — change actions naming unknown partitions, missing
+//!    switch authority, unreachable schedules and schedule traps;
+//! 3. **ports** — dangling or nonexistent endpoints, direction / kind /
+//!    message-size mismatches, zero queue depths, duplicate endpoints;
+//! 4. **spatial** — memory-map overlaps between partitions and write
+//!    permission on shared read-only regions;
+//! 5. **health monitoring** — error ids with no action at any level and
+//!    unreachable log-then-act thresholds;
+//!
+//! plus structural identifier checks (duplicates, contiguity).
+//!
+//! # Examples
+//!
+//! ```
+//! use air_lint::{lint_config_text, Code};
+//!
+//! let report = lint_config_text(
+//!     "partition P0 name=SOLO\n\
+//!      schedule chi0 name=ops mtf=100\n\
+//!        require P0 cycle=100 duration=60\n\
+//!        window P0 offset=0 duration=60\n\
+//!        window P0 offset=50 duration=50\n",
+//! );
+//! assert!(report.has_errors());
+//! assert!(report.has_code(Code::WindowsOverlap));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod model;
+
+mod hm;
+mod modes;
+mod ports;
+mod spatial;
+mod structure;
+mod temporal;
+
+pub use diag::{Code, Diagnostic, LintReport, Severity};
+pub use model::SystemModel;
+
+/// Runs every analysis over `model` and returns the sorted report.
+pub fn lint(model: &SystemModel) -> LintReport {
+    let mut report = LintReport::new();
+    structure::analyze(model, &mut report);
+    temporal::analyze(model, &mut report);
+    modes::analyze(model, &mut report);
+    ports::analyze(model, &mut report);
+    spatial::analyze(model, &mut report);
+    hm::analyze(model, &mut report);
+    report.finish();
+    report
+}
+
+/// Parses configuration text and lints it; a parse failure becomes a
+/// single `AIR000` diagnostic carrying the offending line.
+pub fn lint_config_text(text: &str) -> LintReport {
+    match air_tools::config::parse(text) {
+        Ok(doc) => lint(&SystemModel::from_config(&doc)),
+        Err(e) => {
+            let mut report = LintReport::new();
+            report.push(
+                Diagnostic::new(Code::ParseError, e.message.clone()).with_line(Some(e.line)),
+            );
+            report.finish();
+            report
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_prototype_text_lints_clean() {
+        let report = lint_config_text(&air_tools::config::fig8_config_text());
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn parse_failure_is_air000_with_line() {
+        let report = lint_config_text("partition P0 name=a\nbogus directive\n");
+        assert!(report.has_errors());
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code, Code::ParseError);
+        assert_eq!(d.line, Some(2));
+    }
+
+    #[test]
+    fn empty_text_reports_no_schedules() {
+        let report = lint_config_text("");
+        assert!(report.has_code(Code::NoSchedules));
+    }
+}

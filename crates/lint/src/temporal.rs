@@ -1,0 +1,184 @@
+//! Temporal analysis (AIR001–AIR014): scheduling-table structure per
+//! Eq. (20)–(23), plus deadline-vs-supply schedulability of every
+//! declared process under the supply bound function.
+//!
+//! Table structure reuses the model verifier
+//! ([`air_model::verify::verify_schedule`]); schedulability reuses
+//! [`air_tools::schedulability`] under the `MtfLocked` phasing (the
+//! integration pattern where processes start at an MTF boundary).
+//! Processes that cannot be analysed — finite deadline but no WCET, or
+//! aperiodic releases — are reported as inconclusive (AIR013) and
+//! excluded from the interference set, which under-approximates
+//! interference; AIR012/AIR013 are warnings, not errors, because actual
+//! execution may stay below the declared worst case.
+
+use air_model::process::{Deadline, ProcessAttributes, Recurrence};
+use air_model::verify::{verify_schedule, Violation};
+use air_model::{PartitionId, Schedule};
+use air_tools::config::span_key;
+use air_tools::schedulability::{analyze_partition_with_phasing, AnalysisError, Phasing};
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use crate::model::SystemModel;
+
+pub(crate) fn analyze(model: &SystemModel, report: &mut LintReport) {
+    for schedule in &model.schedules {
+        let verdict = verify_schedule(schedule, &model.partitions);
+        for violation in verdict.violations() {
+            report.push(to_diagnostic(model, schedule, violation));
+        }
+    }
+    schedulability(model, report);
+}
+
+fn window_span(model: &SystemModel, schedule: &Schedule, index: usize) -> Option<usize> {
+    let w = schedule.windows().get(index)?;
+    model
+        .spans
+        .get(&span_key::window(schedule.id(), w.partition, w.offset))
+}
+
+fn require_span(
+    model: &SystemModel,
+    schedule: &Schedule,
+    partition: PartitionId,
+) -> Option<usize> {
+    model
+        .spans
+        .get(&span_key::requirement(schedule.id(), partition))
+        .or_else(|| model.spans.get(&span_key::schedule(schedule.id())))
+}
+
+fn to_diagnostic(model: &SystemModel, schedule: &Schedule, violation: &Violation) -> Diagnostic {
+    let schedule_span = model.spans.get(&span_key::schedule(schedule.id()));
+    match violation {
+        Violation::ZeroMtf { .. } => {
+            Diagnostic::new(Code::ZeroMtf, violation.to_string()).with_line(schedule_span)
+        }
+        Violation::ZeroWindowDuration { window_index, .. } => {
+            Diagnostic::new(Code::ZeroWindowDuration, violation.to_string())
+                .with_line(window_span(model, schedule, *window_index))
+        }
+        Violation::WindowsOverlap { first_index, .. } => {
+            Diagnostic::new(Code::WindowsOverlap, violation.to_string())
+                .with_line(window_span(model, schedule, first_index + 1))
+        }
+        Violation::WindowBeyondMtf { window_index, .. } => {
+            Diagnostic::new(Code::WindowBeyondMtf, violation.to_string())
+                .with_line(window_span(model, schedule, *window_index))
+        }
+        Violation::WindowForUnknownPartition { window_index, .. } => {
+            Diagnostic::new(Code::WindowForUnknownPartition, violation.to_string())
+                .with_line(window_span(model, schedule, *window_index))
+        }
+        Violation::RequirementForUnknownPartition { partition, .. } => {
+            Diagnostic::new(Code::RequirementForUnknownPartition, violation.to_string())
+                .with_line(require_span(model, schedule, *partition))
+        }
+        Violation::PartitionWithoutWindows { partition, .. } => {
+            Diagnostic::new(Code::PartitionWithoutWindows, violation.to_string())
+                .with_line(require_span(model, schedule, *partition))
+        }
+        Violation::ZeroCycle { partition, .. } => {
+            Diagnostic::new(Code::ZeroCycle, violation.to_string())
+                .with_line(require_span(model, schedule, *partition))
+        }
+        Violation::CycleDoesNotDivideMtf { partition, .. } => {
+            Diagnostic::new(Code::CycleDoesNotDivideMtf, violation.to_string())
+                .with_line(require_span(model, schedule, *partition))
+        }
+        Violation::MtfNotMultipleOfLcm { .. } => {
+            Diagnostic::new(Code::MtfNotMultipleOfLcm, violation.to_string())
+                .with_line(schedule_span)
+        }
+        Violation::InsufficientDurationInCycle { partition, .. } => {
+            Diagnostic::new(Code::InsufficientDurationInCycle, violation.to_string())
+                .with_line(require_span(model, schedule, *partition))
+        }
+        // Campaign-time violations never come out of the static verifier,
+        // but the enum is shared; surface them faithfully if they do.
+        other => Diagnostic::new(Code::OtherModelViolation, other.to_string()),
+    }
+}
+
+/// Whether the analysis can bound this process's response time.
+fn analysable(attrs: &ProcessAttributes) -> bool {
+    attrs.wcet().is_some()
+        && matches!(
+            attrs.recurrence(),
+            Recurrence::Periodic(_) | Recurrence::Sporadic(_)
+        )
+}
+
+fn schedulability(model: &SystemModel, report: &mut LintReport) {
+    // Inconclusive processes: a finite deadline that no test can bound.
+    for (pid, attrs) in &model.processes {
+        if attrs.deadline() == Deadline::Infinite || analysable(attrs) {
+            continue;
+        }
+        let why = if attrs.wcet().is_none() {
+            "no WCET"
+        } else {
+            "aperiodic releases"
+        };
+        report.push(
+            Diagnostic::new(
+                Code::ProcessAnalysisInconclusive,
+                format!(
+                    "process '{}' of {pid} has a finite deadline but {why}; \
+                     its response time cannot be bounded",
+                    attrs.name()
+                ),
+            )
+            .with_line(model.spans.get(&span_key::process(*pid, attrs.name()))),
+        );
+    }
+
+    // Deadline-vs-supply per partition and per schedule it appears in.
+    let mut partition_ids: Vec<PartitionId> =
+        model.processes.iter().map(|(pid, _)| *pid).collect();
+    partition_ids.sort();
+    partition_ids.dedup();
+    for pid in partition_ids {
+        let task_set: Vec<ProcessAttributes> = model
+            .processes
+            .iter()
+            .filter(|(p, a)| *p == pid && a.deadline() != Deadline::Infinite && analysable(a))
+            .map(|(_, a)| a.clone())
+            .collect();
+        if task_set.is_empty() {
+            continue;
+        }
+        for schedule in &model.schedules {
+            match analyze_partition_with_phasing(schedule, pid, &task_set, Phasing::MtfLocked) {
+                Ok(result) => {
+                    for verdict in result.processes.iter().filter(|v| !v.schedulable) {
+                        let wcrt = verdict
+                            .wcrt
+                            .map_or("unbounded".to_owned(), |t| format!("{}", t.as_u64()));
+                        report.push(
+                            Diagnostic::new(
+                                Code::ProcessUnschedulable,
+                                format!(
+                                    "process '{}' of {pid} may miss its deadline under \
+                                     {}: worst-case response time {wcrt}",
+                                    verdict.name,
+                                    schedule.id()
+                                ),
+                            )
+                            .with_line(
+                                model.spans.get(&span_key::process(pid, &verdict.name)),
+                            ),
+                        );
+                    }
+                }
+                // No supply under this schedule: the partition simply does
+                // not take part in this mode (or AIR007 already fired).
+                Err(AnalysisError::NoSupply) => {}
+                // Filtered above; stay silent rather than double-report.
+                Err(AnalysisError::MissingWcet { .. } | AnalysisError::Unbounded { .. }) => {}
+                Err(_) => {}
+            }
+        }
+    }
+}

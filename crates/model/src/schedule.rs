@@ -256,6 +256,14 @@ impl Schedule {
             .unwrap_or_default()
     }
 
+    /// Iterates over the explicitly-configured schedule-change actions,
+    /// for integration-time inspection (static analysis of mode graphs).
+    pub fn change_actions(
+        &self,
+    ) -> impl Iterator<Item = (PartitionId, ScheduleChangeAction)> + '_ {
+        self.change_actions.iter().map(|(p, a)| (*p, *a))
+    }
+
     /// Iterates over the partitions with at least one requirement entry.
     pub fn partitions(&self) -> impl Iterator<Item = PartitionId> + '_ {
         self.requirements.iter().map(|q| q.partition)
@@ -387,28 +395,62 @@ pub struct ScheduleSet {
     schedules: Vec<Schedule>,
 }
 
+/// Why a [`ScheduleSet`] could not be formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleSetError {
+    /// No scheduling table was supplied (a system holds at least one).
+    Empty,
+    /// Two tables share the same [`ScheduleId`].
+    DuplicateId(ScheduleId),
+}
+
+impl core::fmt::Display for ScheduleSetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScheduleSetError::Empty => {
+                f.write_str("a system holds at least one partition scheduling table")
+            }
+            ScheduleSetError::DuplicateId(id) => write!(f, "duplicate schedule id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleSetError {}
+
 impl ScheduleSet {
     /// Creates a schedule set from the given tables.
     ///
     /// # Panics
     ///
     /// Panics if `schedules` is empty or if two tables share an id —
-    /// misconfigurations that cannot be represented meaningfully.
+    /// misconfigurations that cannot be represented meaningfully. Use
+    /// [`ScheduleSet::try_new`] to surface these as diagnosable errors
+    /// instead.
     pub fn new(schedules: Vec<Schedule>) -> Self {
-        assert!(
-            !schedules.is_empty(),
-            "a system holds at least one partition scheduling table"
-        );
+        match Self::try_new(schedules) {
+            Ok(set) => set,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a schedule set, reporting degenerate inputs as errors
+    /// instead of panicking (for integration tools and static analysis).
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleSetError`] when `schedules` is empty or two tables share
+    /// an id.
+    pub fn try_new(schedules: Vec<Schedule>) -> Result<Self, ScheduleSetError> {
+        if schedules.is_empty() {
+            return Err(ScheduleSetError::Empty);
+        }
         for (i, s) in schedules.iter().enumerate() {
-            for other in &schedules[i + 1..] {
-                assert!(
-                    s.id() != other.id(),
-                    "duplicate schedule id {}",
-                    s.id()
-                );
+            if schedules[i + 1..].iter().any(|other| s.id() == other.id()) {
+                return Err(ScheduleSetError::DuplicateId(s.id()));
             }
         }
-        Self { schedules }
+        Ok(Self { schedules })
     }
 
     /// Number of schedules `n(χ)`.

@@ -168,7 +168,7 @@ impl PartitionDispatcher {
                 let slot = self
                     .contexts
                     .get_mut(&active)
-                    .expect("active partition was registered");
+                    .expect("active partition was registered"); // lint: allow(panic) -- register_partition precedes activation; unreachable
                 cpu.save_context(slot);
                 // Line 5: the partition last saw the tick before this one.
                 self.last_tick.insert(active, ticks - 1);
@@ -183,7 +183,7 @@ impl PartitionDispatcher {
                     .last_tick
                     .get(&h)
                     .copied()
-                    .expect("heir partition was registered");
+                    .expect("heir partition was registered"); // lint: allow(panic) -- scheduler only elects registered partitions
                 ticks - last
             }
             None => 1,
@@ -196,7 +196,7 @@ impl PartitionDispatcher {
                 let ctx = self
                     .contexts
                     .get(&h)
-                    .expect("heir partition was registered");
+                    .expect("heir partition was registered"); // lint: allow(panic) -- scheduler only elects registered partitions
                 cpu.restore_context(ctx);
             }
             None => cpu.restore_context(&self.idle_context.clone()),

@@ -19,14 +19,148 @@
 //!   action  P1 warm_restart
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use air_hm::{ErrorId, ErrorLevel, EscalatedProcessAction, ProcessRecoveryAction};
 use air_model::partition::{Partition, PosKind};
+use air_model::process::{Deadline, Priority, ProcessAttributes, Recurrence};
 use air_model::schedule::{
-    PartitionRequirement, Schedule, ScheduleChangeAction, ScheduleSet, TimeWindow,
+    PartitionRequirement, Schedule, ScheduleChangeAction, ScheduleSet, ScheduleSetError,
+    TimeWindow,
 };
 use air_model::{PartitionId, ScheduleId, Ticks};
+use air_ports::sampling::Direction;
+use air_ports::{ChannelConfig, Destination, PortAddr, QueuingPortConfig, SamplingPortConfig};
+
+/// Source spans: a map from stable entity keys (see [`span_key`]) to the
+/// 1-based line number where the entity was declared. Threaded from the
+/// parser into diagnostics so static-analysis findings point back at the
+/// configuration text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Spans {
+    map: BTreeMap<String, usize>,
+}
+
+impl Spans {
+    /// Records that `key` was declared on `line`.
+    pub fn set(&mut self, key: impl Into<String>, line: usize) {
+        self.map.insert(key.into(), line);
+    }
+
+    /// The declaration line of `key`, if recorded.
+    pub fn get(&self, key: &str) -> Option<usize> {
+        self.map.get(key).copied()
+    }
+
+    /// Whether any span was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Builders for the stable span keys shared by the parser and the linter.
+pub mod span_key {
+    use air_hm::ErrorId;
+    use air_model::{PartitionId, ScheduleId, Ticks};
+
+    /// Key of a `partition` declaration.
+    pub fn partition(id: PartitionId) -> String {
+        format!("partition:{id}")
+    }
+
+    /// Key of a `schedule` declaration.
+    pub fn schedule(id: ScheduleId) -> String {
+        format!("schedule:{id}")
+    }
+
+    /// Key of a `window` line (windows are keyed by schedule, partition
+    /// and offset — stable under the model's sort-by-offset).
+    pub fn window(schedule: ScheduleId, partition: PartitionId, offset: Ticks) -> String {
+        format!("window:{schedule}:{partition}:{}", offset.as_u64())
+    }
+
+    /// Key of a `require` line.
+    pub fn requirement(schedule: ScheduleId, partition: PartitionId) -> String {
+        format!("require:{schedule}:{partition}")
+    }
+
+    /// Key of an `action` line.
+    pub fn action(schedule: ScheduleId, partition: PartitionId) -> String {
+        format!("action:{schedule}:{partition}")
+    }
+
+    /// Key of a `sampling`/`queuing` port declaration.
+    pub fn port(partition: PartitionId, name: &str) -> String {
+        format!("port:{partition}:{name}")
+    }
+
+    /// Key of a `process` declaration.
+    pub fn process(partition: PartitionId, name: &str) -> String {
+        format!("process:{partition}:{name}")
+    }
+
+    /// Key of a `memory` declaration.
+    pub fn memory(partition: PartitionId, base: u64) -> String {
+        format!("memory:{partition}:{base:#x}")
+    }
+
+    /// Key of a `channel` declaration.
+    pub fn channel(id: u32) -> String {
+        format!("channel:{id}")
+    }
+
+    /// Key of an `hm` level declaration.
+    pub fn hm(error: ErrorId) -> String {
+        format!("hm:{}", super::error_id_token(error))
+    }
+
+    /// Key of a `handler` declaration.
+    pub fn handler(partition: PartitionId, error: ErrorId) -> String {
+        format!("handler:{partition}:{}", super::error_id_token(error))
+    }
+}
+
+/// The configuration-file token of an [`ErrorId`] (snake_case).
+pub fn error_id_token(error: ErrorId) -> &'static str {
+    match error {
+        ErrorId::DeadlineMissed => "deadline_missed",
+        ErrorId::ApplicationError => "application_error",
+        ErrorId::NumericError => "numeric_error",
+        ErrorId::IllegalRequest => "illegal_request",
+        ErrorId::StackOverflow => "stack_overflow",
+        ErrorId::MemoryViolation => "memory_violation",
+        ErrorId::HardwareFault => "hardware_fault",
+        ErrorId::PowerFail => "power_fail",
+        ErrorId::ConfigError => "config_error",
+        // `ErrorId` is non-exhaustive; a new id needs a token here before
+        // it can appear in configuration files.
+        _ => "unknown_error",
+    }
+}
+
+fn error_id_from_token(token: &str) -> Option<ErrorId> {
+    ErrorId::ALL.into_iter().find(|e| error_id_token(*e) == token)
+}
+
+/// A physical memory region assigned to a partition (`memory` directive):
+/// the spatial-partitioning map static analysis operates on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRegion {
+    /// The owning partition.
+    pub partition: PartitionId,
+    /// Physical base address.
+    pub base: u64,
+    /// Region size in bytes.
+    pub size: u64,
+    /// Whether the partition may write the region.
+    pub writable: bool,
+    /// Whether the partition may execute from the region.
+    pub executable: bool,
+    /// Whether the region is deliberately shared between partitions
+    /// (shared regions may coincide; exclusive ones may not).
+    pub shared: bool,
+}
 
 /// A parsed configuration document.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -35,6 +169,22 @@ pub struct ConfigDoc {
     pub partitions: Vec<Partition>,
     /// Declared schedules, in declaration order.
     pub schedules: Vec<Schedule>,
+    /// Declared sampling ports with their owning partition.
+    pub sampling_ports: Vec<(PartitionId, SamplingPortConfig)>,
+    /// Declared queuing ports with their owning partition.
+    pub queuing_ports: Vec<(PartitionId, QueuingPortConfig)>,
+    /// Declared processes with their owning partition.
+    pub processes: Vec<(PartitionId, ProcessAttributes)>,
+    /// Declared physical memory regions.
+    pub memory: Vec<MemoryRegion>,
+    /// Declared interpartition channels (all destinations local).
+    pub channels: Vec<ChannelConfig>,
+    /// Explicit module-level HM classification (`hm` directives).
+    pub hm_levels: Vec<(ErrorId, ErrorLevel)>,
+    /// Partition error-handler entries (`handler` directives).
+    pub handlers: Vec<(PartitionId, ErrorId, ProcessRecoveryAction)>,
+    /// Source spans of every declaration, for diagnostics.
+    pub spans: Spans,
 }
 
 impl ConfigDoc {
@@ -43,9 +193,21 @@ impl ConfigDoc {
     /// # Panics
     ///
     /// Panics if no schedule was declared (`ScheduleSet` requires ≥ 1) —
-    /// callers should check [`ConfigDoc::schedules`] first.
+    /// callers should check [`ConfigDoc::schedules`] first, or use
+    /// [`ConfigDoc::try_schedule_set`].
     pub fn schedule_set(&self) -> ScheduleSet {
         ScheduleSet::new(self.schedules.clone())
+    }
+
+    /// Converts the declared schedules into a [`ScheduleSet`], reporting
+    /// degenerate declarations as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleSetError`] when no schedule was declared. (Duplicate ids
+    /// are already rejected by [`parse`].)
+    pub fn try_schedule_set(&self) -> Result<ScheduleSet, ScheduleSetError> {
+        ScheduleSet::try_new(self.schedules.clone())
     }
 }
 
@@ -108,6 +270,88 @@ fn parse_u64(line_no: usize, map: &BTreeMap<&str, &str>, key: &str) -> Result<u6
         .map_err(|_| err(line_no, format!("invalid number '{raw}' for '{key}'")))
 }
 
+/// Parses an optional decimal number, returning `None` when absent.
+fn parse_u64_opt(
+    line_no: usize,
+    map: &BTreeMap<&str, &str>,
+    key: &str,
+) -> Result<Option<u64>, ConfigError> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(_) => parse_u64(line_no, map, key).map(Some),
+    }
+}
+
+/// Parses a number that may be written in hex (`0x…`) or decimal.
+fn parse_addr(line_no: usize, map: &BTreeMap<&str, &str>, key: &str) -> Result<u64, ConfigError> {
+    let raw = map
+        .get(key)
+        .ok_or_else(|| err(line_no, format!("missing '{key}='")))?;
+    let parsed = match raw.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse::<u64>(),
+    };
+    parsed.map_err(|_| err(line_no, format!("invalid number '{raw}' for '{key}'")))
+}
+
+/// Parses `P<n>:<port>` into a [`PortAddr`].
+fn parse_port_addr(line_no: usize, token: &str) -> Result<PortAddr, ConfigError> {
+    let (pid_tok, port) = token.split_once(':').ok_or_else(|| {
+        err(line_no, format!("expected 'P<n>:<port>', found '{token}'"))
+    })?;
+    if port.is_empty() {
+        return Err(err(line_no, format!("empty port name in '{token}'")));
+    }
+    Ok(PortAddr::new(parse_pid(line_no, pid_tok)?, port))
+}
+
+fn parse_error_id(line_no: usize, token: &str) -> Result<ErrorId, ConfigError> {
+    error_id_from_token(token)
+        .ok_or_else(|| err(line_no, format!("unknown error id '{token}'")))
+}
+
+fn parse_direction(line_no: usize, map: &BTreeMap<&str, &str>) -> Result<Direction, ConfigError> {
+    match map.get("dir").copied() {
+        Some("source") => Ok(Direction::Source),
+        Some("destination") => Ok(Direction::Destination),
+        Some(other) => Err(err(line_no, format!("unknown direction '{other}'"))),
+        None => Err(err(line_no, "missing 'dir='")),
+    }
+}
+
+/// Parses a `handler` action token, e.g. `restart_process` or
+/// `log_then_act=3/restart_partition`.
+fn parse_recovery_action(line_no: usize, token: &str) -> Result<ProcessRecoveryAction, ConfigError> {
+    if let Some(rest) = token.strip_prefix("log_then_act=") {
+        let (count, then_tok) = rest.split_once('/').ok_or_else(|| {
+            err(line_no, format!("expected 'log_then_act=<n>/<action>', found '{token}'"))
+        })?;
+        let threshold = count
+            .parse::<u32>()
+            .map_err(|_| err(line_no, format!("invalid log count '{count}'")))?;
+        let then = match then_tok {
+            "restart_process" => EscalatedProcessAction::RestartProcess,
+            "start_other_process" => EscalatedProcessAction::StartOtherProcess,
+            "stop_process" => EscalatedProcessAction::StopProcess,
+            "restart_partition" => EscalatedProcessAction::RestartPartition,
+            "stop_partition" => EscalatedProcessAction::StopPartition,
+            other => {
+                return Err(err(line_no, format!("unknown escalation '{other}'")));
+            }
+        };
+        return Ok(ProcessRecoveryAction::LogThenAct { threshold, then });
+    }
+    match token {
+        "ignore" => Ok(ProcessRecoveryAction::Ignore),
+        "restart_process" => Ok(ProcessRecoveryAction::RestartProcess),
+        "start_other_process" => Ok(ProcessRecoveryAction::StartOtherProcess),
+        "stop_process" => Ok(ProcessRecoveryAction::StopProcess),
+        "restart_partition" => Ok(ProcessRecoveryAction::RestartPartition),
+        "stop_partition" => Ok(ProcessRecoveryAction::StopPartition),
+        other => Err(err(line_no, format!("unknown handler action '{other}'"))),
+    }
+}
+
 /// Parses a configuration document.
 ///
 /// Grammar (one directive per line; `#` starts a comment; indentation is
@@ -120,6 +364,26 @@ fn parse_u64(line_no: usize, map: &BTreeMap<&str, &str>, key: &str) -> Result<u6
 ///   * `require P<n> cycle=<ticks> duration=<ticks>`
 ///   * `window P<n> offset=<ticks> duration=<ticks>`
 ///   * `action P<n> none|warm_restart|cold_restart|stop`
+/// * `sampling P<n> name=<str> dir=source|destination size=<bytes>
+///   [refresh=<ticks>]` (refresh applies to destinations)
+/// * `queuing P<n> name=<str> dir=source|destination size=<bytes>
+///   depth=<messages>`
+/// * `process P<n> name=<str> [period=<ticks>|sporadic=<ticks>]
+///   [deadline=<ticks>] [wcet=<ticks>] [priority=<0-255>]`
+/// * `memory P<n> base=<addr> size=<bytes> perm=ro|rw|rx|rwx
+///   [shared=true]` (numbers may be hex `0x…`)
+/// * `channel <id> from=P<n>:<port> to=P<n>:<port>[,P<n>:<port>…]`
+/// * `hm <error_id> level=process|partition|module`
+/// * `handler P<n> <error_id> ignore|restart_process|start_other_process|
+///   stop_process|restart_partition|stop_partition|
+///   log_then_act=<n>/<escalation>`
+///
+/// where `<error_id>` is one of `deadline_missed`, `application_error`,
+/// `numeric_error`, `illegal_request`, `stack_overflow`,
+/// `memory_violation`, `hardware_fault`, `power_fail`, `config_error`.
+///
+/// Duplicate partition or schedule identifiers are rejected with the line
+/// number of the second declaration.
 ///
 /// # Errors
 ///
@@ -152,6 +416,8 @@ pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
         actions: Vec<(PartitionId, ScheduleChangeAction)>,
     }
     let mut open: Option<OpenSchedule> = None;
+    let mut seen_partitions: BTreeSet<u32> = BTreeSet::new();
+    let mut seen_schedules: BTreeSet<u32> = BTreeSet::new();
 
     let close = |doc: &mut ConfigDoc, open: &mut Option<OpenSchedule>| {
         if let Some(s) = open.take() {
@@ -178,6 +444,10 @@ pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
                     .next()
                     .ok_or_else(|| err(line_no, "partition needs an id"))?;
                 let id = parse_pid(line_no, id_tok)?;
+                if !seen_partitions.insert(id.as_u32()) {
+                    return Err(err(line_no, format!("duplicate partition id {id}")));
+                }
+                doc.spans.set(span_key::partition(id), line_no);
                 let kv = parse_kv(line_no, tokens)?;
                 let name = kv
                     .get("name")
@@ -212,6 +482,10 @@ pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
                     .parse::<u32>()
                     .map(ScheduleId)
                     .map_err(|_| err(line_no, format!("invalid schedule number '{digits}'")))?;
+                if !seen_schedules.insert(id.as_u32()) {
+                    return Err(err(line_no, format!("duplicate schedule id {id}")));
+                }
+                doc.spans.set(span_key::schedule(id), line_no);
                 let kv = parse_kv(line_no, tokens)?;
                 let name = kv
                     .get("name")
@@ -238,6 +512,7 @@ pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
                 match directive {
                     "require" => {
                         let kv = parse_kv(line_no, tokens)?;
+                        doc.spans.set(span_key::requirement(section.id, pid), line_no);
                         section.requirements.push(PartitionRequirement::new(
                             pid,
                             Ticks(parse_u64(line_no, &kv, "cycle")?),
@@ -246,9 +521,11 @@ pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
                     }
                     "window" => {
                         let kv = parse_kv(line_no, tokens)?;
+                        let offset = Ticks(parse_u64(line_no, &kv, "offset")?);
+                        doc.spans.set(span_key::window(section.id, pid, offset), line_no);
                         section.windows.push(TimeWindow::new(
                             pid,
-                            Ticks(parse_u64(line_no, &kv, "offset")?),
+                            offset,
                             Ticks(parse_u64(line_no, &kv, "duration")?),
                         ));
                     }
@@ -268,10 +545,180 @@ pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
                                 ));
                             }
                         };
+                        doc.spans.set(span_key::action(section.id, pid), line_no);
                         section.actions.push((pid, action));
                     }
                     _ => unreachable!(),
                 }
+            }
+            "sampling" | "queuing" => {
+                close(&mut doc, &mut open);
+                let pid_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, format!("'{directive}' needs a partition id")))?;
+                let pid = parse_pid(line_no, pid_tok)?;
+                let kv = parse_kv(line_no, tokens)?;
+                let name = kv
+                    .get("name")
+                    .ok_or_else(|| err(line_no, "missing 'name='"))?
+                    .to_string();
+                let dir = parse_direction(line_no, &kv)?;
+                let size = parse_u64(line_no, &kv, "size")? as usize;
+                doc.spans.set(span_key::port(pid, &name), line_no);
+                if directive == "sampling" {
+                    let refresh = parse_u64_opt(line_no, &kv, "refresh")?;
+                    if refresh.is_some() && dir == Direction::Source {
+                        return Err(err(line_no, "'refresh=' only applies to dir=destination"));
+                    }
+                    let config = SamplingPortConfig {
+                        name,
+                        max_message_size: size,
+                        refresh_period: refresh.map_or(Ticks::MAX, Ticks),
+                        direction: dir,
+                    };
+                    doc.sampling_ports.push((pid, config));
+                } else {
+                    let depth = parse_u64(line_no, &kv, "depth")? as usize;
+                    let config = QueuingPortConfig {
+                        name,
+                        max_message_size: size,
+                        max_nb_messages: depth,
+                        direction: dir,
+                    };
+                    doc.queuing_ports.push((pid, config));
+                }
+            }
+            "process" => {
+                close(&mut doc, &mut open);
+                let pid_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'process' needs a partition id"))?;
+                let pid = parse_pid(line_no, pid_tok)?;
+                let kv = parse_kv(line_no, tokens)?;
+                let name = kv
+                    .get("name")
+                    .ok_or_else(|| err(line_no, "missing 'name='"))?
+                    .to_string();
+                doc.spans.set(span_key::process(pid, &name), line_no);
+                let mut attrs = ProcessAttributes::new(name);
+                match (
+                    parse_u64_opt(line_no, &kv, "period")?,
+                    parse_u64_opt(line_no, &kv, "sporadic")?,
+                ) {
+                    (Some(_), Some(_)) => {
+                        return Err(err(line_no, "'period=' and 'sporadic=' are exclusive"));
+                    }
+                    (Some(t), None) => {
+                        attrs = attrs.with_recurrence(Recurrence::Periodic(Ticks(t)));
+                    }
+                    (None, Some(t)) => {
+                        attrs = attrs.with_recurrence(Recurrence::Sporadic(Ticks(t)));
+                    }
+                    (None, None) => {}
+                }
+                if let Some(d) = parse_u64_opt(line_no, &kv, "deadline")? {
+                    attrs = attrs.with_deadline(Deadline::Relative(Ticks(d)));
+                }
+                if let Some(c) = parse_u64_opt(line_no, &kv, "wcet")? {
+                    attrs = attrs.with_wcet(Ticks(c));
+                }
+                if let Some(p) = parse_u64_opt(line_no, &kv, "priority")? {
+                    let p = u8::try_from(p)
+                        .map_err(|_| err(line_no, format!("priority '{p}' out of range")))?;
+                    attrs = attrs.with_base_priority(Priority(p));
+                }
+                doc.processes.push((pid, attrs));
+            }
+            "memory" => {
+                close(&mut doc, &mut open);
+                let pid_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'memory' needs a partition id"))?;
+                let pid = parse_pid(line_no, pid_tok)?;
+                let kv = parse_kv(line_no, tokens)?;
+                let base = parse_addr(line_no, &kv, "base")?;
+                let size = parse_addr(line_no, &kv, "size")?;
+                let (writable, executable) = match kv.get("perm").copied() {
+                    Some("ro") => (false, false),
+                    Some("rw") => (true, false),
+                    Some("rx") => (false, true),
+                    Some("rwx") => (true, true),
+                    Some(other) => {
+                        return Err(err(line_no, format!("unknown permission '{other}'")));
+                    }
+                    None => return Err(err(line_no, "missing 'perm='")),
+                };
+                let shared = kv.get("shared") == Some(&"true");
+                doc.spans.set(span_key::memory(pid, base), line_no);
+                doc.memory.push(MemoryRegion {
+                    partition: pid,
+                    base,
+                    size,
+                    writable,
+                    executable,
+                    shared,
+                });
+            }
+            "channel" => {
+                close(&mut doc, &mut open);
+                let id_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'channel' needs an id"))?;
+                let id = id_tok
+                    .parse::<u32>()
+                    .map_err(|_| err(line_no, format!("invalid channel id '{id_tok}'")))?;
+                let kv = parse_kv(line_no, tokens)?;
+                let from = kv
+                    .get("from")
+                    .ok_or_else(|| err(line_no, "missing 'from='"))?;
+                let source = parse_port_addr(line_no, from)?;
+                let to = kv.get("to").ok_or_else(|| err(line_no, "missing 'to='"))?;
+                let mut destinations = Vec::new();
+                for part in to.split(',').filter(|p| !p.is_empty()) {
+                    destinations.push(Destination::Local(parse_port_addr(line_no, part)?));
+                }
+                doc.spans.set(span_key::channel(id), line_no);
+                doc.channels.push(ChannelConfig {
+                    id,
+                    source,
+                    destinations,
+                });
+            }
+            "hm" => {
+                close(&mut doc, &mut open);
+                let err_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'hm' needs an error id"))?;
+                let error = parse_error_id(line_no, err_tok)?;
+                let kv = parse_kv(line_no, tokens)?;
+                let level = match kv.get("level").copied() {
+                    Some("process") => ErrorLevel::Process,
+                    Some("partition") => ErrorLevel::Partition,
+                    Some("module") => ErrorLevel::Module,
+                    Some(other) => {
+                        return Err(err(line_no, format!("unknown error level '{other}'")));
+                    }
+                    None => return Err(err(line_no, "missing 'level='")),
+                };
+                doc.spans.set(span_key::hm(error), line_no);
+                doc.hm_levels.push((error, level));
+            }
+            "handler" => {
+                close(&mut doc, &mut open);
+                let pid_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'handler' needs a partition id"))?;
+                let pid = parse_pid(line_no, pid_tok)?;
+                let err_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'handler' needs an error id"))?;
+                let error = parse_error_id(line_no, err_tok)?;
+                let action_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'handler' needs an action"))?;
+                let action = parse_recovery_action(line_no, action_tok)?;
+                doc.spans.set(span_key::handler(pid, error), line_no);
+                doc.handlers.push((pid, error, action));
             }
             other => {
                 return Err(err(line_no, format!("unknown directive '{other}'")));
@@ -297,6 +744,76 @@ pub fn emit(doc: &ConfigDoc) -> String {
             out.push_str(" authority=true");
         }
         out.push('\n');
+    }
+    for (pid, cfg) in &doc.sampling_ports {
+        out.push_str(&format!(
+            "sampling {pid} name={} dir={} size={}",
+            cfg.name,
+            direction_token(cfg.direction),
+            cfg.max_message_size
+        ));
+        if cfg.direction == Direction::Destination && cfg.refresh_period != Ticks::MAX {
+            out.push_str(&format!(" refresh={}", cfg.refresh_period.as_u64()));
+        }
+        out.push('\n');
+    }
+    for (pid, cfg) in &doc.queuing_ports {
+        out.push_str(&format!(
+            "queuing {pid} name={} dir={} size={} depth={}\n",
+            cfg.name,
+            direction_token(cfg.direction),
+            cfg.max_message_size,
+            cfg.max_nb_messages
+        ));
+    }
+    for (pid, attrs) in &doc.processes {
+        out.push_str(&format!("process {pid} name={}", attrs.name()));
+        match attrs.recurrence() {
+            Recurrence::Periodic(t) => out.push_str(&format!(" period={}", t.as_u64())),
+            Recurrence::Sporadic(t) => out.push_str(&format!(" sporadic={}", t.as_u64())),
+            Recurrence::Aperiodic => {}
+        }
+        if let Deadline::Relative(d) = attrs.deadline() {
+            out.push_str(&format!(" deadline={}", d.as_u64()));
+        }
+        if let Some(c) = attrs.wcet() {
+            out.push_str(&format!(" wcet={}", c.as_u64()));
+        }
+        if attrs.base_priority() != Priority::LOWEST {
+            out.push_str(&format!(" priority={}", attrs.base_priority().0));
+        }
+        out.push('\n');
+    }
+    for r in &doc.memory {
+        let perm = match (r.writable, r.executable) {
+            (false, false) => "ro",
+            (true, false) => "rw",
+            (false, true) => "rx",
+            (true, true) => "rwx",
+        };
+        out.push_str(&format!(
+            "memory {} base={:#x} size={:#x} perm={perm}",
+            r.partition, r.base, r.size
+        ));
+        if r.shared {
+            out.push_str(" shared=true");
+        }
+        out.push('\n');
+    }
+    for (pid, error, action) in &doc.handlers {
+        out.push_str(&format!(
+            "handler {pid} {} {}\n",
+            error_id_token(*error),
+            recovery_action_token(*action)
+        ));
+    }
+    for (error, level) in &doc.hm_levels {
+        let level = match level {
+            ErrorLevel::Process => "process",
+            ErrorLevel::Partition => "partition",
+            ErrorLevel::Module => "module",
+        };
+        out.push_str(&format!("hm {} level={level}\n", error_id_token(*error)));
     }
     for s in &doc.schedules {
         out.push_str(&format!(
@@ -334,7 +851,51 @@ pub fn emit(doc: &ConfigDoc) -> String {
             }
         }
     }
+    for c in &doc.channels {
+        let dests: Vec<String> = c
+            .destinations
+            .iter()
+            .filter_map(|d| match d {
+                Destination::Local(addr) => Some(addr.to_string()),
+                Destination::Remote { .. } => None,
+            })
+            .collect();
+        out.push_str(&format!(
+            "channel {} from={} to={}\n",
+            c.id,
+            c.source,
+            dests.join(",")
+        ));
+    }
     out
+}
+
+fn direction_token(direction: Direction) -> &'static str {
+    match direction {
+        Direction::Source => "source",
+        Direction::Destination => "destination",
+    }
+}
+
+fn recovery_action_token(action: ProcessRecoveryAction) -> String {
+    match action {
+        ProcessRecoveryAction::Ignore => "ignore".into(),
+        ProcessRecoveryAction::LogThenAct { threshold, then } => {
+            let then = match then {
+                EscalatedProcessAction::RestartProcess => "restart_process",
+                EscalatedProcessAction::StartOtherProcess => "start_other_process",
+                EscalatedProcessAction::StopProcess => "stop_process",
+                EscalatedProcessAction::RestartPartition => "restart_partition",
+                EscalatedProcessAction::StopPartition => "stop_partition",
+            };
+            format!("log_then_act={threshold}/{then}")
+        }
+        ProcessRecoveryAction::RestartProcess => "restart_process".into(),
+        ProcessRecoveryAction::StartOtherProcess => "start_other_process".into(),
+        ProcessRecoveryAction::StopProcess => "stop_process".into(),
+        ProcessRecoveryAction::RestartPartition => "restart_partition".into(),
+        ProcessRecoveryAction::StopPartition => "stop_partition".into(),
+    }
 }
 
 /// The Fig. 8 prototype as a configuration document (the text an
@@ -344,6 +905,7 @@ pub fn fig8_config_text() -> String {
     emit(&ConfigDoc {
         partitions: sys.partitions,
         schedules: sys.schedules.iter().cloned().collect(),
+        ..ConfigDoc::default()
     })
 }
 
@@ -470,5 +1032,128 @@ mod tests {
         let report = verify_schedule_set(&doc.schedule_set(), &doc.partitions);
         assert!(report.is_ok(), "{report}");
         assert_eq!(doc.schedule_set().get(CHI_1).unwrap().mtf(), Ticks(1300));
+    }
+
+    #[test]
+    fn duplicate_partition_ids_are_rejected_with_line() {
+        let e = parse("partition P0 name=a\npartition P1 name=b\npartition P0 name=c\n")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate partition id P0"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_schedule_ids_are_rejected_with_line() {
+        let e = parse(
+            "schedule chi0 name=a mtf=10\n\
+             schedule chi1 name=b mtf=10\n\
+             schedule chi0 name=c mtf=10\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate schedule id chi0"), "{e}");
+    }
+
+    #[test]
+    fn extended_directives_round_trip_through_text() {
+        let text = "\
+partition P0 name=AOCS authority=true
+partition P1 name=OBDH
+schedule chi0 name=ops mtf=200
+  require P0 cycle=200 duration=80
+  require P1 cycle=200 duration=80
+  window P0 offset=0 duration=80
+  window P1 offset=80 duration=80
+process P0 name=ctl period=200 deadline=200 wcet=40 priority=10
+process P1 name=tm sporadic=100 wcet=5
+sampling P0 name=att-out dir=source size=64
+sampling P1 name=att-in dir=destination size=64 refresh=400
+queuing P1 name=tc-out dir=source size=32 depth=8
+queuing P0 name=tc-in dir=destination size=32 depth=8
+channel 0 from=P0:att-out to=P1:att-in
+channel 1 from=P1:tc-out to=P0:tc-in
+memory P0 base=0x40000000 size=0x10000 perm=rw
+memory P1 base=0x40200000 size=0x1000 perm=ro shared=true
+hm deadline_missed level=process
+handler P0 deadline_missed log_then_act=3/restart_process
+handler P1 application_error stop_process
+";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.processes.len(), 2);
+        assert_eq!(
+            doc.processes[0].1.recurrence(),
+            Recurrence::Periodic(Ticks(200))
+        );
+        assert_eq!(doc.processes[0].1.wcet(), Some(Ticks(40)));
+        assert_eq!(doc.processes[0].1.base_priority(), Priority(10));
+        assert_eq!(
+            doc.processes[1].1.recurrence(),
+            Recurrence::Sporadic(Ticks(100))
+        );
+        assert_eq!(doc.sampling_ports.len(), 2);
+        assert_eq!(doc.sampling_ports[1].1.refresh_period, Ticks(400));
+        assert_eq!(doc.queuing_ports.len(), 2);
+        assert_eq!(doc.queuing_ports[0].1.max_nb_messages, 8);
+        assert_eq!(doc.channels.len(), 2);
+        assert_eq!(doc.channels[0].source, PortAddr::new(PartitionId(0), "att-out"));
+        assert_eq!(doc.memory.len(), 2);
+        assert_eq!(doc.memory[0].base, 0x4000_0000);
+        assert!(doc.memory[1].shared);
+        assert!(!doc.memory[1].writable);
+        assert_eq!(doc.hm_levels, vec![(ErrorId::DeadlineMissed, ErrorLevel::Process)]);
+        assert_eq!(doc.handlers.len(), 2);
+        assert_eq!(
+            doc.handlers[0].2,
+            ProcessRecoveryAction::LogThenAct {
+                threshold: 3,
+                then: EscalatedProcessAction::RestartProcess
+            }
+        );
+
+        // Emit is stable: parse(emit(doc)) reproduces the document
+        // (spans aside — they refer to the original text's lines).
+        let emitted = emit(&doc);
+        let reparsed = parse(&emitted).unwrap();
+        assert_eq!(ConfigDoc { spans: Spans::default(), ..reparsed },
+                   ConfigDoc { spans: Spans::default(), ..doc });
+    }
+
+    #[test]
+    fn spans_point_at_declaration_lines() {
+        let doc = parse(
+            "partition P0 name=AOCS\n\
+             schedule chi0 name=ops mtf=100\n\
+             \twindow P0 offset=0 duration=50\n\
+             sampling P0 name=out dir=source size=8\n",
+        )
+        .unwrap();
+        assert_eq!(doc.spans.get(&span_key::partition(PartitionId(0))), Some(1));
+        assert_eq!(doc.spans.get(&span_key::schedule(ScheduleId(0))), Some(2));
+        assert_eq!(
+            doc.spans
+                .get(&span_key::window(ScheduleId(0), PartitionId(0), Ticks(0))),
+            Some(3)
+        );
+        assert_eq!(doc.spans.get(&span_key::port(PartitionId(0), "out")), Some(4));
+    }
+
+    #[test]
+    fn extended_directive_errors_carry_line_numbers() {
+        let cases = [
+            ("process P0 name=a period=5 sporadic=5", 1, "exclusive"),
+            ("sampling P0 name=a dir=sideways size=8", 1, "unknown direction"),
+            ("sampling P0 name=a dir=source size=8 refresh=5", 1, "refresh"),
+            ("queuing P0 name=a dir=source size=8", 1, "missing 'depth='"),
+            ("memory P0 base=0x1000 size=0x1000 perm=www", 1, "unknown permission"),
+            ("channel 0 from=nonsense to=P1:x", 1, "expected 'P<n>:<port>'"),
+            ("hm deadline_missed level=cosmic", 1, "unknown error level"),
+            ("handler P0 deadline_missed explode", 1, "unknown handler action"),
+            ("handler P0 not_an_error ignore", 1, "unknown error id"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text}");
+            assert!(e.message.contains(needle), "{text}: {e}");
+        }
     }
 }

@@ -83,6 +83,7 @@ schedule chi0 name=ops mtf=200
     let mut alt_doc = ConfigDoc {
         partitions: doc.partitions.clone(),
         schedules: doc.schedules.clone(),
+        ..ConfigDoc::default()
     };
     alt_doc.schedules.push(synthesized);
     println!("emitted configuration:\n{}", emit(&alt_doc));

@@ -18,6 +18,22 @@ cargo test -q
 echo "== lint: clippy (all targets, warnings are errors) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== lint: no panicking constructs in kernel-grade crates =="
+scripts/forbid.sh
+
+echo "== lint: airlint over the example configurations =="
+cargo run --release -q -p air-lint --bin airlint -- examples/*.air
+
+echo "== lint: airlint golden corpus (JSON diff) =="
+corpus_out=$(mktemp)
+trap 'rm -f "$corpus_out"' EXIT
+for case in tests/lint_corpus/*.air; do
+    # airlint exits 1 on Error-level findings -- expected for the corpus.
+    cargo run --release -q -p air-lint --bin airlint -- --json "$case" > "$corpus_out" || true
+    diff -u "${case%.air}.expected" "$corpus_out" \
+        || { echo "golden drift in $case" >&2; exit 1; }
+done
+
 echo "== smoke fault-injection campaign (3 seeds x all fault classes) =="
 cargo run --release -q -p bench --bin campaign -- --smoke
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Forbid panicking constructs in the kernel-grade crates.
+#
+# The PMK and the hardware model are the layers the paper trusts to
+# contain everyone else's faults; a panic there takes the whole module
+# down with no health-monitor mediation. This gate scans their non-test
+# sources for `unwrap()`, `expect(` and `panic!` and fails on any hit
+# that is not explicitly allowlisted with a trailing
+# `// lint: allow(panic)` comment (reserved for cases proven unreachable
+# or equivalent to a hardware halt).
+#
+#   scripts/forbid.sh            # scan crates/pmk/src crates/hw/src
+#   scripts/forbid.sh <dirs...>  # scan specific directories
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dirs=("$@")
+if [[ ${#dirs[@]} -eq 0 ]]; then
+    dirs=(crates/pmk/src crates/hw/src)
+fi
+
+fail=0
+for dir in "${dirs[@]}"; do
+    while IFS= read -r file; do
+        hits=$(awk '
+            /^[[:space:]]*#\[cfg\(test\)\]/ { intest = 1 }
+            intest { next }  # nothing after the test module marker counts
+            /^[[:space:]]*\/\// { next }               # comment lines
+            /lint: allow\(panic\)/ { next }            # explicit allowlist
+            /\.unwrap\(\)|\.expect\(|panic!/ {
+                printf "%s:%d: %s\n", FILENAME, FNR, $0
+            }
+        ' "$file")
+        if [[ -n "$hits" ]]; then
+            echo "$hits"
+            fail=1
+        fi
+    done < <(find "$dir" -name '*.rs' | sort)
+done
+
+if [[ $fail -ne 0 ]]; then
+    echo "forbid.sh: panicking constructs found in kernel-grade code." >&2
+    echo "Remove them or annotate the line with '// lint: allow(panic)' and a justification." >&2
+    exit 1
+fi
+echo "forbid.sh: clean"

@@ -1,0 +1,105 @@
+//! Golden corpus for `air-lint`: every `.air` file under
+//! `tests/lint_corpus/` is linted and its line-oriented JSON report is
+//! compared byte-for-byte against the sibling `.expected` file, so the
+//! exact diagnostic codes (and their lines) are pinned down.
+//!
+//! To regenerate a golden after an intentional change:
+//! `cargo run -p air-lint --bin airlint -- --json tests/lint_corpus/<case>.air`
+//! and review the diff by hand before committing it.
+
+use std::path::{Path, PathBuf};
+
+use air_lint::lint_config_text;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus")
+}
+
+fn corpus_cases() -> Vec<PathBuf> {
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "air"))
+        .collect();
+    cases.sort();
+    cases
+}
+
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        corpus_cases().len() >= 15,
+        "expected at least 15 corpus cases, found {}",
+        corpus_cases().len()
+    );
+}
+
+#[test]
+fn corpus_reports_match_goldens() {
+    let mut failures = Vec::new();
+    for case in corpus_cases() {
+        let text = std::fs::read_to_string(&case).expect("readable corpus case");
+        let golden_path = case.with_extension("expected");
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!("missing golden file {}", golden_path.display())
+        });
+        let actual = lint_config_text(&text).to_json_lines();
+        if actual != golden {
+            failures.push(format!(
+                "== {} ==\n--- expected\n{golden}--- actual\n{actual}",
+                case.display()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn example_configs_lint_clean() {
+    let examples = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut found = 0;
+    for entry in std::fs::read_dir(examples).expect("examples directory exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_some_and(|ext| ext == "air") {
+            let text = std::fs::read_to_string(&path).expect("readable example");
+            let report = lint_config_text(&text);
+            assert!(!report.has_errors(), "{}:\n{report}", path.display());
+            found += 1;
+        }
+    }
+    assert!(found >= 2, "expected at least 2 .air examples, found {found}");
+}
+
+#[test]
+fn example_fig8_matches_the_generator() {
+    // `examples/fig8.air` is the emitted form of the Sect. 6 prototype;
+    // regenerate with `cargo run -p air-tools --bin airtool -- fig8`
+    // whenever the prototype tables change.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/fig8.air");
+    let on_disk = std::fs::read_to_string(path).expect("examples/fig8.air exists");
+    assert_eq!(
+        on_disk,
+        air_tools::config::fig8_config_text(),
+        "examples/fig8.air drifted from fig8_config_text()"
+    );
+}
+
+#[test]
+fn every_error_case_has_errors() {
+    // Corpus convention: `clean_*` cases lint without errors, `warn_*`
+    // cases have no errors but at least one finding, and everything else
+    // must produce at least one Error-level diagnostic.
+    for case in corpus_cases() {
+        let text = std::fs::read_to_string(&case).expect("readable corpus case");
+        let report = lint_config_text(&text);
+        let name = case.file_stem().unwrap().to_string_lossy().into_owned();
+        if name.starts_with("clean_") {
+            assert!(!report.has_errors(), "{name} should be clean:\n{report}");
+        } else if name.starts_with("warn_") {
+            assert!(!report.has_errors(), "{name} should have no errors:\n{report}");
+            assert!(!report.is_empty(), "{name} should have findings");
+        } else {
+            assert!(report.has_errors(), "{name} should report errors:\n{report}");
+        }
+    }
+}
