@@ -13,10 +13,18 @@
 //! Every run re-executes its plan and demands a byte-identical trace log,
 //! so the whole matrix doubles as a determinism regression.
 //!
+//! A third sweep drives the *cluster*: link-fault campaigns (drops,
+//! bit-flips, outages, acknowledgement destruction against the reliable
+//! transport of a two-node system) emitting `BENCH_link.json` — delivery
+//! ratio, retransmissions, failover count and degraded-mode recovery
+//! latency per seed.
+//!
 //! `--smoke` runs a reduced matrix (3 seeds × all classes) without writing
 //! the JSON and exits non-zero on any invariant violation — the CI hook.
+//! `--smoke-link` does the same for the link-fault campaigns.
 
 use air_core::campaign::{standard_plan, CampaignOutcome, CampaignRunner};
+use air_core::link_campaign::{link_plan, LinkCampaignOutcome, LinkCampaignRunner};
 use air_hw::inject::{FaultClass, FaultPlan};
 
 const SEEDS: [u64; 5] = [1, 3, 7, 11, 42];
@@ -101,9 +109,73 @@ fn run_smoke() -> i32 {
     0
 }
 
+/// One row of the link matrix: a seeded campaign plus its JSON rendering.
+fn link_row(seed: u64, outcome: &LinkCampaignOutcome) -> String {
+    let recovery = match outcome.recovery_latency {
+        Some(t) => t.to_string(),
+        None => "null".into(),
+    };
+    format!(
+        "    {{\"seed\": {seed}, \"expected\": {}, \"delivered\": {}, \
+         \"delivery_ratio\": {:.3}, \"retransmissions\": {}, \
+         \"duplicates_suppressed\": {}, \"failovers\": {}, \"reverts\": {}, \
+         \"degraded_entries\": {}, \"degraded_exits\": {}, \
+         \"recovery_latency_ticks\": {recovery}, \"violations\": {}, \
+         \"deterministic\": {}}}",
+        outcome.expected,
+        outcome.delivered,
+        outcome.delivery_ratio(),
+        outcome.retransmissions,
+        outcome.duplicates_suppressed,
+        outcome.failovers,
+        outcome.reverts,
+        outcome.degraded_entries,
+        outcome.degraded_exits,
+        outcome.report.violations().len(),
+        outcome.deterministic
+    )
+}
+
+fn print_link_outcome(label: &str, seed: u64, outcome: &LinkCampaignOutcome) {
+    println!(
+        "{label} seed {seed:>3}: {}/{} delivered, {} retransmissions, \
+         {} failovers, degraded {}↓/{}↑, {} violations, deterministic={}",
+        outcome.delivered,
+        outcome.expected,
+        outcome.retransmissions,
+        outcome.failovers,
+        outcome.degraded_entries,
+        outcome.degraded_exits,
+        outcome.report.violations().len(),
+        outcome.deterministic
+    );
+}
+
+fn run_smoke_link() -> i32 {
+    let mut failures = 0;
+    for &seed in &SMOKE_SEEDS {
+        let outcome = LinkCampaignRunner::new(link_plan(seed, 1)).run();
+        let ok = outcome.is_ok() && outcome.delivered == outcome.expected;
+        print_link_outcome("link", seed, &outcome);
+        if !ok {
+            failures += 1;
+            print!("{}", outcome.report);
+        }
+    }
+    if failures > 0 {
+        eprintln!("link smoke campaign: {failures} seed(s) lost messages or broke invariants");
+        return 1;
+    }
+    println!("link smoke campaign: exactly-once delivery held on every seed");
+    0
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         std::process::exit(run_smoke());
+    }
+    if std::env::args().any(|a| a == "--smoke-link") {
+        std::process::exit(run_smoke_link());
     }
 
     println!(
@@ -209,7 +281,76 @@ fn main() {
         total_violations,
         all_deterministic
     );
-    if !all_detected || total_violations > 0 || !all_deterministic {
+
+    // Link-fault campaigns over the two-node cluster: per-class sweeps
+    // isolating each loss mechanism, then mixed plans interleaving them.
+    println!(
+        "\nlink campaign: {} fault classes × {} seeds + mixed plans\n",
+        FaultClass::LINK.len(),
+        SEEDS.len()
+    );
+    let mut all_delivered = true;
+    let mut link_violations = 0usize;
+    let mut link_deterministic = true;
+    let mut class_sections = String::new();
+    for (i, &class) in FaultClass::LINK.iter().enumerate() {
+        let mut rows = String::new();
+        for (j, &seed) in SEEDS.iter().enumerate() {
+            let plan = FaultPlan::generate(seed, &[class], 2, 150, 400, 37);
+            let outcome = LinkCampaignRunner::new(plan).run();
+            print_link_outcome(class.label(), seed, &outcome);
+            all_delivered &= outcome.delivered == outcome.expected && outcome.is_ok();
+            link_violations += outcome.report.violations().len();
+            link_deterministic &= outcome.deterministic;
+            if j > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&link_row(seed, &outcome));
+        }
+        if i > 0 {
+            class_sections.push_str(",\n");
+        }
+        class_sections.push_str(&format!(
+            "    {{\"class\": \"{}\", \"runs\": [\n{rows}\n    ]}}",
+            class.label()
+        ));
+    }
+    println!();
+    let mut mixed_rows = String::new();
+    for (i, &seed) in SEEDS.iter().enumerate() {
+        let outcome = LinkCampaignRunner::new(link_plan(seed, 1)).run();
+        print_link_outcome("mixed", seed, &outcome);
+        all_delivered &= outcome.delivered == outcome.expected && outcome.is_ok();
+        link_violations += outcome.report.violations().len();
+        link_deterministic &= outcome.deterministic;
+        if i > 0 {
+            mixed_rows.push_str(",\n");
+        }
+        mixed_rows.push_str(&link_row(seed, &outcome));
+    }
+    let link_json = format!(
+        "{{\n  \"experiment\": \"link-fault campaigns over the reliable transport\",\n  \
+           \"profile\": \"{}\",\n  \"seeds\": {:?},\n  \"classes\": [\n{class_sections}\n  ],\n  \
+           \"mixed\": [\n{mixed_rows}\n  ],\n  \"exactly_once_delivery\": {all_delivered},\n  \
+           \"invariant_violations\": {link_violations},\n  \
+           \"deterministic\": {link_deterministic}\n}}\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        SEEDS
+    );
+    std::fs::write("BENCH_link.json", &link_json).expect("write BENCH_link.json");
+    println!(
+        "\ndelivery {} · {} violations · deterministic={} → BENCH_link.json written",
+        if all_delivered { "100%" } else { "INCOMPLETE" },
+        link_violations,
+        link_deterministic
+    );
+    if !all_detected
+        || total_violations > 0
+        || !all_deterministic
+        || !all_delivered
+        || link_violations > 0
+        || !link_deterministic
+    {
         std::process::exit(1);
     }
 }

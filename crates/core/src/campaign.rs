@@ -178,7 +178,12 @@ impl CampaignOutcome {
 pub fn event_owner(event: &TraceEvent) -> Option<PartitionId> {
     match event {
         TraceEvent::PartitionSwitch { to, .. } => *to,
-        TraceEvent::ScheduleSwitch { .. } | TraceEvent::FaultInjected { .. } => None,
+        TraceEvent::ScheduleSwitch { .. }
+        | TraceEvent::FaultInjected { .. }
+        | TraceEvent::FrameRetransmitted { .. }
+        | TraceEvent::LinkFailover { .. }
+        | TraceEvent::DegradedModeEntered { .. }
+        | TraceEvent::DegradedModeExited { .. } => None,
         TraceEvent::ScheduleChangeActionApplied { partition, .. }
         | TraceEvent::PartitionRestart { partition, .. }
         | TraceEvent::PartitionStop { partition, .. } => Some(*partition),

@@ -3,18 +3,31 @@
 //!
 //! Each node is a complete [`AirSystem`] (its own machine, PMK, schedules,
 //! partitions); the cluster steps both in clock lockstep and shuttles link
-//! frames between them. Each node's [`air_hw::link::InterNodeLink`] models
-//! its network adapter, so the end-to-end latency of a frame is the sum of
-//! the two nodes' configured link latencies.
+//! frames between them. Each node's [`air_hw::RedundantLink`] models its
+//! dual network adapters (primary + standby), so the end-to-end latency of
+//! a frame is the sum of the two nodes' configured link latencies on the
+//! paths the frame takes.
 //!
 //! Channel identifiers are global integration data: a channel configured
 //! with a [`air_ports::Destination::Remote`] on the sending node must be
 //! configured with the same id and a local destination on the receiving
 //! node (exactly how the Sect. 2.1 transport resolves "partitions remote
 //! to one another").
+//!
+//! Joining two systems into a cluster enables the reliable transport
+//! ([`air_ports::ArqEndpoint`]) on both nodes by default: cluster channels
+//! are sequenced, acknowledged, retransmitted on loss and delivered
+//! exactly once in order. Pass an explicit `None` to
+//! [`AirCluster::new_with`] to get the legacy best-effort link (frame loss
+//! is then only *detected*, via sequence gaps, not repaired).
+
+use std::fmt;
 
 use air_hw::link::LinkEndpoint;
+use air_hw::redundant::LinkRole;
 use air_model::Ticks;
+use air_ports::wire::bytes_look_like_ack;
+use air_ports::ArqConfig;
 
 use crate::system::AirSystem;
 
@@ -27,34 +40,116 @@ pub enum Node {
     B,
 }
 
-/// Two AIR systems joined by the inter-node link.
+/// Why two systems could not be joined into a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The two systems' clocks disagree: lockstep requires both to be
+    /// freshly built or equally advanced.
+    ClockMisaligned {
+        /// Node A's clock at join time.
+        node_a: Ticks,
+        /// Node B's clock at join time.
+        node_b: Ticks,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::ClockMisaligned { node_a, node_b } => write!(
+                f,
+                "cluster nodes must start in clock lockstep \
+                 (node A at {node_a}, node B at {node_b})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A point-in-time snapshot of one node's link health: which adapter is
+/// active, how close it is to failover, and the reliable-transport
+/// counters behind the delivery guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkHealth {
+    /// The adapter currently carrying traffic.
+    pub active: LinkRole,
+    /// Consecutive loss units (retransmission-timeout rounds) observed on
+    /// the active adapter.
+    pub consecutive_losses: u32,
+    /// Loss streak at which the node fails over (0 disables failover).
+    pub failover_threshold: u32,
+    /// Total primary→secondary failovers so far.
+    pub failovers: u64,
+    /// Total secondary→primary reverts so far.
+    pub reverts: u64,
+    /// Frames retransmitted by the reliable transport.
+    pub retransmissions: u64,
+    /// Duplicate frames suppressed at the receiver.
+    pub duplicates_suppressed: u64,
+    /// Out-of-order frames discarded at the receiver (later retransmitted
+    /// by the peer).
+    pub out_of_order_discarded: u64,
+    /// Acknowledgement frames sent.
+    pub acks_sent: u64,
+}
+
+/// Two AIR systems joined by the (dual redundant) inter-node link.
 #[derive(Debug)]
 pub struct AirCluster {
     node_a: AirSystem,
     node_b: AirSystem,
     frames_a_to_b: u64,
     frames_b_to_a: u64,
+    acks_a_to_b: u64,
+    acks_b_to_a: u64,
 }
 
 impl AirCluster {
-    /// Joins two systems into a cluster.
+    /// Joins two systems into a cluster with the reliable transport
+    /// enabled on both nodes (default [`ArqConfig`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the two systems' clocks are not aligned (both must be
-    /// freshly built or equally advanced) — lockstep is the whole point.
-    pub fn new(node_a: AirSystem, node_b: AirSystem) -> Self {
-        assert_eq!(
-            node_a.now(),
-            node_b.now(),
-            "cluster nodes must start in clock lockstep"
-        );
-        Self {
+    /// [`ClusterError::ClockMisaligned`] if the two systems' clocks are
+    /// not aligned — lockstep is the whole point.
+    pub fn new(node_a: AirSystem, node_b: AirSystem) -> Result<Self, ClusterError> {
+        Self::new_with(node_a, node_b, Some(ArqConfig::default()))
+    }
+
+    /// Joins two systems into a cluster, choosing the transport: pass a
+    /// config to enable the reliable transport (sequencing, ACKs,
+    /// retransmission, failover) on both nodes, or `None` for the legacy
+    /// best-effort link.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::ClockMisaligned`] if the two systems' clocks are
+    /// not aligned.
+    pub fn new_with(
+        mut node_a: AirSystem,
+        mut node_b: AirSystem,
+        transport: Option<ArqConfig>,
+    ) -> Result<Self, ClusterError> {
+        if node_a.now() != node_b.now() {
+            return Err(ClusterError::ClockMisaligned {
+                node_a: node_a.now(),
+                node_b: node_b.now(),
+            });
+        }
+        if let Some(config) = transport {
+            node_a.ipc_mut().enable_reliable_transport(config);
+            node_b.ipc_mut().enable_reliable_transport(config);
+        }
+        Ok(Self {
             node_a,
             node_b,
             frames_a_to_b: 0,
             frames_b_to_a: 0,
-        }
+            acks_a_to_b: 0,
+            acks_b_to_a: 0,
+        })
     }
 
     /// The requested node.
@@ -73,14 +168,42 @@ impl AirCluster {
         }
     }
 
-    /// Frames shuttled A→B so far.
+    /// Data frames shuttled A→B so far (acknowledgements not included).
     pub fn frames_a_to_b(&self) -> u64 {
         self.frames_a_to_b
     }
 
-    /// Frames shuttled B→A so far.
+    /// Data frames shuttled B→A so far (acknowledgements not included).
     pub fn frames_b_to_a(&self) -> u64 {
         self.frames_b_to_a
+    }
+
+    /// Acknowledgement frames shuttled A→B so far.
+    pub fn acks_a_to_b(&self) -> u64 {
+        self.acks_a_to_b
+    }
+
+    /// Acknowledgement frames shuttled B→A so far.
+    pub fn acks_b_to_a(&self) -> u64 {
+        self.acks_b_to_a
+    }
+
+    /// A snapshot of `node`'s link health: active adapter, loss streak,
+    /// failover/revert totals and the reliable-transport counters.
+    pub fn link_health(&self, node: Node) -> LinkHealth {
+        let sys = self.node(node);
+        let link = &sys.machine.link;
+        LinkHealth {
+            active: link.active(),
+            consecutive_losses: link.consecutive_losses(),
+            failover_threshold: link.failover_threshold(),
+            failovers: link.failovers(),
+            reverts: link.reverts(),
+            retransmissions: sys.ipc.retransmissions(),
+            duplicates_suppressed: sys.ipc.duplicates_suppressed(),
+            out_of_order_discarded: sys.ipc.out_of_order_discarded(),
+            acks_sent: sys.ipc.acks_sent(),
+        }
     }
 
     /// Advances both nodes by one clock tick, then shuttles any frames
@@ -110,7 +233,11 @@ impl AirCluster {
             .link
             .receive(LinkEndpoint::B, now_a)
         {
-            self.frames_a_to_b += 1;
+            if bytes_look_like_ack(&bytes) {
+                self.acks_a_to_b += 1;
+            } else {
+                self.frames_a_to_b += 1;
+            }
             self.node_b
                 .machine_mut()
                 .link
@@ -122,7 +249,11 @@ impl AirCluster {
             .link
             .receive(LinkEndpoint::B, now_b)
         {
-            self.frames_b_to_a += 1;
+            if bytes_look_like_ack(&bytes) {
+                self.acks_b_to_a += 1;
+            } else {
+                self.frames_b_to_a += 1;
+            }
             self.node_a
                 .machine_mut()
                 .link

@@ -49,6 +49,7 @@
 pub mod builder;
 pub mod campaign;
 pub mod cluster;
+pub mod link_campaign;
 pub mod prototype;
 pub mod system;
 pub mod trace;
@@ -56,6 +57,8 @@ pub mod workload;
 
 pub use builder::{PartitionConfig, ProcessConfig, SystemBuilder};
 pub use campaign::{standard_plan, CampaignOutcome, CampaignRunner, EscalationTally, FaultRecord};
+pub use cluster::{AirCluster, ClusterError, LinkHealth, Node};
+pub use link_campaign::{link_plan, LinkCampaignOutcome, LinkCampaignRunner};
 pub use system::{AirSystem, KeyAction};
 pub use trace::{RecoveryDisposition, Trace, TraceEvent};
 pub use workload::{FaultSwitch, ProcessApi, ProcessBody};

@@ -11,7 +11,9 @@ use air_hw::Machine;
 use air_model::ids::{GlobalProcessId, ProcessId};
 use air_model::partition::{OperatingMode, StartCondition};
 use air_model::{PartitionId, ScheduleChangeAction, ScheduleId, ScheduleSet, Ticks};
-use air_pmk::{PartitionDispatcher, PartitionScheduler, PmkIpc, SpatialManager};
+use air_hw::redundant::LinkRole;
+use air_pmk::{LinkTransportEvent, PartitionDispatcher, PartitionScheduler, PmkIpc,
+              SpatialManager};
 use air_vitral::Vitral;
 
 use crate::trace::{RecoveryDisposition, Trace, TraceEvent};
@@ -70,6 +72,14 @@ pub struct AirSystem {
     booted: bool,
     /// Wrapped guest clock-mask attempts already reported to HM.
     wrapped_clock_seen: u64,
+    /// Schedule to switch to when the reliable transport fails over to the
+    /// secondary link (the Sect. 4 mode-based degraded schedule).
+    degraded_schedule: Option<ScheduleId>,
+    /// Schedule that was current when degraded mode was entered, restored
+    /// on link recovery.
+    nominal_schedule: Option<ScheduleId>,
+    /// Whether the system is currently in link-degraded mode.
+    degraded_mode: bool,
 }
 
 impl std::fmt::Debug for AirSystem {
@@ -118,6 +128,9 @@ impl AirSystem {
             halted: false,
             booted: false,
             wrapped_clock_seen: 0,
+            degraded_schedule: None,
+            nominal_schedule: None,
+            degraded_mode: false,
         }
     }
 
@@ -268,6 +281,20 @@ impl AirSystem {
         self.scheduler.request_schedule(schedule)
     }
 
+    /// Configures the schedule the module switches to when the reliable
+    /// transport fails over to the secondary link (Sect. 4 mode-based
+    /// scheduling: the degraded mode trades functionality for the slower
+    /// standby link). Link recovery switches back to the schedule that was
+    /// current at failover.
+    pub fn set_degraded_schedule(&mut self, schedule: ScheduleId) {
+        self.degraded_schedule = Some(schedule);
+    }
+
+    /// Whether the module is currently in link-degraded mode.
+    pub fn is_degraded_mode(&self) -> bool {
+        self.degraded_mode
+    }
+
     /// Binds console key `key` to `action`.
     pub fn bind_key(&mut self, key: char, action: KeyAction) {
         self.key_actions.insert(key, action);
@@ -322,6 +349,7 @@ impl AirSystem {
                 InterruptLine::ClockTick => self.on_clock_tick(ticks),
                 InterruptLine::Link => {
                     let errors = self.ipc.receive(&mut self.machine.link, now);
+                    self.drain_transport_events(now);
                     for e in errors {
                         self.hm.report(
                             now,
@@ -422,6 +450,7 @@ impl AirSystem {
         // A preemption point: a partition boundary. Interpartition traffic
         // moves here, never inside a window.
         let frame_errors = self.ipc.service(&mut self.machine);
+        self.drain_transport_events(now);
         for e in frame_errors {
             self.hm
                 .report(now, ErrorId::HardwareFault, ErrorSource::Module, e.to_string());
@@ -570,6 +599,102 @@ impl AirSystem {
                 partition: Some(m),
             });
             self.apply_decision_for(ErrorId::DeadlineMissed, decision, now);
+        }
+    }
+
+    /// Surfaces the reliable transport's events (retransmissions, link
+    /// failover, delivery exhaustion, recovery) into the trace and health
+    /// monitor, and drives the Sect. 4 mode-based schedule switch: failover
+    /// to the secondary link enters the configured degraded schedule, link
+    /// recovery restores the schedule that was in force at failover.
+    ///
+    /// Link degradation is deliberately report-only at HM level — the
+    /// degraded-schedule switch *is* the recovery, so the standard module-
+    /// level action (Reset) must not also fire.
+    fn drain_transport_events(&mut self, now: Ticks) {
+        for event in self.ipc.take_transport_events() {
+            match event {
+                LinkTransportEvent::Retransmitted { seq, retries } => {
+                    self.trace.record(TraceEvent::FrameRetransmitted {
+                        at: now,
+                        seq,
+                        retries,
+                    });
+                }
+                LinkTransportEvent::Failover { to } => {
+                    self.trace
+                        .record(TraceEvent::LinkFailover { at: now, to });
+                    match to {
+                        LinkRole::Secondary => {
+                            self.hm.report(
+                                now,
+                                ErrorId::LinkDegraded,
+                                ErrorSource::Module,
+                                format!("reliable transport failed over to {to} link"),
+                            );
+                            self.trace.record(TraceEvent::HmReport {
+                                at: now,
+                                error: ErrorId::LinkDegraded,
+                                partition: None,
+                            });
+                            self.enter_degraded_mode(now);
+                        }
+                        // Reverting to the primary link is a recovery: the
+                        // standby interval is over.
+                        LinkRole::Primary => self.exit_degraded_mode(now),
+                    }
+                }
+                LinkTransportEvent::Recovered => self.exit_degraded_mode(now),
+                LinkTransportEvent::DeliveryExhausted { seq } => {
+                    self.hm.report(
+                        now,
+                        ErrorId::LinkDegraded,
+                        ErrorSource::Module,
+                        format!("delivery retries exhausted for frame #{seq}"),
+                    );
+                    self.trace.record(TraceEvent::HmReport {
+                        at: now,
+                        error: ErrorId::LinkDegraded,
+                        partition: None,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Switches to the configured degraded schedule (if any) and records
+    /// the mode entry. Idempotent while already degraded.
+    fn enter_degraded_mode(&mut self, now: Ticks) {
+        if self.degraded_mode {
+            return;
+        }
+        let Some(degraded) = self.degraded_schedule else {
+            return;
+        };
+        self.nominal_schedule = Some(self.scheduler.status().current);
+        if self.scheduler.request_schedule(degraded).is_ok() {
+            self.degraded_mode = true;
+            self.trace.record(TraceEvent::DegradedModeEntered {
+                at: now,
+                schedule: degraded,
+            });
+        }
+    }
+
+    /// Restores the schedule that was in force at failover and records the
+    /// mode exit. No-op when not degraded.
+    fn exit_degraded_mode(&mut self, now: Ticks) {
+        if !self.degraded_mode {
+            return;
+        }
+        self.degraded_mode = false;
+        if let Some(nominal) = self.nominal_schedule.take() {
+            let _ = self.scheduler.request_schedule(nominal);
+            self.trace.record(TraceEvent::DegradedModeExited {
+                at: now,
+                schedule: nominal,
+            });
         }
     }
 

@@ -3,6 +3,7 @@
 
 use air_hm::ErrorId;
 use air_hw::inject::FaultClass;
+use air_hw::redundant::LinkRole;
 use air_model::ids::GlobalProcessId;
 use air_model::{PartitionId, ScheduleChangeAction, ScheduleId, Ticks};
 
@@ -115,6 +116,40 @@ pub enum TraceEvent {
         /// What was actually done.
         disposition: RecoveryDisposition,
     },
+    /// The reliable transport retransmitted its in-flight window after a
+    /// timeout round (loss evidence on the active link).
+    FrameRetransmitted {
+        /// When.
+        at: Ticks,
+        /// Sequence number of the window head.
+        seq: u64,
+        /// The head's retry count after this round.
+        retries: u32,
+    },
+    /// The redundant link pair switched its active side — a threshold
+    /// failover to the standby, or revertive switching back.
+    LinkFailover {
+        /// When.
+        at: Ticks,
+        /// The newly active link role.
+        to: LinkRole,
+    },
+    /// The system entered degraded mode: link failover triggered the
+    /// Sect. 4 mode-based switch to the degraded schedule.
+    DegradedModeEntered {
+        /// When.
+        at: Ticks,
+        /// The degraded schedule now requested.
+        schedule: ScheduleId,
+    },
+    /// The system left degraded mode: the link recovered and the nominal
+    /// schedule was requested again.
+    DegradedModeExited {
+        /// When.
+        at: Ticks,
+        /// The nominal schedule now requested.
+        schedule: ScheduleId,
+    },
 }
 
 impl TraceEvent {
@@ -129,7 +164,11 @@ impl TraceEvent {
             | TraceEvent::PartitionRestart { at, .. }
             | TraceEvent::PartitionStop { at, .. }
             | TraceEvent::FaultInjected { at, .. }
-            | TraceEvent::RecoveryApplied { at, .. } => *at,
+            | TraceEvent::RecoveryApplied { at, .. }
+            | TraceEvent::FrameRetransmitted { at, .. }
+            | TraceEvent::LinkFailover { at, .. }
+            | TraceEvent::DegradedModeEntered { at, .. }
+            | TraceEvent::DegradedModeExited { at, .. } => *at,
         }
     }
 }

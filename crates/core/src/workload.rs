@@ -338,6 +338,51 @@ impl ProcessBody for QueuingProducer {
     }
 }
 
+/// A periodic producer pushing one queuing message per activation until a
+/// fixed budget is exhausted, then idling — the link campaigns use it so
+/// "every offered message" is a closed set the invariants can count.
+#[derive(Debug)]
+pub struct FiniteQueuingProducer {
+    port: String,
+    budget: u64,
+    seq: u64,
+    sent: u64,
+    rejected: u64,
+}
+
+impl FiniteQueuingProducer {
+    /// Creates a producer on queuing port `port` that stops after `budget`
+    /// accepted messages.
+    pub fn new(port: impl Into<String>, budget: u64) -> Self {
+        Self {
+            port: port.into(),
+            budget,
+            seq: 0,
+            sent: 0,
+            rejected: 0,
+        }
+    }
+}
+
+impl ProcessBody for FiniteQueuingProducer {
+    fn on_tick(&mut self, api: &mut ProcessApi<'_>) {
+        if self.sent < self.budget {
+            let payload = format!("frame-{}", self.seq);
+            match api
+                .apex
+                .send_queuing_message(api.ports, &self.port, payload.into_bytes(), api.now)
+            {
+                Ok(()) => {
+                    self.seq += 1;
+                    self.sent += 1;
+                }
+                Err(_) => self.rejected += 1,
+            }
+        }
+        let _ = api.apex.periodic_wait(api.me, api.now);
+    }
+}
+
 /// A periodic consumer draining its queuing port each activation.
 #[derive(Debug)]
 pub struct QueuingConsumer {

@@ -40,11 +40,16 @@ pub enum ErrorId {
     PowerFail,
     /// A configuration error detected during initialisation.
     ConfigError,
+    /// The inter-node link degraded past its failover threshold (the
+    /// reliable transport failed over to the redundant link, or delivery
+    /// retries are exhausted) — the trigger for the Sect. 4 mode-based
+    /// switch to a degraded schedule.
+    LinkDegraded,
 }
 
 impl ErrorId {
     /// All identifiers, for table construction and exhaustive testing.
-    pub const ALL: [ErrorId; 9] = [
+    pub const ALL: [ErrorId; 10] = [
         ErrorId::DeadlineMissed,
         ErrorId::ApplicationError,
         ErrorId::NumericError,
@@ -54,6 +59,7 @@ impl ErrorId {
         ErrorId::HardwareFault,
         ErrorId::PowerFail,
         ErrorId::ConfigError,
+        ErrorId::LinkDegraded,
     ];
 }
 
@@ -69,6 +75,7 @@ impl fmt::Display for ErrorId {
             ErrorId::HardwareFault => "hardware fault",
             ErrorId::PowerFail => "power fail",
             ErrorId::ConfigError => "configuration error",
+            ErrorId::LinkDegraded => "link degraded",
         };
         f.write_str(s)
     }

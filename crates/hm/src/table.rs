@@ -39,6 +39,7 @@ impl SystemHmTable {
         levels.insert(ErrorId::HardwareFault, ErrorLevel::Module);
         levels.insert(ErrorId::PowerFail, ErrorLevel::Module);
         levels.insert(ErrorId::ConfigError, ErrorLevel::Module);
+        levels.insert(ErrorId::LinkDegraded, ErrorLevel::Module);
         Self {
             levels,
             module_action: ModuleRecoveryAction::Reset,

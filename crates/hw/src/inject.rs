@@ -41,10 +41,20 @@ pub enum FaultClass {
     /// Stall a process so it overruns its deadline (realised by the
     /// campaign workload's fault switch).
     ProcessOverrun,
+    /// Sustained outage of the active link: every send over a window of
+    /// ticks is lost (realised by the link's outage clock; recovered from
+    /// by retransmission and, past the threshold, failover).
+    LinkOutage,
+    /// Destroy an in-flight acknowledgement frame, forcing the sender
+    /// into a spurious retransmission (realised by a frame-kind predicate
+    /// drop; the wire format stays out of this crate).
+    AckLoss,
 }
 
 impl FaultClass {
-    /// Every fault class, in canonical order.
+    /// The canonical single-node campaign classes, in canonical order.
+    /// The link-transport classes ([`FaultClass::LINK`]) are separate:
+    /// they need a two-node cluster to mean anything.
     pub const ALL: [FaultClass; 6] = [
         FaultClass::MmuTamper,
         FaultClass::SpuriousTrap,
@@ -52,6 +62,14 @@ impl FaultClass {
         FaultClass::LinkBitFlip,
         FaultClass::ClockInterference,
         FaultClass::ProcessOverrun,
+    ];
+
+    /// The link-transport fault classes exercised by cluster campaigns.
+    pub const LINK: [FaultClass; 4] = [
+        FaultClass::LinkDrop,
+        FaultClass::LinkBitFlip,
+        FaultClass::LinkOutage,
+        FaultClass::AckLoss,
     ];
 
     /// A stable snake_case label (used in reports and JSON).
@@ -63,6 +81,8 @@ impl FaultClass {
             FaultClass::LinkBitFlip => "link_bit_flip",
             FaultClass::ClockInterference => "clock_interference",
             FaultClass::ProcessOverrun => "process_overrun",
+            FaultClass::LinkOutage => "link_outage",
+            FaultClass::AckLoss => "ack_loss",
         }
     }
 }
@@ -205,6 +225,13 @@ impl Machine {
     /// Returns whether a frame was there to corrupt.
     pub fn inject_link_tamper(&mut self, byte_index: usize, mask: u8) -> bool {
         self.link.tamper_in_flight(LinkEndpoint::A, byte_index, mask)
+    }
+
+    /// Starts a sustained outage of `duration` ticks on the active link:
+    /// every frame sent during the window is lost in both directions.
+    pub fn inject_link_outage(&mut self, duration: u64) {
+        let now = self.clock.now();
+        self.link.begin_outage_active(now, duration);
     }
 }
 

@@ -21,7 +21,9 @@
 //! * a **text console** device — the output target of the VITRAL window
 //!   manager ([`console`]);
 //! * an **inter-node link** carrying interpartition messages between
-//!   physically separated platforms ([`link`]);
+//!   physically separated platforms ([`link`]), duplicated into a
+//!   **redundant pair** with deterministic failover and revertive
+//!   switching ([`redundant`]);
 //! * seeded **fault injection** — deterministic plans of hardware-level
 //!   faults (spurious traps, link loss/corruption, clock interference)
 //!   delivered through the same device surfaces the PMK already watches
@@ -43,6 +45,7 @@ pub mod link;
 pub mod machine;
 pub mod memory;
 pub mod mmu;
+pub mod redundant;
 
 pub use clock::SystemClock;
 pub use console::Console;
@@ -53,3 +56,4 @@ pub use link::{InterNodeLink, LinkEndpoint};
 pub use machine::Machine;
 pub use memory::PhysicalMemory;
 pub use mmu::{AccessKind, AccessPermissions, Mmu, MmuContextId, MmuFault, PageFlags};
+pub use redundant::{LinkRole, RedundantLink};

@@ -55,6 +55,8 @@ pub struct InterNodeLink {
     b_to_a: VecDeque<Frame>,
     /// Drop every `n`-th frame when `Some(n)`; deterministic loss injection.
     drop_every: Option<u64>,
+    /// Frames sent strictly before this tick are lost (sustained outage).
+    outage_until: u64,
     sent: u64,
     dropped: u64,
     delivered: u64,
@@ -69,6 +71,7 @@ impl InterNodeLink {
             a_to_b: VecDeque::new(),
             b_to_a: VecDeque::new(),
             drop_every: None,
+            outage_until: 0,
             sent: 0,
             dropped: 0,
             delivered: 0,
@@ -87,10 +90,26 @@ impl InterNodeLink {
         self.latency_ticks
     }
 
+    /// Starts a sustained outage: every frame sent at a tick strictly
+    /// before `until` is lost (in both directions). Fault injection for
+    /// the `LinkOutage` class; frames already in flight are unaffected.
+    pub fn begin_outage(&mut self, until: u64) {
+        self.outage_until = self.outage_until.max(until);
+    }
+
+    /// Whether the link is inside a sustained outage at `now`.
+    pub fn in_outage(&self, now: u64) -> bool {
+        now < self.outage_until
+    }
+
     /// Sends `payload` from `from` at time `now`; it becomes receivable at
     /// the peer at `now + latency` (unless it falls on the loss pattern).
     pub fn send(&mut self, from: LinkEndpoint, now: u64, payload: Vec<u8>) {
         self.sent += 1;
+        if self.in_outage(now) {
+            self.dropped += 1;
+            return;
+        }
         if let Some(n) = self.drop_every {
             if self.sent.is_multiple_of(n) {
                 self.dropped += 1;
@@ -146,6 +165,28 @@ impl InterNodeLink {
             return true;
         }
         false
+    }
+
+    /// Destroys the newest frame in flight towards `to` whose bytes match
+    /// `pred`, scanning from the newest frame backwards. Lets fault
+    /// injection target a frame *kind* (e.g. acknowledgements) without the
+    /// hardware layer knowing any wire format. Returns whether a matching
+    /// frame was there to lose.
+    pub fn drop_in_flight_where(
+        &mut self,
+        to: LinkEndpoint,
+        pred: impl Fn(&[u8]) -> bool,
+    ) -> bool {
+        let queue = match to {
+            LinkEndpoint::A => &mut self.b_to_a,
+            LinkEndpoint::B => &mut self.a_to_b,
+        };
+        let Some(idx) = queue.iter().rposition(|f| pred(&f.payload)) else {
+            return false;
+        };
+        queue.remove(idx);
+        self.dropped += 1;
+        true
     }
 
     /// Flips bits (per `mask`) in one byte of the newest frame in flight
@@ -283,6 +324,41 @@ mod tests {
         link.send(LinkEndpoint::B, 0, vec![0x10]);
         assert!(link.tamper_in_flight(LinkEndpoint::A, 5, 0x00));
         assert_eq!(link.receive(LinkEndpoint::A, 0), Some(vec![0x11]));
+    }
+
+    #[test]
+    fn outage_loses_sends_until_the_deadline() {
+        let mut link = InterNodeLink::new(0);
+        link.begin_outage(10);
+        assert!(link.in_outage(9));
+        link.send(LinkEndpoint::A, 5, vec![1]);
+        assert_eq!(link.receive(LinkEndpoint::B, 100), None);
+        assert_eq!(link.dropped(), 1);
+        assert!(!link.in_outage(10));
+        link.send(LinkEndpoint::A, 10, vec![2]);
+        assert_eq!(link.receive(LinkEndpoint::B, 100), Some(vec![2]));
+    }
+
+    #[test]
+    fn outage_extensions_never_shrink() {
+        let mut link = InterNodeLink::new(0);
+        link.begin_outage(20);
+        link.begin_outage(5);
+        assert!(link.in_outage(19));
+    }
+
+    #[test]
+    fn drop_in_flight_where_targets_matching_frames_only() {
+        let mut link = InterNodeLink::new(0);
+        link.send(LinkEndpoint::B, 0, vec![1, 1]);
+        link.send(LinkEndpoint::B, 0, vec![2, 2]);
+        link.send(LinkEndpoint::B, 0, vec![1, 3]);
+        // Newest matching frame goes first.
+        assert!(link.drop_in_flight_where(LinkEndpoint::A, |b| b[0] == 1));
+        assert!(link.drop_in_flight_where(LinkEndpoint::A, |b| b[0] == 1));
+        assert!(!link.drop_in_flight_where(LinkEndpoint::A, |b| b[0] == 1));
+        assert_eq!(link.receive(LinkEndpoint::A, 0), Some(vec![2, 2]));
+        assert_eq!(link.dropped(), 2);
     }
 
     #[test]

@@ -11,9 +11,10 @@ use crate::clock::SystemClock;
 use crate::console::Console;
 use crate::cpu::Cpu;
 use crate::interrupt::{InterruptController, InterruptLine};
-use crate::link::{InterNodeLink, LinkEndpoint};
+use crate::link::LinkEndpoint;
 use crate::memory::PhysicalMemory;
 use crate::mmu::Mmu;
+use crate::redundant::RedundantLink;
 
 /// Configuration of an emulated machine.
 #[derive(Debug, Clone)]
@@ -22,8 +23,14 @@ pub struct MachineConfig {
     pub memory_size: usize,
     /// Number of console output channels (≥ number of partitions).
     pub console_channels: usize,
-    /// Inter-node link propagation latency in ticks.
+    /// Primary inter-node link propagation latency in ticks.
     pub link_latency_ticks: u64,
+    /// Secondary (redundant) link latency; `None` clones the primary's.
+    pub secondary_link_latency_ticks: Option<u64>,
+    /// Consecutive-loss rounds before failing over (0 disables failover).
+    pub link_failover_threshold: u32,
+    /// Probation ticks on the secondary before reverting to the primary.
+    pub link_revert_ticks: u64,
     /// Clock tick period in simulated nanoseconds.
     pub tick_period_ns: u64,
 }
@@ -34,6 +41,9 @@ impl Default for MachineConfig {
             memory_size: 16 * 1024 * 1024,
             console_channels: 8,
             link_latency_ticks: 2,
+            secondary_link_latency_ticks: None,
+            link_failover_threshold: 4,
+            link_revert_ticks: 400,
             tick_period_ns: SystemClock::DEFAULT_TICK_PERIOD_NS,
         }
     }
@@ -71,8 +81,8 @@ pub struct Machine {
     pub intc: InterruptController,
     /// The text console device.
     pub console: Console,
-    /// The inter-node communication link (this node is endpoint A).
-    pub link: InterNodeLink,
+    /// The redundant inter-node link pair (this node is endpoint A).
+    pub link: RedundantLink,
 }
 
 impl Machine {
@@ -85,7 +95,14 @@ impl Machine {
             mmu: Mmu::new(),
             intc: InterruptController::new(),
             console: Console::new(config.console_channels),
-            link: InterNodeLink::new(config.link_latency_ticks),
+            link: RedundantLink::new(
+                config.link_latency_ticks,
+                config
+                    .secondary_link_latency_ticks
+                    .unwrap_or(config.link_latency_ticks),
+                config.link_failover_threshold,
+                config.link_revert_ticks,
+            ),
         }
     }
 

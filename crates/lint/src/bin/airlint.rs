@@ -2,7 +2,13 @@
 //!
 //! ```text
 //! airlint [--json] <config.air> [more.air ...]
+//! airlint [--json] --cluster <node_a.air> <node_b.air>
 //! ```
+//!
+//! `--cluster` takes exactly two files describing the two nodes of a
+//! dual-node integration: each node is linted on its own, then the pair
+//! is cross-checked (AIR080 — remote channels must pair up with the
+//! peer's inbound gateways).
 //!
 //! Human-readable findings go to stdout (or line-oriented JSON with
 //! `--json`). Exit status: 0 when no `Error`-level finding was emitted,
@@ -10,16 +16,24 @@
 
 use std::process::ExitCode;
 
-use air_lint::lint_config_text;
+use air_lint::{lint_cluster_config_texts, lint_config_text};
+
+fn usage() {
+    eprintln!("usage: airlint [--json] <config.air>...");
+    eprintln!("       airlint [--json] --cluster <node_a.air> <node_b.air>");
+}
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut cluster = false;
     let mut files = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--cluster" => cluster = true,
             "--help" | "-h" => {
                 println!("usage: airlint [--json] <config.air>...");
+                println!("       airlint [--json] --cluster <node_a.air> <node_b.air>");
                 println!("exit status: 0 clean, 1 errors found, 2 usage/I/O failure");
                 return ExitCode::SUCCESS;
             }
@@ -30,26 +44,43 @@ fn main() -> ExitCode {
             file => files.push(file.to_owned()),
         }
     }
-    if files.is_empty() {
-        eprintln!("usage: airlint [--json] <config.air>...");
+    if files.is_empty() || (cluster && files.len() != 2) {
+        if cluster {
+            eprintln!("airlint: --cluster takes exactly two files, got {}", files.len());
+        }
+        usage();
         return ExitCode::from(2);
     }
 
-    let mut any_error = false;
+    let mut texts = Vec::new();
     for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(text) => text,
+        match std::fs::read_to_string(file) {
+            Ok(text) => texts.push(text),
             Err(e) => {
                 eprintln!("airlint: {file}: {e}");
                 return ExitCode::from(2);
             }
-        };
-        let report = lint_config_text(&text);
+        }
+    }
+
+    let mut any_error = false;
+    for (file, text) in files.iter().zip(&texts) {
+        let report = lint_config_text(text);
         any_error |= report.has_errors();
         if json {
             print!("{}", report.to_json_lines());
         } else {
             println!("== {file} ==");
+            println!("{report}");
+        }
+    }
+    if cluster {
+        let report = lint_cluster_config_texts(&texts[0], &texts[1]);
+        any_error |= report.has_errors();
+        if json {
+            print!("{}", report.to_json_lines());
+        } else {
+            println!("== cluster: {} + {} ==", files[0], files[1]);
             println!("{report}");
         }
     }

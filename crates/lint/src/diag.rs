@@ -115,6 +115,11 @@ codes! {
     NonContiguousPartitionIds = ("AIR073", Error, "partition ids are not contiguous from zero in declaration order"),
     DuplicateProcessName = ("AIR074", Error, "two processes of one partition share a name"),
     UnknownPartitionReference = ("AIR075", Error, "declaration references an undeclared partition"),
+    // Cluster and reliable transport.
+    ArqExceedsMtf = ("AIR076", Error, "ARQ parameters cannot serve the major time frame"),
+    IdenticalRedundantLinks = ("AIR077", Warning, "redundant link adapters are configured identically (common-mode exposure)"),
+    UnsequencedRemoteSender = ("AIR078", Warning, "channel sends to the remote node without reliable transport"),
+    UnmatchedRemoteChannel = ("AIR080", Error, "remote channel has no counterpart on the peer node"),
 }
 
 impl fmt::Display for Code {

@@ -23,8 +23,14 @@
 //!    permission on shared read-only regions;
 //! 5. **health monitoring** — error ids with no action at any level and
 //!    unreachable log-then-act thresholds;
+//! 6. **reliable transport** — ARQ timers that cannot serve the major
+//!    time frame, identically-configured redundant link adapters, and
+//!    remote senders riding the raw datagram substrate;
 //!
-//! plus structural identifier checks (duplicates, contiguity).
+//! plus structural identifier checks (duplicates, contiguity). For
+//! dual-node integrations, [`lint_cluster`] cross-checks the two node
+//! descriptions (remote channel ids must pair up with inbound gateways
+//! on the peer) — mismatches a single-node lint cannot see.
 //!
 //! # Examples
 //!
@@ -47,12 +53,14 @@
 pub mod diag;
 pub mod model;
 
+mod cluster;
 mod hm;
 mod modes;
 mod ports;
 mod spatial;
 mod structure;
 mod temporal;
+mod transport;
 
 pub use diag::{Code, Diagnostic, LintReport, Severity};
 pub use model::SystemModel;
@@ -66,8 +74,46 @@ pub fn lint(model: &SystemModel) -> LintReport {
     ports::analyze(model, &mut report);
     spatial::analyze(model, &mut report);
     hm::analyze(model, &mut report);
+    transport::analyze(model, &mut report);
     report.finish();
     report
+}
+
+/// Cross-checks the two node snapshots of a dual-node cluster
+/// (AIR080): every channel with a remote destination on one node must
+/// pair up with an inbound gateway channel (same id) on the other, and
+/// vice versa. Per-node findings are *not* included — lint each node
+/// with [`lint`] separately.
+pub fn lint_cluster(a: &SystemModel, b: &SystemModel) -> LintReport {
+    let mut report = LintReport::new();
+    cluster::analyze_pair(a, b, &mut report);
+    report.finish();
+    report
+}
+
+/// Parses two node configuration texts and runs the cluster-level
+/// cross-checks; a parse failure on either side becomes an `AIR000`
+/// diagnostic carrying the offending line.
+pub fn lint_cluster_config_texts(a: &str, b: &str) -> LintReport {
+    let parse = |text: &str| air_tools::config::parse(text);
+    match (parse(a), parse(b)) {
+        (Ok(doc_a), Ok(doc_b)) => {
+            lint_cluster(&SystemModel::from_config(&doc_a), &SystemModel::from_config(&doc_b))
+        }
+        (res_a, res_b) => {
+            let mut report = LintReport::new();
+            for (node, res) in [("node A", res_a), ("node B", res_b)] {
+                if let Err(e) = res {
+                    report.push(
+                        Diagnostic::new(Code::ParseError, format!("{node}: {}", e.message))
+                            .with_line(Some(e.line)),
+                    );
+                }
+            }
+            report.finish();
+            report
+        }
+    }
 }
 
 /// Parses configuration text and lints it; a parse failure becomes a
@@ -109,5 +155,96 @@ mod tests {
     fn empty_text_reports_no_schedules() {
         let report = lint_config_text("");
         assert!(report.has_code(Code::NoSchedules));
+    }
+
+    const NODE_A: &str = "\
+partition P0 name=OBDH
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=100
+  window P0 offset=0 duration=100
+queuing P0 name=tm dir=source size=64 depth=8
+link primary_latency=3 secondary_latency=6
+arq window=8 timeout=24
+channel 50 from=P0:tm to=remote:P0:tm
+";
+
+    const NODE_B: &str = "\
+partition P0 name=GROUND-IF
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=100
+  window P0 offset=0 duration=100
+queuing P0 name=tm dir=destination size=64 depth=8
+link primary_latency=3 secondary_latency=6
+arq window=8 timeout=24
+channel 50 from=P0:tm-remote-source to=P0:tm
+";
+
+    #[test]
+    fn matched_cluster_pair_lints_clean() {
+        assert!(!lint_config_text(NODE_A).has_errors(), "{}", lint_config_text(NODE_A));
+        assert!(!lint_config_text(NODE_B).has_errors(), "{}", lint_config_text(NODE_B));
+        let pair = lint_cluster_config_texts(NODE_A, NODE_B);
+        assert!(pair.is_empty(), "{pair}");
+    }
+
+    #[test]
+    fn unmatched_remote_channel_is_air080_in_both_directions() {
+        // Node B's gateway listens on channel 51 while node A sends on 50:
+        // one finding for the orphaned sender, one for the starved gateway.
+        let node_b = NODE_B.replace("channel 50", "channel 51");
+        let pair = lint_cluster_config_texts(NODE_A, &node_b);
+        assert!(pair.has_errors());
+        assert_eq!(
+            pair.diagnostics()
+                .iter()
+                .filter(|d| d.code == Code::UnmatchedRemoteChannel)
+                .count(),
+            2,
+            "{pair}"
+        );
+    }
+
+    #[test]
+    fn cluster_parse_failures_name_the_node() {
+        let pair = lint_cluster_config_texts(NODE_A, "bogus directive\n");
+        assert!(pair.has_errors());
+        let d = &pair.diagnostics()[0];
+        assert_eq!(d.code, Code::ParseError);
+        assert!(d.message.starts_with("node B:"), "{d}");
+    }
+
+    #[test]
+    fn arq_timeout_beyond_mtf_is_air076() {
+        let text = NODE_A.replace("arq window=8 timeout=24", "arq window=8 timeout=400");
+        let report = lint_config_text(&text);
+        assert!(report.has_code(Code::ArqExceedsMtf), "{report}");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn identical_adapters_are_air077() {
+        let text = NODE_A.replace("secondary_latency=6", "secondary_latency=3");
+        let report = lint_config_text(&text);
+        assert!(report.has_code(Code::IdenticalRedundantLinks), "{report}");
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn remote_sender_without_arq_is_air078() {
+        let text = NODE_A.replace("arq window=8 timeout=24\n", "");
+        let report = lint_config_text(&text);
+        assert!(report.has_code(Code::UnsequencedRemoteSender), "{report}");
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn gateway_channels_need_a_link_directive() {
+        // Without `link`, an unknown source port is a typo (AIR031), not
+        // a gateway.
+        let text = NODE_B
+            .replace("link primary_latency=3 secondary_latency=6\n", "")
+            .replace("arq window=8 timeout=24\n", "");
+        let report = lint_config_text(&text);
+        assert!(report.has_code(Code::UnknownSourcePort), "{report}");
     }
 }

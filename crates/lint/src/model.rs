@@ -9,8 +9,9 @@ use air_hm::{ErrorId, ErrorLevel, ProcessRecoveryAction};
 use air_model::partition::Partition;
 use air_model::process::ProcessAttributes;
 use air_model::{PartitionId, Schedule};
+use air_ports::transport::ArqConfig;
 use air_ports::{ChannelConfig, QueuingPortConfig, SamplingPortConfig};
-use air_tools::config::{ConfigDoc, MemoryRegion, Spans};
+use air_tools::config::{ConfigDoc, LinkDirective, MemoryRegion, Spans};
 
 /// Everything the static analyses need to know about a system, with no
 /// behaviour attached: the integration-time description, flattened.
@@ -39,6 +40,11 @@ pub struct SystemModel {
     pub hm_levels: Vec<(ErrorId, ErrorLevel)>,
     /// Partition error-handler entries.
     pub handlers: Vec<(PartitionId, ErrorId, ProcessRecoveryAction)>,
+    /// Redundant-link parameters (`link` directive), when the node is
+    /// declared part of a cluster.
+    pub link: Option<LinkDirective>,
+    /// Reliable-transport tuning (`arq` directive), when declared.
+    pub arq: Option<ArqConfig>,
     /// Whether channels with a non-local source port are legitimate
     /// (multi-node integrations with gateways). `false` for a
     /// single-node configuration document, where an unknown source port
@@ -52,9 +58,11 @@ pub struct SystemModel {
 impl SystemModel {
     /// Builds the snapshot of a parsed configuration document.
     ///
-    /// Configuration documents describe a single node, so gateway
-    /// channels are not assumed; health-monitoring coverage checks run
-    /// exactly when the document declares `hm`/`handler` directives.
+    /// Health-monitoring coverage checks run exactly when the document
+    /// declares `hm`/`handler` directives. Gateway channels (whose
+    /// source port lives on the counterpart node) are legitimate exactly
+    /// when the document declares a `link` — a node without an
+    /// inter-node link has nowhere for such frames to come from.
     pub fn from_config(doc: &ConfigDoc) -> Self {
         Self {
             partitions: doc.partitions.clone(),
@@ -67,7 +75,9 @@ impl SystemModel {
             hm_declared: !doc.hm_levels.is_empty() || !doc.handlers.is_empty(),
             hm_levels: doc.hm_levels.clone(),
             handlers: doc.handlers.clone(),
-            gateways_allowed: false,
+            link: doc.link,
+            arq: doc.arq,
+            gateways_allowed: doc.link.is_some(),
             spans: doc.spans.clone(),
         }
     }

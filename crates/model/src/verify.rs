@@ -184,6 +184,36 @@ pub enum Violation {
         /// What fired when, versus what was configured.
         detail: String,
     },
+    /// Reliability: a queuing-port message offered to the reliable
+    /// transport was never delivered — the ARQ no-loss guarantee broke.
+    MessageLost {
+        /// Sender-side message index (0-based) that never arrived.
+        seq: u64,
+    },
+    /// Reliability: a queuing-port message was delivered more than once —
+    /// duplicate suppression broke.
+    DuplicateDelivery {
+        /// Sender-side message index delivered repeatedly.
+        seq: u64,
+    },
+    /// Reliability: messages arrived out of order despite the in-order
+    /// delivery guarantee.
+    OutOfOrderDelivery {
+        /// The message index expected next.
+        expected: u64,
+        /// The message index actually observed.
+        got: u64,
+    },
+    /// Reliability: a sampling-port reading exceeded its staleness budget
+    /// (refresh period plus the ARQ worst-case delay).
+    StaleSample {
+        /// Observation instant.
+        at: Ticks,
+        /// Observed age of the sample.
+        age: Ticks,
+        /// The configured staleness bound.
+        bound: Ticks,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -282,6 +312,20 @@ impl fmt::Display for Violation {
             Violation::EscalationMiscount { detail } => {
                 write!(f, "log-N-then-act escalation miscount: {detail}")
             }
+            Violation::MessageLost { seq } => {
+                write!(f, "reliable transport lost message #{seq}")
+            }
+            Violation::DuplicateDelivery { seq } => {
+                write!(f, "reliable transport delivered message #{seq} more than once")
+            }
+            Violation::OutOfOrderDelivery { expected, got } => write!(
+                f,
+                "reliable transport delivered message #{got} while #{expected} was expected"
+            ),
+            Violation::StaleSample { at, age, bound } => write!(
+                f,
+                "sampling reading at {at} is {age} old, beyond the staleness bound {bound}"
+            ),
         }
     }
 }

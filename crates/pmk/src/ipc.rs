@@ -4,13 +4,23 @@
 //! the APEX interface… The AIR PMK deals with these specifics, being
 //! obliged to message delivery guarantees" (Sect. 2.1). The transport
 //! drives the [`PortRegistry`] router at partition boundaries, carries
-//! remote frames over the machine's [`InterNodeLink`], validates incoming
+//! remote frames over the machine's [`RedundantLink`], validates incoming
 //! frames, and reports corrupt ones to health monitoring instead of
 //! delivering them.
+//!
+//! With the reliable transport enabled
+//! ([`PmkIpc::enable_reliable_transport`]), every outbound frame goes
+//! through a go-back-N [`ArqEndpoint`]: sequenced, acknowledged
+//! cumulatively, retransmitted on deterministic timeouts — and each
+//! timeout round feeds the redundant link's consecutive-loss counter, so
+//! sustained loss fails traffic over to the standby link and surfaces as
+//! [`LinkTransportEvent`]s for the trace and health monitoring.
 
-use air_hw::link::{InterNodeLink, LinkEndpoint};
+use air_hw::link::LinkEndpoint;
+use air_hw::redundant::{LinkRole, RedundantLink};
 use air_hw::Machine;
 use air_model::Ticks;
+use air_ports::transport::{ArqConfig, ArqEndpoint, ArqEvent, DataDisposition};
 use air_ports::wire::{Frame, FrameError};
 use air_ports::{PortError, PortRegistry};
 
@@ -33,6 +43,11 @@ pub struct PmkIpc {
     /// Highest sequence number seen on an incoming sequenced frame.
     last_seq_seen: u64,
     sequence_gaps: u64,
+    /// The reliable-transport endpoint; `None` keeps the legacy
+    /// best-effort behaviour (detection without recovery).
+    arq: Option<ArqEndpoint>,
+    /// Transport events pending collection by the simulation loop.
+    transport_events: Vec<LinkTransportEvent>,
 }
 
 impl PmkIpc {
@@ -59,7 +74,8 @@ impl PmkIpc {
         &mut self.registry
     }
 
-    /// Link frames transmitted.
+    /// Link frames transmitted (first transmissions; retransmissions are
+    /// counted separately by [`PmkIpc::retransmissions`]).
     pub fn frames_sent(&self) -> u64 {
         self.frames_sent
     }
@@ -76,24 +92,88 @@ impl PmkIpc {
 
     /// Enables/disables outgoing link-frame sequencing. Incoming gap
     /// detection is always on for sequenced frames, so this only governs
-    /// what this node transmits.
+    /// what this node transmits. Superseded by
+    /// [`PmkIpc::enable_reliable_transport`], which sequences through the
+    /// ARQ window instead.
     pub fn set_link_sequencing(&mut self, on: bool) {
         self.link_sequencing = on;
     }
 
+    /// Switches the transport to reliable delivery: go-back-N ARQ with
+    /// the given tuning. Outbound frames are sequenced and retransmitted
+    /// until acknowledged; inbound frames are filtered to an exactly-once
+    /// in-order stream; timeout rounds feed the redundant link's failover
+    /// counter.
+    pub fn enable_reliable_transport(&mut self, config: ArqConfig) {
+        self.arq = Some(ArqEndpoint::new(config));
+    }
+
+    /// Whether the reliable transport is active.
+    pub fn reliable_transport_enabled(&self) -> bool {
+        self.arq.is_some()
+    }
+
+    /// The ARQ tuning, when the reliable transport is active.
+    pub fn arq_config(&self) -> Option<&ArqConfig> {
+        self.arq.as_ref().map(ArqEndpoint::config)
+    }
+
     /// Sequence gaps observed on incoming sequenced frames — each one is
-    /// evidence of frames lost in transit.
+    /// evidence of frames lost in transit (legacy detection-only path).
     pub fn sequence_gaps(&self) -> u64 {
         self.sequence_gaps
+    }
+
+    /// Frames retransmitted by the reliable transport.
+    pub fn retransmissions(&self) -> u64 {
+        self.arq.as_ref().map_or(0, ArqEndpoint::retransmissions)
+    }
+
+    /// Inbound duplicate frames suppressed by the reliable transport.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.arq.as_ref().map_or(0, ArqEndpoint::duplicates)
+    }
+
+    /// Inbound out-of-order frames discarded by the reliable transport
+    /// (go-back-N redelivers them in order).
+    pub fn out_of_order_discarded(&self) -> u64 {
+        self.arq.as_ref().map_or(0, ArqEndpoint::out_of_order)
+    }
+
+    /// Acknowledgement frames sent by the reliable transport.
+    pub fn acks_sent(&self) -> u64 {
+        self.arq.as_ref().map_or(0, ArqEndpoint::acks_sent)
+    }
+
+    /// Whether every frame offered to the reliable transport has been
+    /// acknowledged (vacuously true without ARQ).
+    pub fn transport_drained(&self) -> bool {
+        self.arq.as_ref().is_none_or(ArqEndpoint::is_drained)
+    }
+
+    /// Drains the transport events (retransmissions, failovers, recovery)
+    /// recorded since the last call, in occurrence order.
+    pub fn take_transport_events(&mut self) -> Vec<LinkTransportEvent> {
+        std::mem::take(&mut self.transport_events)
     }
 
     /// Routes pending messages: local deliveries happen inside the
     /// registry; remote frames are encoded and transmitted on `link`.
     /// Called by the PMK at partition preemption points — transfers happen
     /// at partition boundaries, outside any partition's window.
-    pub fn route(&mut self, link: &mut InterNodeLink, now: Ticks) {
+    pub fn route(&mut self, link: &mut RedundantLink, now: Ticks) {
+        if self.arq.is_some() && link.poll_revert(now.as_u64()) {
+            self.transport_events.push(LinkTransportEvent::Failover {
+                to: LinkRole::Primary,
+            });
+        }
         self.registry.route_into(now, &mut self.frames);
         for mut frame in self.frames.drain(..) {
+            if let Some(arq) = &mut self.arq {
+                arq.offer(frame);
+                self.frames_sent += 1;
+                continue;
+            }
             if self.link_sequencing {
                 self.last_seq_sent += 1;
                 frame.link_seq = self.last_seq_sent;
@@ -101,6 +181,24 @@ impl PmkIpc {
             link.send(LinkEndpoint::A, now.as_u64(), frame.encode());
             self.frames_sent += 1;
         }
+        let Some(arq) = &mut self.arq else {
+            return;
+        };
+        let batch = arq.poll_transmit(now.as_u64());
+        if batch.timeout_round {
+            // One timeout round = one unit of loss evidence. Failover
+            // happens *before* the retransmissions leave, so the round
+            // that trips the threshold already travels the standby link.
+            if let Some(active) = link.record_loss(now.as_u64()) {
+                arq.mark_degraded();
+                self.transport_events
+                    .push(LinkTransportEvent::Failover { to: active });
+            }
+        }
+        for bytes in batch.frames {
+            link.send(LinkEndpoint::A, now.as_u64(), bytes);
+        }
+        self.collect_arq_events();
     }
 
     /// Drains deliverable frames from `link`, decoding and delivering each
@@ -108,46 +206,103 @@ impl PmkIpc {
     /// counted and returned for health-monitoring reporting.
     pub fn receive(
         &mut self,
-        link: &mut InterNodeLink,
+        link: &mut RedundantLink,
         now: Ticks,
     ) -> Vec<IncomingFrameError> {
         let mut errors = Vec::new();
         while let Some(bytes) = link.receive(LinkEndpoint::A, now.as_u64()) {
             match Frame::decode(&bytes) {
-                Ok(frame) => {
-                    // Loss detection: a jump in the sequence stream means
-                    // frames vanished in transit. The carrying frame is
-                    // still good and is delivered; the gap itself goes to
-                    // health monitoring. Unsequenced frames (seq 0) and
-                    // stale reorders are exempt.
-                    if frame.link_seq != 0 {
-                        let expected = self.last_seq_seen + 1;
-                        if frame.link_seq > expected {
-                            self.sequence_gaps += 1;
-                            errors.push(IncomingFrameError::SequenceGap {
-                                expected,
-                                got: frame.link_seq,
-                            });
-                        }
-                        if frame.link_seq >= expected {
-                            self.last_seq_seen = frame.link_seq;
-                        }
-                    }
-                    match self.registry.deliver_frame(&frame, now) {
-                        Ok(()) => self.frames_received += 1,
-                        Err(e) => {
-                            self.frames_rejected += 1;
-                            errors.push(IncomingFrameError::Unroutable(e));
-                        }
-                    }
-                }
+                Ok(frame) => self.accept_frame(frame, link, now, &mut errors),
                 Err(e) => {
+                    // Corruption burns the frame; with ARQ the receiver
+                    // never advances, so the sender's timeout redelivers.
                     self.frames_rejected += 1;
                     errors.push(IncomingFrameError::Corrupt(e));
                 }
             }
         }
+        if let Some(arq) = &mut self.arq {
+            if let Some(ack) = arq.take_ack(now) {
+                link.send(LinkEndpoint::A, now.as_u64(), ack.encode());
+            }
+        }
+        self.collect_arq_events();
         errors
+    }
+
+    fn accept_frame(
+        &mut self,
+        frame: Frame,
+        link: &mut RedundantLink,
+        now: Ticks,
+        errors: &mut Vec<IncomingFrameError>,
+    ) {
+        if let Some(arq) = &mut self.arq {
+            if frame.is_ack() {
+                if arq.on_ack(frame.link_seq) > 0 {
+                    link.record_delivery();
+                }
+                return;
+            }
+            if frame.link_seq != 0 {
+                match arq.on_data(&frame) {
+                    DataDisposition::Deliver => {}
+                    DataDisposition::Duplicate | DataDisposition::OutOfOrder => return,
+                }
+                self.deliver(&frame, now, errors);
+                return;
+            }
+            // Unsequenced sender against a reliable receiver: deliver
+            // best-effort (and let the lint warn about the sender).
+            self.deliver(&frame, now, errors);
+            return;
+        }
+        // Legacy path: gap detection without recovery. A jump in the
+        // sequence stream means frames vanished in transit; the carrying
+        // frame is still good and is delivered, the gap itself goes to
+        // health monitoring. Unsequenced frames (seq 0) are exempt.
+        if frame.link_seq != 0 {
+            let expected = self.last_seq_seen + 1;
+            if frame.link_seq > expected {
+                self.sequence_gaps += 1;
+                errors.push(IncomingFrameError::SequenceGap {
+                    expected,
+                    got: frame.link_seq,
+                });
+            }
+            if frame.link_seq >= expected {
+                self.last_seq_seen = frame.link_seq;
+            }
+        }
+        self.deliver(&frame, now, errors);
+    }
+
+    fn deliver(&mut self, frame: &Frame, now: Ticks, errors: &mut Vec<IncomingFrameError>) {
+        match self.registry.deliver_frame(frame, now) {
+            Ok(()) => self.frames_received += 1,
+            Err(e) => {
+                self.frames_rejected += 1;
+                errors.push(IncomingFrameError::Unroutable(e));
+            }
+        }
+    }
+
+    fn collect_arq_events(&mut self) {
+        let Some(arq) = &mut self.arq else {
+            return;
+        };
+        for event in arq.take_events() {
+            self.transport_events.push(match event {
+                ArqEvent::Retransmitted { seq, retries } => {
+                    LinkTransportEvent::Retransmitted { seq, retries }
+                }
+                ArqEvent::Exhausted { seq } => LinkTransportEvent::DeliveryExhausted { seq },
+                ArqEvent::Recovered => LinkTransportEvent::Recovered,
+                // `ArqEvent` is non-exhaustive; unknown future events are
+                // not the PMK's to interpret.
+                _ => continue,
+            });
+        }
     }
 
     /// Convenience: one full transport round against a machine — route
@@ -157,6 +312,36 @@ impl PmkIpc {
         self.route(&mut machine.link, now);
         self.receive(&mut machine.link, now)
     }
+}
+
+/// A reliable-transport occurrence the simulation loop turns into trace
+/// events and health-monitoring reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinkTransportEvent {
+    /// A timeout round retransmitted the in-flight window.
+    Retransmitted {
+        /// Sequence of the window head.
+        seq: u64,
+        /// Its retry count after this round.
+        retries: u32,
+    },
+    /// The redundant link switched its active side (threshold failover,
+    /// or revertive switching back to the primary).
+    Failover {
+        /// The newly active role.
+        to: LinkRole,
+    },
+    /// A degraded transport saw a clean acknowledgement streak and is
+    /// healthy again.
+    Recovered,
+    /// A frame exhausted its retry budget without acknowledgement — the
+    /// link is effectively down (retries continue at the capped
+    /// interval).
+    DeliveryExhausted {
+        /// Sequence of the starved frame.
+        seq: u64,
+    },
 }
 
 /// A problem with an incoming link frame, reported to health monitoring
@@ -203,6 +388,11 @@ mod tests {
         PartitionId(m)
     }
 
+    /// A redundant pair behaving like the old single link (no failover).
+    fn raw_link(latency: u64) -> RedundantLink {
+        RedundantLink::new(latency, latency, 0, 1000)
+    }
+
     /// Builds sender-side IPC with a remote queuing channel (id 5).
     fn sender() -> PmkIpc {
         let mut reg = PortRegistry::new();
@@ -237,7 +427,7 @@ mod tests {
 
     #[test]
     fn end_to_end_over_the_link() {
-        let mut link = InterNodeLink::new(3);
+        let mut link = raw_link(3);
         let mut tx = sender();
         let mut rx = receiver();
 
@@ -253,7 +443,7 @@ mod tests {
         // For the test we model the peer by receiving at B through a
         // directional shim: re-send what B would see back to A.
         let bytes = link.receive(LinkEndpoint::B, 13).expect("latency 3");
-        let mut back = InterNodeLink::new(0);
+        let mut back = raw_link(0);
         back.send(LinkEndpoint::B, 13, bytes);
         let errors = rx.receive(&mut back, Ticks(13));
         assert!(errors.is_empty(), "{errors:?}");
@@ -271,7 +461,7 @@ mod tests {
     #[test]
     fn corrupt_frames_rejected_not_delivered() {
         let mut rx = receiver();
-        let mut link = InterNodeLink::new(0);
+        let mut link = raw_link(0);
         let mut bytes = Frame::new(5, Ticks(0), &b"data"[..]).encode();
         *bytes.last_mut().unwrap() ^= 0xff;
         link.send(LinkEndpoint::B, 0, bytes);
@@ -290,7 +480,7 @@ mod tests {
 
     #[test]
     fn sequencing_stamps_outgoing_frames() {
-        let mut link = InterNodeLink::new(0);
+        let mut link = raw_link(0);
         let mut tx = sender();
         tx.set_link_sequencing(true);
         for _ in 0..2 {
@@ -310,7 +500,7 @@ mod tests {
     #[test]
     fn sequence_gap_detected_and_frame_still_delivered() {
         let mut rx = receiver();
-        let mut link = InterNodeLink::new(0);
+        let mut link = raw_link(0);
         // Frames 1 and 3 arrive; 2 was lost in transit.
         for seq in [1u64, 3] {
             link.send(
@@ -352,7 +542,7 @@ mod tests {
     #[test]
     fn unsequenced_frames_exempt_from_gap_tracking() {
         let mut rx = receiver();
-        let mut link = InterNodeLink::new(0);
+        let mut link = raw_link(0);
         for _ in 0..3 {
             link.send(
                 LinkEndpoint::B,
@@ -368,7 +558,7 @@ mod tests {
     #[test]
     fn unknown_channel_rejected() {
         let mut rx = receiver();
-        let mut link = InterNodeLink::new(0);
+        let mut link = raw_link(0);
         link.send(
             LinkEndpoint::B,
             0,
@@ -376,5 +566,118 @@ mod tests {
         );
         let errors = rx.receive(&mut link, Ticks(0));
         assert!(matches!(errors[0], IncomingFrameError::Unroutable(_)));
+    }
+
+    /// Shuttles every B-side frame of `from` into `to`'s A-side inbox.
+    fn shuttle(from: &mut RedundantLink, to: &mut RedundantLink, now: u64) {
+        while let Some(bytes) = from.receive(LinkEndpoint::B, now) {
+            to.send(LinkEndpoint::B, now, bytes);
+        }
+    }
+
+    #[test]
+    fn arq_recovers_a_dropped_frame() {
+        let mut tx = sender();
+        let mut rx = receiver();
+        tx.enable_reliable_transport(ArqConfig {
+            timeout_ticks: 5,
+            ..ArqConfig::default()
+        });
+        rx.enable_reliable_transport(ArqConfig::default());
+        let mut tx_link = raw_link(0);
+        let mut rx_link = raw_link(0);
+
+        tx.registry_mut()
+            .queuing_port_mut(p(0), "tx")
+            .unwrap()
+            .send(&b"telemetry"[..], Ticks(0))
+            .unwrap();
+        tx.route(&mut tx_link, Ticks(0));
+        // The first transmission is lost in transit.
+        assert!(tx_link.drop_in_flight(LinkEndpoint::B));
+
+        for t in 1..20u64 {
+            tx.route(&mut tx_link, Ticks(t));
+            shuttle(&mut tx_link, &mut rx_link, t);
+            rx.receive(&mut rx_link, Ticks(t));
+            shuttle(&mut rx_link, &mut tx_link, t);
+            tx.receive(&mut tx_link, Ticks(t));
+        }
+        assert_eq!(rx.frames_received(), 1, "retransmission delivered");
+        assert!(tx.transport_drained(), "ack made it back");
+        assert!(tx.retransmissions() >= 1);
+        assert!(tx
+            .take_transport_events()
+            .iter()
+            .any(|e| matches!(e, LinkTransportEvent::Retransmitted { seq: 1, .. })));
+    }
+
+    #[test]
+    fn arq_suppresses_duplicates_from_ack_loss() {
+        let mut tx = sender();
+        let mut rx = receiver();
+        tx.enable_reliable_transport(ArqConfig {
+            timeout_ticks: 5,
+            ..ArqConfig::default()
+        });
+        rx.enable_reliable_transport(ArqConfig::default());
+        let mut tx_link = raw_link(0);
+        let mut rx_link = raw_link(0);
+
+        tx.registry_mut()
+            .queuing_port_mut(p(0), "tx")
+            .unwrap()
+            .send(&b"once"[..], Ticks(0))
+            .unwrap();
+        tx.route(&mut tx_link, Ticks(0));
+        shuttle(&mut tx_link, &mut rx_link, 0);
+        rx.receive(&mut rx_link, Ticks(0));
+        // The ACK is destroyed → the sender times out and retransmits.
+        assert!(rx_link.drop_in_flight_where(LinkEndpoint::B, air_ports::wire::bytes_look_like_ack));
+        for t in 1..20u64 {
+            tx.route(&mut tx_link, Ticks(t));
+            shuttle(&mut tx_link, &mut rx_link, t);
+            rx.receive(&mut rx_link, Ticks(t));
+            shuttle(&mut rx_link, &mut tx_link, t);
+            tx.receive(&mut tx_link, Ticks(t));
+        }
+        assert_eq!(rx.frames_received(), 1, "exactly once");
+        assert!(rx.duplicates_suppressed() >= 1);
+        assert!(tx.transport_drained(), "re-ack releases the window");
+    }
+
+    #[test]
+    fn sustained_loss_fails_over_and_reverts() {
+        let mut tx = sender();
+        tx.enable_reliable_transport(ArqConfig {
+            timeout_ticks: 4,
+            backoff_cap: 0,
+            ..ArqConfig::default()
+        });
+        // Threshold 2 loss rounds; revert after 30 ticks on the secondary.
+        let mut link = RedundantLink::new(0, 0, 2, 30);
+        link.link_mut(LinkRole::Primary).begin_outage(1_000);
+
+        tx.registry_mut()
+            .queuing_port_mut(p(0), "tx")
+            .unwrap()
+            .send(&b"x"[..], Ticks(0))
+            .unwrap();
+        let mut failed_over_at = None;
+        for t in 0..60u64 {
+            tx.route(&mut link, Ticks(t));
+            for e in tx.take_transport_events() {
+                if let LinkTransportEvent::Failover { to } = e {
+                    if to == LinkRole::Secondary && failed_over_at.is_none() {
+                        failed_over_at = Some(t);
+                    }
+                    if to == LinkRole::Primary {
+                        assert!(failed_over_at.is_some());
+                        return; // revert observed — done
+                    }
+                }
+            }
+        }
+        panic!("expected failover then revert within 60 ticks");
     }
 }

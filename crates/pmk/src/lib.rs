@@ -31,6 +31,6 @@ pub mod scheduler;
 pub mod spatial;
 
 pub use dispatcher::{ActionTiming, DispatchOutcome, PartitionDispatcher};
-pub use ipc::PmkIpc;
+pub use ipc::{LinkTransportEvent, PmkIpc};
 pub use scheduler::{PartitionScheduler, ScheduleStatus, SchedulerError};
 pub use spatial::{ExecLevel, MemoryDescriptor, MemorySection, SpatialManager};

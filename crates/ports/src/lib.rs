@@ -19,7 +19,10 @@
 //!   violating spatial separation requirements") and remote destinations
 //!   handed to the PMK as frames;
 //! * the **wire format** for frames crossing the inter-node link
-//!   ([`wire`]).
+//!   ([`wire`]);
+//! * the **reliable transport** over that link — go-back-N ARQ with
+//!   cumulative ACKs, deterministic tick-based timeouts and exponential
+//!   backoff ([`transport`]).
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,7 @@ pub mod message;
 pub mod payload;
 pub mod queuing;
 pub mod sampling;
+pub mod transport;
 pub mod wire;
 
 pub use channel::{ChannelConfig, Destination, PortAddr, PortRegistry};
@@ -37,3 +41,4 @@ pub use message::{Message, Validity};
 pub use payload::Payload;
 pub use queuing::{QueuingPort, QueuingPortConfig};
 pub use sampling::{SamplingPort, SamplingPortConfig};
+pub use transport::{ArqConfig, ArqEndpoint, ArqEvent, DataDisposition};

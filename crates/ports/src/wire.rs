@@ -22,6 +22,20 @@ const MAGIC: [u8; 2] = *b"AI";
 /// magic(2) + channel(4) + written_at(8) + link_seq(8) + len(4).
 const HEADER_LEN: usize = 26;
 
+/// The channel id reserved for transport acknowledgements. No real
+/// channel may use it; the ARQ layer stamps its cumulative ACK into
+/// `link_seq` of a frame on this channel.
+pub const ACK_CHANNEL: u32 = u32::MAX;
+
+/// What a frame carries: application data or a transport acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A routed interpartition message.
+    Data,
+    /// A cumulative ARQ acknowledgement ([`ACK_CHANNEL`]).
+    Ack,
+}
+
 /// A decoded link frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
@@ -92,6 +106,32 @@ impl Frame {
         self
     }
 
+    /// Creates a cumulative acknowledgement frame: "every sequence up to
+    /// and including `up_to` arrived". Carried on [`ACK_CHANNEL`] with an
+    /// empty payload; `link_seq` holds the acknowledged sequence.
+    pub fn ack(up_to: u64, now: Ticks) -> Self {
+        Self {
+            channel: ACK_CHANNEL,
+            written_at: now,
+            link_seq: up_to,
+            payload: Payload::default(),
+        }
+    }
+
+    /// Whether this frame is a transport acknowledgement.
+    pub fn is_ack(&self) -> bool {
+        self.channel == ACK_CHANNEL
+    }
+
+    /// The frame's kind (data vs. transport acknowledgement).
+    pub fn kind(&self) -> FrameKind {
+        if self.is_ack() {
+            FrameKind::Ack
+        } else {
+            FrameKind::Data
+        }
+    }
+
     /// Encodes the frame into link bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + 2);
@@ -139,6 +179,14 @@ impl Frame {
             payload: Payload::copy_from_slice(&bytes[HEADER_LEN..body_end]),
         })
     }
+}
+
+/// Whether raw link bytes look like an encoded acknowledgement frame,
+/// without a full decode: correct magic and the [`ACK_CHANNEL`] id. Used
+/// by fault injection to destroy ACKs specifically (the hardware layer
+/// takes this as an opaque predicate).
+pub fn bytes_look_like_ack(bytes: &[u8]) -> bool {
+    bytes.len() >= HEADER_LEN && bytes[0..2] == MAGIC && bytes[2..6] == [0xFF; 4]
 }
 
 #[cfg(test)]
@@ -189,6 +237,23 @@ mod tests {
         let mut encoded = Frame::new(1, Ticks(5), &b"data"[..]).encode();
         encoded[0] = b'X';
         assert_eq!(Frame::decode(&encoded), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn ack_frames_roundtrip_and_classify() {
+        let ack = Frame::ack(17, Ticks(40));
+        assert!(ack.is_ack());
+        assert_eq!(ack.kind(), FrameKind::Ack);
+        let encoded = ack.encode();
+        assert!(bytes_look_like_ack(&encoded));
+        let decoded = Frame::decode(&encoded).unwrap();
+        assert_eq!(decoded.link_seq, 17);
+        assert_eq!(decoded.channel, ACK_CHANNEL);
+
+        let data = Frame::new(3, Ticks(40), &b"x"[..]);
+        assert_eq!(data.kind(), FrameKind::Data);
+        assert!(!bytes_look_like_ack(&data.encode()));
+        assert!(!bytes_look_like_ack(b"AI"), "too short");
     }
 
     mod prop {

@@ -31,6 +31,7 @@ use air_model::schedule::{
 };
 use air_model::{PartitionId, ScheduleId, Ticks};
 use air_ports::sampling::Direction;
+use air_ports::transport::ArqConfig;
 use air_ports::{ChannelConfig, Destination, PortAddr, QueuingPortConfig, SamplingPortConfig};
 
 /// Source spans: a map from stable entity keys (see [`span_key`]) to the
@@ -115,6 +116,16 @@ pub mod span_key {
         format!("hm:{}", super::error_id_token(error))
     }
 
+    /// Key of the `link` declaration (at most one per document).
+    pub fn link() -> String {
+        "link".into()
+    }
+
+    /// Key of the `arq` declaration (at most one per document).
+    pub fn arq() -> String {
+        "arq".into()
+    }
+
     /// Key of a `handler` declaration.
     pub fn handler(partition: PartitionId, error: ErrorId) -> String {
         format!("handler:{partition}:{}", super::error_id_token(error))
@@ -133,6 +144,7 @@ pub fn error_id_token(error: ErrorId) -> &'static str {
         ErrorId::HardwareFault => "hardware_fault",
         ErrorId::PowerFail => "power_fail",
         ErrorId::ConfigError => "config_error",
+        ErrorId::LinkDegraded => "link_degraded",
         // `ErrorId` is non-exhaustive; a new id needs a token here before
         // it can appear in configuration files.
         _ => "unknown_error",
@@ -162,6 +174,22 @@ pub struct MemoryRegion {
     pub shared: bool,
 }
 
+/// The redundant-link description of a `link` directive: the physical
+/// parameters a node's adapters are integrated with. The defaults mirror
+/// the hardware layer's (`failover_threshold=4`, `revert=400`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDirective {
+    /// Primary adapter propagation latency in ticks.
+    pub primary_latency: u64,
+    /// Secondary (redundant) adapter latency; `None` means no secondary
+    /// adapter is fitted and failover is unavailable.
+    pub secondary_latency: Option<u64>,
+    /// Consecutive timeout rounds before failing over to the secondary.
+    pub failover_threshold: u32,
+    /// Probation ticks on the secondary before reverting to the primary.
+    pub revert_ticks: u64,
+}
+
 /// A parsed configuration document.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ConfigDoc {
@@ -177,8 +205,15 @@ pub struct ConfigDoc {
     pub processes: Vec<(PartitionId, ProcessAttributes)>,
     /// Declared physical memory regions.
     pub memory: Vec<MemoryRegion>,
-    /// Declared interpartition channels (all destinations local).
+    /// Declared interpartition channels (local and/or remote
+    /// destinations).
     pub channels: Vec<ChannelConfig>,
+    /// Redundant-link parameters (`link` directive), when the node is
+    /// part of a cluster.
+    pub link: Option<LinkDirective>,
+    /// Reliable-transport tuning (`arq` directive); `None` leaves the
+    /// runtime defaults in force.
+    pub arq: Option<ArqConfig>,
     /// Explicit module-level HM classification (`hm` directives).
     pub hm_levels: Vec<(ErrorId, ErrorLevel)>,
     /// Partition error-handler entries (`handler` directives).
@@ -305,6 +340,17 @@ fn parse_port_addr(line_no: usize, token: &str) -> Result<PortAddr, ConfigError>
     Ok(PortAddr::new(parse_pid(line_no, pid_tok)?, port))
 }
 
+/// Parses one channel destination: `P<n>:<port>` (local) or
+/// `remote:P<n>:<port>` (carried over the inter-node link).
+fn parse_destination(line_no: usize, token: &str) -> Result<Destination, ConfigError> {
+    match token.strip_prefix("remote:") {
+        Some(rest) => Ok(Destination::Remote {
+            addr: parse_port_addr(line_no, rest)?,
+        }),
+        None => Ok(Destination::Local(parse_port_addr(line_no, token)?)),
+    }
+}
+
 fn parse_error_id(line_no: usize, token: &str) -> Result<ErrorId, ConfigError> {
     error_id_from_token(token)
         .ok_or_else(|| err(line_no, format!("unknown error id '{token}'")))
@@ -372,7 +418,13 @@ fn parse_recovery_action(line_no: usize, token: &str) -> Result<ProcessRecoveryA
 ///   [deadline=<ticks>] [wcet=<ticks>] [priority=<0-255>]`
 /// * `memory P<n> base=<addr> size=<bytes> perm=ro|rw|rx|rwx
 ///   [shared=true]` (numbers may be hex `0x…`)
-/// * `channel <id> from=P<n>:<port> to=P<n>:<port>[,P<n>:<port>…]`
+/// * `channel <id> from=P<n>:<port> to=<dest>[,<dest>…]` where `<dest>`
+///   is `P<n>:<port>` (local) or `remote:P<n>:<port>` (gateway to the
+///   counterpart node of a cluster)
+/// * `link primary_latency=<ticks> [secondary_latency=<ticks>]
+///   [failover_threshold=<rounds>] [revert=<ticks>]` (at most one)
+/// * `arq window=<frames> timeout=<ticks> [backoff_cap=<n>]
+///   [max_retries=<n>] [recovery_threshold=<n>]` (at most one)
 /// * `hm <error_id> level=process|partition|module`
 /// * `handler P<n> <error_id> ignore|restart_process|start_other_process|
 ///   stop_process|restart_partition|stop_partition|
@@ -380,7 +432,8 @@ fn parse_recovery_action(line_no: usize, token: &str) -> Result<ProcessRecoveryA
 ///
 /// where `<error_id>` is one of `deadline_missed`, `application_error`,
 /// `numeric_error`, `illegal_request`, `stack_overflow`,
-/// `memory_violation`, `hardware_fault`, `power_fail`, `config_error`.
+/// `memory_violation`, `hardware_fault`, `power_fail`, `config_error`,
+/// `link_degraded`.
 ///
 /// Duplicate partition or schedule identifiers are rejected with the line
 /// number of the second declaration.
@@ -675,13 +728,57 @@ pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
                 let to = kv.get("to").ok_or_else(|| err(line_no, "missing 'to='"))?;
                 let mut destinations = Vec::new();
                 for part in to.split(',').filter(|p| !p.is_empty()) {
-                    destinations.push(Destination::Local(parse_port_addr(line_no, part)?));
+                    destinations.push(parse_destination(line_no, part)?);
                 }
                 doc.spans.set(span_key::channel(id), line_no);
                 doc.channels.push(ChannelConfig {
                     id,
                     source,
                     destinations,
+                });
+            }
+            "link" => {
+                close(&mut doc, &mut open);
+                if doc.link.is_some() {
+                    return Err(err(line_no, "duplicate 'link' directive"));
+                }
+                let kv = parse_kv(line_no, tokens)?;
+                doc.spans.set(span_key::link(), line_no);
+                doc.link = Some(LinkDirective {
+                    primary_latency: parse_u64(line_no, &kv, "primary_latency")?,
+                    secondary_latency: parse_u64_opt(line_no, &kv, "secondary_latency")?,
+                    failover_threshold: parse_u64_opt(line_no, &kv, "failover_threshold")?
+                        .map_or(Ok(4), |t| {
+                            u32::try_from(t).map_err(|_| {
+                                err(line_no, format!("failover_threshold '{t}' out of range"))
+                            })
+                        })?,
+                    revert_ticks: parse_u64_opt(line_no, &kv, "revert")?.unwrap_or(400),
+                });
+            }
+            "arq" => {
+                close(&mut doc, &mut open);
+                if doc.arq.is_some() {
+                    return Err(err(line_no, "duplicate 'arq' directive"));
+                }
+                let kv = parse_kv(line_no, tokens)?;
+                doc.spans.set(span_key::arq(), line_no);
+                let defaults = ArqConfig::default();
+                let small = |key: &str, fallback: u32| -> Result<u32, ConfigError> {
+                    parse_u64_opt(line_no, &kv, key)?.map_or(Ok(fallback), |t| {
+                        u32::try_from(t)
+                            .map_err(|_| err(line_no, format!("{key} '{t}' out of range")))
+                    })
+                };
+                doc.arq = Some(ArqConfig {
+                    window: parse_u64(line_no, &kv, "window")? as usize,
+                    timeout_ticks: parse_u64(line_no, &kv, "timeout")?,
+                    backoff_cap: small("backoff_cap", defaults.backoff_cap)?,
+                    max_retries: small("max_retries", defaults.max_retries)?,
+                    recovery_threshold: small(
+                        "recovery_threshold",
+                        defaults.recovery_threshold,
+                    )?,
                 });
             }
             "hm" => {
@@ -851,13 +948,34 @@ pub fn emit(doc: &ConfigDoc) -> String {
             }
         }
     }
+    if let Some(link) = &doc.link {
+        out.push_str(&format!("link primary_latency={}", link.primary_latency));
+        if let Some(s) = link.secondary_latency {
+            out.push_str(&format!(" secondary_latency={s}"));
+        }
+        out.push_str(&format!(
+            " failover_threshold={} revert={}\n",
+            link.failover_threshold, link.revert_ticks
+        ));
+    }
+    if let Some(arq) = &doc.arq {
+        out.push_str(&format!(
+            "arq window={} timeout={} backoff_cap={} max_retries={} \
+             recovery_threshold={}\n",
+            arq.window,
+            arq.timeout_ticks,
+            arq.backoff_cap,
+            arq.max_retries,
+            arq.recovery_threshold
+        ));
+    }
     for c in &doc.channels {
         let dests: Vec<String> = c
             .destinations
             .iter()
-            .filter_map(|d| match d {
-                Destination::Local(addr) => Some(addr.to_string()),
-                Destination::Remote { .. } => None,
+            .map(|d| match d {
+                Destination::Local(addr) => addr.to_string(),
+                Destination::Remote { addr } => format!("remote:{addr}"),
             })
             .collect();
         out.push_str(&format!(
@@ -1116,6 +1234,77 @@ handler P1 application_error stop_process
         let reparsed = parse(&emitted).unwrap();
         assert_eq!(ConfigDoc { spans: Spans::default(), ..reparsed },
                    ConfigDoc { spans: Spans::default(), ..doc });
+    }
+
+    #[test]
+    fn cluster_directives_round_trip_through_text() {
+        let text = "\
+partition P0 name=OBDH
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=100
+  window P0 offset=0 duration=100
+queuing P0 name=tm dir=source size=64 depth=8
+link primary_latency=3 secondary_latency=6 failover_threshold=2 revert=600
+arq window=8 timeout=24 backoff_cap=3 max_retries=8
+channel 50 from=P0:tm to=remote:P0:tm
+";
+        let doc = parse(text).unwrap();
+        let link = doc.link.expect("link directive parsed");
+        assert_eq!(link.primary_latency, 3);
+        assert_eq!(link.secondary_latency, Some(6));
+        assert_eq!(link.failover_threshold, 2);
+        assert_eq!(link.revert_ticks, 600);
+        let arq = doc.arq.expect("arq directive parsed");
+        assert_eq!(arq.window, 8);
+        assert_eq!(arq.timeout_ticks, 24);
+        // Omitted keys take the runtime default.
+        assert_eq!(arq.recovery_threshold, ArqConfig::default().recovery_threshold);
+        assert_eq!(
+            doc.channels[0].destinations,
+            vec![Destination::Remote {
+                addr: PortAddr::new(PartitionId(0), "tm")
+            }]
+        );
+        assert_eq!(doc.spans.get(&span_key::link()), Some(6));
+        assert_eq!(doc.spans.get(&span_key::arq()), Some(7));
+
+        // Remote destinations survive emit → parse (they used to be
+        // silently dropped by the emitter).
+        let reparsed = parse(&emit(&doc)).unwrap();
+        assert_eq!(reparsed.channels, doc.channels);
+        assert_eq!(reparsed.link, doc.link);
+        assert_eq!(reparsed.arq, doc.arq);
+    }
+
+    #[test]
+    fn link_degraded_is_a_named_error_id() {
+        let doc = parse("hm link_degraded level=module\n").unwrap();
+        assert_eq!(doc.hm_levels, vec![(ErrorId::LinkDegraded, ErrorLevel::Module)]);
+        assert_eq!(error_id_token(ErrorId::LinkDegraded), "link_degraded");
+    }
+
+    #[test]
+    fn cluster_directive_errors_carry_line_numbers() {
+        let cases = [
+            ("link secondary_latency=5", 1, "missing 'primary_latency='"),
+            (
+                "link primary_latency=1\nlink primary_latency=2",
+                2,
+                "duplicate 'link' directive",
+            ),
+            ("arq window=8", 1, "missing 'timeout='"),
+            (
+                "arq window=8 timeout=24\narq window=4 timeout=12",
+                2,
+                "duplicate 'arq' directive",
+            ),
+            ("channel 0 from=P0:a to=remote:bogus", 1, "expected 'P<n>:<port>'"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text}");
+            assert!(e.message.contains(needle), "{text}: {e}");
+        }
     }
 
     #[test]

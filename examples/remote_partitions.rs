@@ -16,7 +16,8 @@
 //! cargo run --example remote_partitions
 //! ```
 
-use air_hw::link::{InterNodeLink, LinkEndpoint};
+use air_hw::link::LinkEndpoint;
+use air_hw::redundant::RedundantLink;
 use air_model::{PartitionId, Ticks};
 use air_pmk::PmkIpc;
 use air_ports::{
@@ -66,7 +67,8 @@ fn node_b() -> PmkIpc {
 }
 
 fn main() {
-    let mut link = InterNodeLink::new(5); // 5-tick propagation delay
+    // 5-tick propagation delay; no failover in this single-link demo.
+    let mut link = RedundantLink::new(5, 5, 0, 1_000_000);
     let mut a = node_a();
     let mut b = node_b();
 
@@ -89,7 +91,7 @@ fn main() {
         // Shuttle endpoint-B deliveries into a receive-side link so node
         // B's PMK (which reads endpoint A of *its* link) sees them.
         while let Some(bytes) = link.receive(LinkEndpoint::B, t) {
-            let mut inbound = InterNodeLink::new(0);
+            let mut inbound = RedundantLink::new(0, 0, 0, 1_000_000);
             inbound.send(LinkEndpoint::B, t, bytes);
             let errors = b.receive(&mut inbound, Ticks(t));
             assert!(errors.is_empty(), "{errors:?}");
@@ -125,7 +127,7 @@ fn main() {
     let mut phase2 = 0;
     for t in 1000..1200u64 {
         while let Some(bytes) = link.receive(LinkEndpoint::B, t) {
-            let mut inbound = InterNodeLink::new(0);
+            let mut inbound = RedundantLink::new(0, 0, 0, 1_000_000);
             inbound.send(LinkEndpoint::B, t, bytes);
             b.receive(&mut inbound, Ticks(t));
         }
@@ -147,7 +149,7 @@ fn main() {
     assert_eq!(link.dropped(), 2);
 
     // Phase 3: a corrupted frame is rejected, never delivered.
-    let mut inbound = InterNodeLink::new(0);
+    let mut inbound = RedundantLink::new(0, 0, 0, 1_000_000);
     let mut bytes =
         air_ports::wire::Frame::new(CHANNEL, Ticks(2000), &b"tampered"[..]).encode();
     bytes[6] ^= 0x40;

@@ -24,6 +24,10 @@ scripts/forbid.sh
 echo "== lint: airlint over the example configurations =="
 cargo run --release -q -p air-lint --bin airlint -- examples/*.air
 
+echo "== lint: airlint cluster cross-check over the node pair =="
+cargo run --release -q -p air-lint --bin airlint -- --cluster \
+    examples/cluster_degraded_a.air examples/cluster_degraded_b.air
+
 echo "== lint: airlint golden corpus (JSON diff) =="
 corpus_out=$(mktemp)
 trap 'rm -f "$corpus_out"' EXIT
@@ -36,6 +40,9 @@ done
 
 echo "== smoke fault-injection campaign (3 seeds x all fault classes) =="
 cargo run --release -q -p bench --bin campaign -- --smoke
+
+echo "== smoke link-fault campaign (3 seeds, exactly-once delivery) =="
+cargo run --release -q -p bench --bin campaign -- --smoke-link
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== hotpath before/after comparison =="

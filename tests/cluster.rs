@@ -3,7 +3,7 @@
 //! "in a way which is agnostic of whether the partitions are local or
 //! remote to one another".
 
-use air_core::cluster::{AirCluster, Node};
+use air_core::cluster::{AirCluster, ClusterError, Node};
 use air_core::workload::{QueuingConsumer, QueuingProducer};
 use air_core::{PartitionConfig, ProcessConfig, SystemBuilder};
 use air_model::process::{Deadline, Priority, ProcessAttributes, Recurrence};
@@ -78,7 +78,7 @@ fn receiver_node() -> air_core::AirSystem {
 
 #[test]
 fn telemetry_crosses_the_cluster() {
-    let mut cluster = AirCluster::new(sender_node(), receiver_node());
+    let mut cluster = AirCluster::new(sender_node(), receiver_node()).expect("lockstep");
     cluster.run_for(10 * 100);
     assert!(cluster.frames_a_to_b() >= 8, "{}", cluster.frames_a_to_b());
     assert_eq!(cluster.frames_b_to_a(), 0);
@@ -97,7 +97,7 @@ fn telemetry_crosses_the_cluster() {
 
 #[test]
 fn end_to_end_latency_spans_both_adapters() {
-    let mut cluster = AirCluster::new(sender_node(), receiver_node());
+    let mut cluster = AirCluster::new(sender_node(), receiver_node()).expect("lockstep");
     cluster.run_for(3 * 100);
     // The default adapter latency is 2 ticks per node: the message written
     // at t is readable at B no earlier than t + 4 (plus boundary routing).
@@ -116,7 +116,7 @@ fn end_to_end_latency_spans_both_adapters() {
 
 #[test]
 fn both_nodes_keep_their_own_timeliness() {
-    let mut cluster = AirCluster::new(sender_node(), receiver_node());
+    let mut cluster = AirCluster::new(sender_node(), receiver_node()).expect("lockstep");
     cluster.run_for(20 * 100);
     assert_eq!(cluster.node(Node::A).trace().deadline_miss_count(), 0);
     assert_eq!(cluster.node(Node::B).trace().deadline_miss_count(), 0);
@@ -125,9 +125,14 @@ fn both_nodes_keep_their_own_timeliness() {
 }
 
 #[test]
-#[should_panic(expected = "lockstep")]
 fn misaligned_clocks_rejected() {
     let mut a = sender_node();
     a.run_for(5);
-    let _ = AirCluster::new(a, receiver_node());
+    match AirCluster::new(a, receiver_node()) {
+        Err(ClusterError::ClockMisaligned { node_a, node_b }) => {
+            assert_eq!(node_a, Ticks(5));
+            assert_eq!(node_b, Ticks(0));
+        }
+        other => panic!("expected a clock-misalignment error, got {other:?}"),
+    }
 }
