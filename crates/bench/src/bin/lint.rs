@@ -1,0 +1,128 @@
+//! Timing of the static-analysis stages, emitting `BENCH_lint.json`.
+//!
+//! Two measurements:
+//!
+//! * `corpus_lint` — one full pass of the per-schedule analyses over
+//!   every `.air` case in `tests/lint_corpus/` (the cost of the gate a
+//!   [`air_core::SystemBuilder::build`] caller pays, times the corpus);
+//! * `explore_<example>_depth_{1,2,3}` — bounded mode/HM state-space
+//!   exploration of `examples/full_system.air` (single schedule: the
+//!   degenerate one-state graph) and `examples/cluster_degraded_a.air`
+//!   (two schedules plus a degraded-mode link: a real graph) at
+//!   increasing depths, with the number of abstract states each depth
+//!   visits, so the growth of the search is visible next to its cost.
+//!
+//! The exploration must stay cheap enough to run in CI on every build
+//! (`scripts/ci.sh` runs depth 3 on the full system); the JSON records
+//! the profile so debug numbers are never mistaken for release ones.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use bench::criterion::{fmt_ns, stats_of};
+
+use air_lint::{explore, lint, SystemModel};
+
+const SAMPLES: usize = 20;
+const SAMPLE_NS: f64 = 10_000_000.0; // ~10 ms per sample
+
+/// Median nanoseconds per call of `f`, batch-calibrated (same scheme as
+/// the hotpath bench).
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed().as_millis() < 20 {
+        f();
+        calls += 1;
+    }
+    let per_call = start.elapsed().as_nanos() as f64 / calls.max(1) as f64;
+    let batch = ((SAMPLE_NS / per_call.max(1.0)) as u64).max(1);
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    stats_of(&samples).median
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Every corpus case parsed into its lint model (parse cost excluded from
+/// the measurement — the gate's recurring cost is the analyses).
+fn corpus_models() -> Vec<SystemModel> {
+    let dir = repo_root().join("tests/lint_corpus");
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("tests/lint_corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "air"))
+        .collect();
+    cases.sort();
+    cases
+        .iter()
+        .filter_map(|case| {
+            let text = std::fs::read_to_string(case).expect("readable corpus case");
+            air_tools::config::parse(&text)
+                .ok()
+                .map(|doc| SystemModel::from_config(&doc))
+        })
+        .collect()
+}
+
+fn main() {
+    println!("lint: static-analysis stage timings (medians of {SAMPLES} samples)\n");
+
+    let models = corpus_models();
+    let corpus_ns = measure(|| {
+        for model in &models {
+            std::hint::black_box(lint(model));
+        }
+    });
+    println!(
+        "{:<18} {:>12}   ({} parsed cases per pass)",
+        "corpus_lint",
+        fmt_ns(corpus_ns),
+        models.len()
+    );
+    let mut rows = format!(
+        "    {{\"name\": \"corpus_lint\", \"median_ns\": {corpus_ns:.2}, \"cases\": {}}}",
+        models.len()
+    );
+
+    for (label, file) in [
+        ("full_system", "examples/full_system.air"),
+        ("cluster_degraded_a", "examples/cluster_degraded_a.air"),
+    ] {
+        let text = std::fs::read_to_string(repo_root().join(file))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        let doc = air_tools::config::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let model = SystemModel::from_config(&doc);
+        for depth in 1..=3usize {
+            let states = explore(&model, depth).states_explored;
+            let ns = measure(|| {
+                std::hint::black_box(explore(&model, depth));
+            });
+            println!(
+                "{:<34} {:>12}   ({states} abstract states)",
+                format!("explore_{label}_depth_{depth}"),
+                fmt_ns(ns)
+            );
+            rows.push_str(&format!(
+                ",\n    {{\"name\": \"explore_{label}_depth_{depth}\", \"median_ns\": {ns:.2}, \
+                 \"states_explored\": {states}}}"
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"air-lint stage timings: corpus pass and bounded exploration\",\n  \
+           \"profile\": \"{}\",\n  \"benches\": [\n{rows}\n  ]\n}}\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    );
+    std::fs::write("BENCH_lint.json", &json).expect("write BENCH_lint.json");
+    println!("\nBENCH_lint.json written");
+}

@@ -185,7 +185,12 @@ pub struct SystemBuilder {
     hm_tables: HmTables,
     machine_config: MachineConfig,
     vitral: bool,
+    exploration_depth: usize,
 }
+
+/// Default bounded-exploration depth applied by [`SystemBuilder::build`]:
+/// every state reachable within two mode-change/HM/link events is checked.
+pub const DEFAULT_EXPLORATION_DEPTH: usize = 2;
 
 impl SystemBuilder {
     /// Starts a build over the given schedule set.
@@ -197,6 +202,7 @@ impl SystemBuilder {
             hm_tables: HmTables::standard(),
             machine_config: MachineConfig::default(),
             vitral: false,
+            exploration_depth: DEFAULT_EXPLORATION_DEPTH,
         }
     }
 
@@ -236,14 +242,20 @@ impl SystemBuilder {
         self
     }
 
-    /// Runs the `air-lint` static analyses over the builder's current
-    /// description, without building anything.
-    ///
-    /// This is the same snapshot [`SystemBuilder::build`] gates on:
-    /// temporal (Eq. 21–23 and schedulability), mode-graph, port/channel
-    /// and health-monitoring checks. Warnings never block a build —
-    /// inspect them here.
-    pub fn lint(&self) -> LintReport {
+    /// Sets how many mode-change/HM/link events deep
+    /// [`SystemBuilder::build`] explores the configuration's reachable
+    /// state space (AIR081–AIR086) before accepting it. The default is
+    /// [`DEFAULT_EXPLORATION_DEPTH`]; `0` disables the exploration stage
+    /// (the per-schedule static analyses still run).
+    #[must_use]
+    pub fn with_exploration_depth(mut self, depth: usize) -> Self {
+        self.exploration_depth = depth;
+        self
+    }
+
+    /// Snapshots the builder's description into the lint model both
+    /// [`SystemBuilder::lint`] and the build gate analyse.
+    fn snapshot(&self) -> SystemModel {
         let mut model = SystemModel {
             partitions: self.partitions.iter().map(|p| p.partition.clone()).collect(),
             schedules: self.schedules.iter().cloned().collect(),
@@ -273,14 +285,32 @@ impl SystemBuilder {
                 }
             }
         }
-        air_lint::lint(&model)
+        model
+    }
+
+    /// Runs the `air-lint` static analyses over the builder's current
+    /// description, without building anything.
+    ///
+    /// This is the same snapshot [`SystemBuilder::build`] gates on:
+    /// temporal (Eq. 21–23 and schedulability), mode-graph, port/channel
+    /// and health-monitoring checks. Warnings never block a build —
+    /// inspect them here. The build gate additionally explores the
+    /// reachable mode/HM state space
+    /// ([`SystemBuilder::with_exploration_depth`]); use
+    /// [`air_lint::lint_explored`] on the same description to reproduce
+    /// that stage ahead of building.
+    pub fn lint(&self) -> LintReport {
+        air_lint::lint(&self.snapshot())
     }
 
     /// Verifies the configuration and assembles the system: the
     /// "integration and configuration" the ARINC 653 spec insists on
     /// (Sect. 6) happens here. The configuration is first linted
-    /// ([`SystemBuilder::lint`]); any Error-level finding refuses the
-    /// build. [`SystemBuilder::build_unchecked`] skips the gate.
+    /// ([`SystemBuilder::lint`]) and its mode/HM state space explored to
+    /// the configured depth ([`SystemBuilder::with_exploration_depth`]);
+    /// any Error-level finding — including one only reachable through a
+    /// sequence of mode switches and faults (AIR081, AIR085) — refuses
+    /// the build. [`SystemBuilder::build_unchecked`] skips the gate.
     ///
     /// # Errors
     ///
@@ -288,7 +318,11 @@ impl SystemBuilder {
     /// defects, or [`BuildError`] when partition ids are not contiguous
     /// or an initialisation step fails.
     pub fn build(self) -> Result<AirSystem, BuildError> {
-        let report = self.lint();
+        let report = if self.exploration_depth > 0 {
+            air_lint::lint_explored(&self.snapshot(), self.exploration_depth)
+        } else {
+            self.lint()
+        };
         if report.has_errors() {
             return Err(BuildError::Lint(report));
         }

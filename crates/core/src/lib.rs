@@ -51,11 +51,13 @@ pub mod campaign;
 pub mod cluster;
 pub mod link_campaign;
 pub mod prototype;
+pub mod replay;
 pub mod system;
 pub mod trace;
 pub mod workload;
 
-pub use builder::{PartitionConfig, ProcessConfig, SystemBuilder};
+pub use builder::{PartitionConfig, ProcessConfig, SystemBuilder, DEFAULT_EXPLORATION_DEPTH};
+pub use replay::{observe_abstract_state, replay_witness, ReplayReport};
 pub use campaign::{standard_plan, CampaignOutcome, CampaignRunner, EscalationTally, FaultRecord};
 pub use cluster::{AirCluster, ClusterError, LinkHealth, Node};
 pub use link_campaign::{link_plan, LinkCampaignOutcome, LinkCampaignRunner};

@@ -74,10 +74,10 @@ pub struct AirSystem {
     wrapped_clock_seen: u64,
     /// Schedule to switch to when the reliable transport fails over to the
     /// secondary link (the Sect. 4 mode-based degraded schedule).
-    degraded_schedule: Option<ScheduleId>,
+    pub(crate) degraded_schedule: Option<ScheduleId>,
     /// Schedule that was current when degraded mode was entered, restored
     /// on link recovery.
-    nominal_schedule: Option<ScheduleId>,
+    pub(crate) nominal_schedule: Option<ScheduleId>,
     /// Whether the system is currently in link-degraded mode.
     degraded_mode: bool,
 }
@@ -293,6 +293,79 @@ impl AirSystem {
     /// Whether the module is currently in link-degraded mode.
     pub fn is_degraded_mode(&self) -> bool {
         self.degraded_mode
+    }
+
+    // -- fault/link injection (witness replay) -------------------------------
+
+    /// Reports a partition-scoped fault against `m` to the health monitor
+    /// and enforces the resulting decision immediately — the concrete
+    /// counterpart of the explorer's abstract `fault(P)` event. Under the
+    /// standard tables ([`air_hm::HmTables::standard`]) a memory violation
+    /// is partition-level and warm-restarts the partition.
+    pub fn inject_partition_fault(&mut self, m: PartitionId) {
+        let now = Ticks(self.machine.clock.now());
+        let decision = self.hm.report(
+            now,
+            ErrorId::MemoryViolation,
+            ErrorSource::Partition(m),
+            "injected partition-scoped fault (witness replay)",
+        );
+        self.trace.record(TraceEvent::HmReport {
+            at: now,
+            error: ErrorId::MemoryViolation,
+            partition: Some(m),
+        });
+        self.apply_decision_for(ErrorId::MemoryViolation, decision, now);
+    }
+
+    /// Reports a module-scoped hardware fault to the health monitor and
+    /// enforces the resulting decision — the concrete counterpart of the
+    /// explorer's abstract `module_fault` event. Under the standard tables
+    /// the module action is Reset: every partition cold-restarts.
+    pub fn inject_module_fault(&mut self) {
+        let now = Ticks(self.machine.clock.now());
+        let decision = self.hm.report(
+            now,
+            ErrorId::HardwareFault,
+            ErrorSource::Module,
+            "injected module-scoped fault (witness replay)",
+        );
+        self.trace.record(TraceEvent::HmReport {
+            at: now,
+            error: ErrorId::HardwareFault,
+            partition: None,
+        });
+        self.apply_decision_for(ErrorId::HardwareFault, decision, now);
+    }
+
+    /// Forces the link-failover path as if the reliable transport had
+    /// switched to the secondary adapter: reports `LinkDegraded`
+    /// (report-only, like the real failover branch) and enters the
+    /// configured degraded schedule — the concrete counterpart of the
+    /// explorer's abstract `link_down` event. The schedule switch takes
+    /// effect at the next major-time-frame boundary.
+    pub fn force_link_down(&mut self) {
+        let now = Ticks(self.machine.clock.now());
+        self.hm.report(
+            now,
+            ErrorId::LinkDegraded,
+            ErrorSource::Module,
+            "forced link failover (witness replay)",
+        );
+        self.trace.record(TraceEvent::HmReport {
+            at: now,
+            error: ErrorId::LinkDegraded,
+            partition: None,
+        });
+        self.enter_degraded_mode(now);
+    }
+
+    /// Forces link recovery: leaves degraded mode and restores the
+    /// schedule in force at failover — the concrete counterpart of the
+    /// explorer's abstract `link_up` event. No-op when not degraded.
+    pub fn force_link_up(&mut self) {
+        let now = Ticks(self.machine.clock.now());
+        self.exit_degraded_mode(now);
     }
 
     /// Binds console key `key` to `action`.

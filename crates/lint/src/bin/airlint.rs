@@ -1,8 +1,9 @@
 //! `airlint`: lint AIR configuration files from the command line.
 //!
 //! ```text
-//! airlint [--json] <config.air> [more.air ...]
+//! airlint [--json] [--explore [--depth N]] <config.air> [more.air ...]
 //! airlint [--json] --cluster <node_a.air> <node_b.air>
+//! airlint --explain AIRnnn
 //! ```
 //!
 //! `--cluster` takes exactly two files describing the two nodes of a
@@ -10,30 +11,83 @@
 //! is cross-checked (AIR080 — remote channels must pair up with the
 //! peer's inbound gateways).
 //!
+//! `--explore` additionally walks the mode/HM configuration graph
+//! breadth-first up to `--depth` events (default 4) and reports invariant
+//! violations (AIR081–AIR086), each carrying a replayable counterexample
+//! witness.
+//!
+//! `--explain` prints the registry entry (severity, description, example)
+//! of a diagnostic code and exits.
+//!
 //! Human-readable findings go to stdout (or line-oriented JSON with
 //! `--json`). Exit status: 0 when no `Error`-level finding was emitted,
 //! 1 when at least one was, 2 on usage or I/O problems.
 
 use std::process::ExitCode;
 
-use air_lint::{lint_cluster_config_texts, lint_config_text};
+use air_lint::{
+    lint_cluster_config_texts, lint_config_text, lint_config_text_explored, Code,
+};
+
+/// Default exploration depth for `--explore` without `--depth`.
+const DEFAULT_DEPTH: usize = 4;
 
 fn usage() {
-    eprintln!("usage: airlint [--json] <config.air>...");
+    eprintln!("usage: airlint [--json] [--explore [--depth N]] <config.air>...");
     eprintln!("       airlint [--json] --cluster <node_a.air> <node_b.air>");
+    eprintln!("       airlint --explain AIRnnn");
+}
+
+fn explain(code_text: &str) -> ExitCode {
+    let Some(code) = Code::parse(code_text) else {
+        eprintln!(
+            "airlint: unknown diagnostic code '{code_text}' \
+             (codes run AIR000..; see DESIGN.md for the registry)"
+        );
+        return ExitCode::from(2);
+    };
+    println!("{} ({})", code, code.severity());
+    println!("  {}", code.title());
+    println!("  example: {}", code.example());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut cluster = false;
+    let mut explore = false;
+    let mut depth = DEFAULT_DEPTH;
     let mut files = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--cluster" => cluster = true,
+            "--explore" => explore = true,
+            "--depth" => {
+                let Some(value) = args.next() else {
+                    eprintln!("airlint: --depth needs a value");
+                    return ExitCode::from(2);
+                };
+                match value.parse() {
+                    Ok(n) => depth = n,
+                    Err(_) => {
+                        eprintln!("airlint: invalid depth '{value}'");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--explain" => {
+                let Some(code_text) = args.next() else {
+                    eprintln!("airlint: --explain needs a code (e.g. AIR081)");
+                    return ExitCode::from(2);
+                };
+                return explain(&code_text);
+            }
             "--help" | "-h" => {
-                println!("usage: airlint [--json] <config.air>...");
+                println!("usage: airlint [--json] [--explore [--depth N]] <config.air>...");
                 println!("       airlint [--json] --cluster <node_a.air> <node_b.air>");
+                println!("       airlint --explain AIRnnn");
                 println!("exit status: 0 clean, 1 errors found, 2 usage/I/O failure");
                 return ExitCode::SUCCESS;
             }
@@ -65,7 +119,11 @@ fn main() -> ExitCode {
 
     let mut any_error = false;
     for (file, text) in files.iter().zip(&texts) {
-        let report = lint_config_text(text);
+        let report = if explore {
+            lint_config_text_explored(text, depth)
+        } else {
+            lint_config_text(text)
+        };
         any_error |= report.has_errors();
         if json {
             print!("{}", report.to_json_lines());

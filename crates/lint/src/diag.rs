@@ -29,7 +29,7 @@ impl fmt::Display for Severity {
 }
 
 macro_rules! codes {
-    ($($variant:ident = ($code:literal, $severity:ident, $title:literal),)*) => {
+    ($($variant:ident = ($code:literal, $severity:ident, $title:literal, $example:literal),)*) => {
         /// Stable diagnostic codes (`AIRnnn`).
         ///
         /// Codes are append-only: a published code never changes meaning
@@ -57,6 +57,17 @@ macro_rules! codes {
                 match self { $(Code::$variant => $title,)* }
             }
 
+            /// A concrete example of a configuration that triggers the
+            /// code (rendered by `airlint --explain`).
+            pub fn example(self) -> &'static str {
+                match self { $(Code::$variant => $example,)* }
+            }
+
+            /// Resolves an `AIRnnn` string back to its code.
+            pub fn parse(text: &str) -> Option<Code> {
+                match text { $($code => Some(Code::$variant),)* _ => None }
+            }
+
             /// Every defined code, for registry rendering and tests.
             pub const ALL: &'static [Code] = &[$(Code::$variant,)*];
         }
@@ -65,61 +76,124 @@ macro_rules! codes {
 
 codes! {
     // Parsing.
-    ParseError = ("AIR000", Error, "configuration text failed to parse"),
+    ParseError = ("AIR000", Error, "configuration text failed to parse",
+        "`window P0 offset=x duration=5` — 'x' is not a number"),
     // Temporal: schedule-table structure (Eq. 20–23) and schedulability.
-    ZeroMtf = ("AIR001", Error, "major time frame is zero"),
-    ZeroWindowDuration = ("AIR002", Error, "window has zero duration"),
-    WindowsOverlap = ("AIR003", Error, "windows overlap (Eq. 21)"),
-    WindowBeyondMtf = ("AIR004", Error, "window runs past the MTF (Eq. 21)"),
-    WindowForUnknownPartition = ("AIR005", Error, "window names a partition without a requirement (Eq. 20)"),
-    RequirementForUnknownPartition = ("AIR006", Error, "requirement names an undeclared partition"),
-    PartitionWithoutWindows = ("AIR007", Error, "partition requires time but has no window (Eq. 23)"),
-    ZeroCycle = ("AIR008", Error, "partition cycle is zero"),
-    CycleDoesNotDivideMtf = ("AIR009", Error, "cycle does not divide the MTF (Eq. 22)"),
-    MtfNotMultipleOfLcm = ("AIR010", Error, "MTF is not a multiple of the cycles' lcm (Eq. 22)"),
-    InsufficientDurationInCycle = ("AIR011", Error, "cycle receives less than the required duration (Eq. 23)"),
-    ProcessUnschedulable = ("AIR012", Warning, "process may miss its deadline under the supply bound"),
-    ProcessAnalysisInconclusive = ("AIR013", Warning, "process cannot be analysed (missing WCET or unbounded releases)"),
-    OtherModelViolation = ("AIR014", Error, "model verification violation"),
+    ZeroMtf = ("AIR001", Error, "major time frame is zero",
+        "`schedule chi0 name=ops mtf=0`"),
+    ZeroWindowDuration = ("AIR002", Error, "window has zero duration",
+        "`window P0 offset=50 duration=0` grants no time"),
+    WindowsOverlap = ("AIR003", Error, "windows overlap (Eq. 21)",
+        "`window P0 offset=0 duration=60` followed by `window P1 offset=50 duration=20`"),
+    WindowBeyondMtf = ("AIR004", Error, "window runs past the MTF (Eq. 21)",
+        "`window P0 offset=80 duration=40` under `mtf=100`"),
+    WindowForUnknownPartition = ("AIR005", Error, "window names a partition without a requirement (Eq. 20)",
+        "`window P1 …` in a schedule with no `require P1 …` line"),
+    RequirementForUnknownPartition = ("AIR006", Error, "requirement names an undeclared partition",
+        "`require P9 cycle=100 duration=20` with no `partition P9` declaration"),
+    PartitionWithoutWindows = ("AIR007", Error, "partition requires time but has no window (Eq. 23)",
+        "`require P1 cycle=100 duration=20` but no `window P1 …` in the schedule"),
+    ZeroCycle = ("AIR008", Error, "partition cycle is zero",
+        "`require P0 cycle=0 duration=10`"),
+    CycleDoesNotDivideMtf = ("AIR009", Error, "cycle does not divide the MTF (Eq. 22)",
+        "`require P0 cycle=30 …` under `mtf=100`"),
+    MtfNotMultipleOfLcm = ("AIR010", Error, "MTF is not a multiple of the cycles' lcm (Eq. 22)",
+        "cycles 40 and 60 (lcm 120) under `mtf=200`"),
+    InsufficientDurationInCycle = ("AIR011", Error, "cycle receives less than the required duration (Eq. 23)",
+        "`require P0 cycle=50 duration=20` but windows give cycle 2 only 10 ticks"),
+    ProcessUnschedulable = ("AIR012", Warning, "process may miss its deadline under the supply bound",
+        "`process P0 … deadline=50 wcet=40` inside a 40-tick window per 100-tick MTF"),
+    ProcessAnalysisInconclusive = ("AIR013", Warning, "process cannot be analysed (missing WCET or unbounded releases)",
+        "`process P0 name=task period=100 deadline=100` with no `wcet=`"),
+    OtherModelViolation = ("AIR014", Error, "model verification violation",
+        "a campaign-only invariant violation surfaced through the lint report"),
     // Mode graph: multiple-schedule (mode-based) configuration.
-    ActionForUnknownPartition = ("AIR020", Error, "schedule-change action names an undeclared partition"),
-    NoScheduleAuthority = ("AIR021", Warning, "several schedules but no partition may request a switch"),
-    UnreachableSchedule = ("AIR022", Warning, "schedule is unreachable from the initial schedule"),
-    ScheduleTrap = ("AIR023", Info, "schedule gives no window to any authority partition (no way out)"),
-    PartitionNeverScheduled = ("AIR024", Warning, "partition has no window in any schedule"),
+    ActionForUnknownPartition = ("AIR020", Error, "schedule-change action names an undeclared partition",
+        "`action P9 warm_restart` with no `partition P9` declaration"),
+    NoScheduleAuthority = ("AIR021", Warning, "several schedules but no partition may request a switch",
+        "two `schedule` sections and no `partition … authority=true`"),
+    UnreachableSchedule = ("AIR022", Warning, "schedule is unreachable from the initial schedule",
+        "chi2 exists but every authority-holding schedule can only reach chi1"),
+    ScheduleTrap = ("AIR023", Info, "schedule gives no window to any authority partition (no way out)",
+        "chi1 windows only P1 while `authority=true` is on P0"),
+    PartitionNeverScheduled = ("AIR024", Warning, "partition has no window in any schedule",
+        "`partition P2 …` declared but never named in a `window` line"),
     // Ports and channels.
-    DanglingPort = ("AIR030", Warning, "port is not connected to any channel"),
-    UnknownSourcePort = ("AIR031", Error, "channel source port does not exist"),
-    UnknownDestinationPort = ("AIR032", Error, "channel destination port does not exist"),
-    DirectionMismatch = ("AIR033", Error, "port direction does not match its channel role"),
-    KindMismatch = ("AIR034", Error, "sampling/queuing kinds differ across the channel"),
-    MessageSizeMismatch = ("AIR035", Error, "destination accepts smaller messages than the source emits"),
-    ZeroQueueDepth = ("AIR036", Error, "queuing port has queue depth zero"),
-    DuplicateChannelEndpoint = ("AIR037", Error, "duplicate channel id or destination endpoint"),
-    QueuingFanOut = ("AIR038", Error, "queuing channel has more than one destination"),
-    ChannelSelfLoop = ("AIR039", Error, "channel loops back into its source partition"),
-    DuplicatePortName = ("AIR040", Error, "two ports of one partition share a name"),
-    EmptyChannel = ("AIR041", Error, "channel has no destination"),
+    DanglingPort = ("AIR030", Warning, "port is not connected to any channel",
+        "`sampling P0 name=out dir=source size=8` with no `channel … from=P0:out`"),
+    UnknownSourcePort = ("AIR031", Error, "channel source port does not exist",
+        "`channel 0 from=P0:ghost to=…` — P0 declares no port 'ghost'"),
+    UnknownDestinationPort = ("AIR032", Error, "channel destination port does not exist",
+        "`channel 0 … to=P1:ghost` — P1 declares no port 'ghost'"),
+    DirectionMismatch = ("AIR033", Error, "port direction does not match its channel role",
+        "`channel 0 from=P0:in …` where 'in' is `dir=destination`"),
+    KindMismatch = ("AIR034", Error, "sampling/queuing kinds differ across the channel",
+        "a `sampling` source wired to a `queuing` destination"),
+    MessageSizeMismatch = ("AIR035", Error, "destination accepts smaller messages than the source emits",
+        "`size=64` source into a `size=32` destination"),
+    ZeroQueueDepth = ("AIR036", Error, "queuing port has queue depth zero",
+        "`queuing P0 name=tc dir=source size=32 depth=0`"),
+    DuplicateChannelEndpoint = ("AIR037", Error, "duplicate channel id or destination endpoint",
+        "two `channel 0 …` lines, or the same `P1:in` fed by two channels"),
+    QueuingFanOut = ("AIR038", Error, "queuing channel has more than one destination",
+        "`channel 0 from=P0:tc to=P1:a,P2:b` on queuing ports"),
+    ChannelSelfLoop = ("AIR039", Error, "channel loops back into its source partition",
+        "`channel 0 from=P0:out to=P0:in`"),
+    DuplicatePortName = ("AIR040", Error, "two ports of one partition share a name",
+        "`sampling P0 name=io …` and `queuing P0 name=io …`"),
+    EmptyChannel = ("AIR041", Error, "channel has no destination",
+        "`channel 0 from=P0:out to=`"),
     // Spatial partitioning.
-    MemoryOverlap = ("AIR050", Error, "memory regions of different partitions overlap"),
-    SharedPermissionConflict = ("AIR051", Error, "write permission on a region another partition shares read-only"),
-    MisalignedRegion = ("AIR052", Warning, "memory region is not page-aligned"),
-    ZeroSizeRegion = ("AIR053", Warning, "memory region has zero size"),
+    MemoryOverlap = ("AIR050", Error, "memory regions of different partitions overlap",
+        "P0 at `base=0x40000000 size=0x2000` and P1 at `base=0x40001000 …`, neither shared"),
+    SharedPermissionConflict = ("AIR051", Error, "write permission on a region another partition shares read-only",
+        "`memory P0 base=0x40200000 … perm=rw shared=true` against P1's `perm=ro` view"),
+    MisalignedRegion = ("AIR052", Warning, "memory region is not page-aligned",
+        "`memory P0 base=0x40000010 …` (4 KiB pages)"),
+    ZeroSizeRegion = ("AIR053", Warning, "memory region has zero size",
+        "`memory P0 base=0x40000000 size=0 perm=rw`"),
     // Health monitoring.
-    HmUnhandledError = ("AIR060", Warning, "error id has no action at any level"),
-    UnreachableLogThreshold = ("AIR061", Warning, "log-then-act threshold of zero never logs"),
+    HmUnhandledError = ("AIR060", Warning, "error id has no action at any level",
+        "`hm deadline_missed level=process` with no handler and no fallback"),
+    UnreachableLogThreshold = ("AIR061", Warning, "log-then-act threshold of zero never logs",
+        "`handler P0 deadline_missed log_then_act=0/restart_process`"),
     // System structure.
-    DuplicatePartitionId = ("AIR070", Error, "duplicate partition id"),
-    DuplicateScheduleId = ("AIR071", Error, "duplicate schedule id"),
-    NoSchedules = ("AIR072", Error, "no scheduling table declared"),
-    NonContiguousPartitionIds = ("AIR073", Error, "partition ids are not contiguous from zero in declaration order"),
-    DuplicateProcessName = ("AIR074", Error, "two processes of one partition share a name"),
-    UnknownPartitionReference = ("AIR075", Error, "declaration references an undeclared partition"),
+    DuplicatePartitionId = ("AIR070", Error, "duplicate partition id",
+        "two partitions registered under id P0 (programmatic builders only; the parser rejects this earlier)"),
+    DuplicateScheduleId = ("AIR071", Error, "duplicate schedule id",
+        "two schedules registered under id chi0 (programmatic builders only; the parser rejects this earlier)"),
+    NoSchedules = ("AIR072", Error, "no scheduling table declared",
+        "a config with `partition P0 …` but no `schedule` section"),
+    NonContiguousPartitionIds = ("AIR073", Error, "partition ids are not contiguous from zero in declaration order",
+        "`partition P0 …` followed by `partition P2 …` (no P1)"),
+    DuplicateProcessName = ("AIR074", Error, "two processes of one partition share a name",
+        "two `process P0 name=ctl …` lines"),
+    UnknownPartitionReference = ("AIR075", Error, "declaration references an undeclared partition",
+        "`process P5 …` with no `partition P5` declaration"),
     // Cluster and reliable transport.
-    ArqExceedsMtf = ("AIR076", Error, "ARQ parameters cannot serve the major time frame"),
-    IdenticalRedundantLinks = ("AIR077", Warning, "redundant link adapters are configured identically (common-mode exposure)"),
-    UnsequencedRemoteSender = ("AIR078", Warning, "channel sends to the remote node without reliable transport"),
-    UnmatchedRemoteChannel = ("AIR080", Error, "remote channel has no counterpart on the peer node"),
+    ArqExceedsMtf = ("AIR076", Error, "ARQ parameters cannot serve the major time frame",
+        "`arq window=2 timeout=600 …` under `mtf=200` — one retransmit overruns the frame"),
+    IdenticalRedundantLinks = ("AIR077", Warning, "redundant link adapters are configured identically (common-mode exposure)",
+        "`link primary_latency=3 secondary_latency=3 …`"),
+    UnsequencedRemoteSender = ("AIR078", Warning, "channel sends to the remote node without reliable transport",
+        "`channel 50 … to=remote:P0:tm` with no `arq` directive"),
+    UnknownDegradedSchedule = ("AIR079", Error, "link degraded schedule is not declared",
+        "`link … degraded=chi9` with no `schedule chi9` section"),
+    UnmatchedRemoteChannel = ("AIR080", Error, "remote channel has no counterpart on the peer node",
+        "node A sends `channel 50 … to=remote:P0:tm` but node B has no channel 50"),
+    // Mode/HM state-space exploration (`airlint --explore`).
+    ModeStarvation = ("AIR081", Error, "reachable state starves a running partition with no command path back",
+        "switching to a schedule that drops P1's window, with no authority able to switch away"),
+    AuthorityLostAcrossModes = ("AIR082", Warning, "reachable state leaves no running authority with a window",
+        "an authority partition switches into a schedule that gives it no window"),
+    StoppedPartitionUnrecoverable = ("AIR083", Warning, "a stopped partition can never be restarted by command",
+        "`action P1 stop` on chi1, and no schedule carries a restart action for P1"),
+    RestartLoop = ("AIR084", Warning, "a schedule-switch cycle restarts the same partition on every lap",
+        "chi0 and chi1 both carry `action P0 warm_restart` and switch to each other"),
+    ReachableScheduleUnclean = ("AIR085", Error, "a reachable schedule violates the per-schedule verification conditions",
+        "chi1 fails Eq. 23 and an authority request reaches it from chi0"),
+    DegradedScheduleTrap = ("AIR086", Warning, "recovery from the degraded schedule depends solely on link restoration",
+        "`link … degraded=chi1` where chi1 windows no authority partition"),
 }
 
 impl fmt::Display for Code {
@@ -310,6 +384,17 @@ mod tests {
                 assert_ne!(a.as_str(), b.as_str());
             }
         }
+    }
+
+    #[test]
+    fn codes_parse_back_and_carry_examples() {
+        for &code in Code::ALL {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+            assert!(!code.example().is_empty(), "{code} lacks an example");
+            assert!(!code.title().is_empty(), "{code} lacks a title");
+        }
+        assert_eq!(Code::parse("AIR999"), None);
+        assert_eq!(Code::parse("air000"), None);
     }
 
     #[test]

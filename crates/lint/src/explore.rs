@@ -1,0 +1,796 @@
+//! Bounded exploration of the mode/HM configuration graph (AIR081–AIR086).
+//!
+//! The per-schedule analyses check every scheduling table in isolation; this
+//! stage checks their *composition*. The system is abstracted into the
+//! finite transition system of [`air_model::explore`] — states are (active
+//! schedule, per-partition mode, link health), events are authority schedule
+//! requests, HM faults and link failover/recovery — and explored
+//! breadth-first up to a configurable event depth. Safety invariants are
+//! evaluated in every reachable state; each violation carries a
+//! counterexample [`Witness`], the minimal event sequence from boot to the
+//! bad state (BFS order guarantees minimality), in a stable text form that
+//! `air-core` can parse back and replay against the concrete system.
+//!
+//! Invariants, and the recovery notion they use:
+//!
+//! * **AIR081** — a running partition that requires time somewhere is left
+//!   windowless, and no *recovery path* restores its service;
+//! * **AIR082** — no running authority partition holds a window, and no
+//!   recovery path restores command capability;
+//! * **AIR083** — a partition is stopped and no recovery path restarts it;
+//! * **AIR084** — a cycle of commanded schedule switches restarts the same
+//!   partition on every lap (unbounded restart churn);
+//! * **AIR085** — a schedule that fails the per-schedule verification
+//!   conditions is actually reachable;
+//! * **AIR086** — in a degraded state, no running authority holds a window:
+//!   recovery depends solely on the link coming back.
+//!
+//! A *recovery path* is a sequence of controllable or design-transient
+//! events: authority schedule requests plus link recovery (`link_up`).
+//! Faults are adversarial — a path that needs a module fault to heal is not
+//! a recovery path. Link recovery is included because degraded mode is
+//! transient by design (the paper's failover protocol reverts on
+//! probation); configurations whose recovery *only* hangs on the link are
+//! still surfaced via AIR086.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use air_model::explore::{
+    AbstractEvent, AbstractMode, AbstractState, ExploreOptions, LinkState,
+    TransitionSystem, Witness,
+};
+use air_model::schedule::ScheduleSet;
+use air_model::verify::{verify_schedule, Report};
+use air_model::{PartitionId, ScheduleId};
+use air_hm::{ErrorId, ErrorLevel};
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use crate::model::SystemModel;
+
+/// Hard cap on distinct states, guarding against pathological inputs (the
+/// state space is finite but exponential in the partition count).
+const STATE_CAP: usize = 65_536;
+
+/// One invariant violation with its replayable path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The diagnostic code of the violated invariant.
+    pub code: Code,
+    /// Minimal event sequence from boot to the violating state.
+    pub witness: Witness,
+    /// The full diagnostic message.
+    pub message: String,
+}
+
+/// The outcome of a bounded exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// The event depth explored to.
+    pub depth: usize,
+    /// Number of distinct abstract states reached within the depth.
+    pub states_explored: usize,
+    /// The invariant findings, sorted into presentation order.
+    pub report: LintReport,
+    /// The findings again, each paired with its witness, for programmatic
+    /// consumers (the builder gate and concrete replay).
+    pub counterexamples: Vec<Counterexample>,
+    /// Distinct per-schedule verification violations across all reachable
+    /// states, merged and deduplicated (zero for a clean system).
+    pub reachable_schedule_violations: usize,
+}
+
+impl Exploration {
+    /// The witness of the first counterexample with `code`, if any.
+    pub fn witness_for(&self, code: Code) -> Option<&Witness> {
+        self.counterexamples
+            .iter()
+            .find(|c| c.code == code)
+            .map(|c| &c.witness)
+    }
+}
+
+/// Explores `model`'s mode/HM configuration graph up to `depth` events and
+/// checks the invariants in every reachable state.
+///
+/// Structural preconditions (a non-empty, duplicate-free schedule set) are
+/// the province of the static analyses; when they fail, exploration returns
+/// an empty report rather than duplicating their findings.
+pub fn explore(model: &SystemModel, depth: usize) -> Exploration {
+    let Some(ts) = transition_system(model) else {
+        return Exploration {
+            depth,
+            states_explored: 0,
+            report: LintReport::new(),
+            counterexamples: Vec::new(),
+            reachable_schedule_violations: 0,
+        };
+    };
+    let graph = bfs(&ts, depth);
+    let mut findings = Findings::default();
+    check_states(&ts, &graph, &mut findings);
+    check_restart_loops(&ts, &graph, &mut findings);
+    let reachable_schedule_violations =
+        check_reachable_schedules(model, &ts, &graph, &mut findings);
+
+    let mut report = LintReport::new();
+    for c in &findings.counterexamples {
+        report.push(Diagnostic::new(c.code, c.message.clone()));
+    }
+    report.finish();
+    Exploration {
+        depth,
+        states_explored: graph.states.len(),
+        report,
+        counterexamples: findings.counterexamples,
+        reachable_schedule_violations,
+    }
+}
+
+/// Builds the abstract transition system from the analysable snapshot, or
+/// `None` when the snapshot is structurally unfit for exploration.
+fn transition_system(model: &SystemModel) -> Option<TransitionSystem> {
+    let schedules = ScheduleSet::try_new(model.schedules.clone()).ok()?;
+    let partitions: Vec<PartitionId> =
+        model.partitions.iter().map(|p| p.id()).collect();
+    let authorities: Vec<PartitionId> = model
+        .partitions
+        .iter()
+        .filter(|p| p.may_set_module_schedule())
+        .map(|p| p.id())
+        .collect();
+    let degraded = model
+        .link
+        .as_ref()
+        .and_then(|l| l.degraded)
+        .filter(|&d| schedules.get(d).is_some());
+    let options = ExploreOptions {
+        degraded_schedule: degraded,
+        module_faults: module_faults_possible(model),
+        partition_faults: partition_faults_possible(model),
+    };
+    TransitionSystem::new(schedules, partitions, authorities, options).ok()
+}
+
+/// Whether any error id is classified at module level (`Reset` recovery).
+///
+/// `LinkDegraded` is excluded: its module-level classification is the
+/// report-only degraded-mode trigger, modelled as a link event instead.
+fn module_faults_possible(model: &SystemModel) -> bool {
+    if model.hm_declared {
+        model
+            .hm_levels
+            .iter()
+            .any(|&(id, level)| level == ErrorLevel::Module && id != ErrorId::LinkDegraded)
+    } else {
+        // The runtime defaults (HmTables::standard) classify hardware
+        // fault, power fail and config error at module level.
+        true
+    }
+}
+
+/// Whether any error id is classified at partition level (warm restart).
+fn partition_faults_possible(model: &SystemModel) -> bool {
+    if model.hm_declared {
+        model
+            .hm_levels
+            .iter()
+            .any(|&(_, level)| level == ErrorLevel::Partition)
+    } else {
+        true
+    }
+}
+
+/// One discovered transition (both endpoints are explored states).
+struct Edge {
+    from: usize,
+    event: AbstractEvent,
+    restarted: Vec<PartitionId>,
+    to: usize,
+}
+
+/// The explored portion of the configuration graph.
+struct Graph {
+    /// Distinct states, in BFS discovery order.
+    states: Vec<AbstractState>,
+    /// Parent pointers for witness reconstruction (`None` for the root).
+    parents: Vec<Option<(usize, AbstractEvent)>>,
+    /// Every transition discovered while expanding states.
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// The minimal event sequence from the root to state `idx`.
+    fn witness_of(&self, idx: usize) -> Witness {
+        let mut events = Vec::new();
+        let mut at = idx;
+        while let Some((parent, event)) = self.parents[at] {
+            events.push(event);
+            at = parent;
+        }
+        events.reverse();
+        Witness { events }
+    }
+}
+
+/// Breadth-first exploration up to `depth` events.
+fn bfs(ts: &TransitionSystem, depth: usize) -> Graph {
+    let root = ts.initial_state();
+    let mut graph = Graph {
+        states: vec![root.clone()],
+        parents: vec![None],
+        edges: Vec::new(),
+    };
+    let mut index: BTreeMap<AbstractState, usize> = BTreeMap::new();
+    index.insert(root, 0);
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    queue.push_back((0, 0));
+
+    while let Some((at, dist)) = queue.pop_front() {
+        if dist == depth {
+            continue;
+        }
+        let state = graph.states[at].clone();
+        for event in ts.enabled_events(&state) {
+            let Some(t) = ts.step(&state, event) else {
+                continue;
+            };
+            let to = match index.get(&t.state) {
+                Some(&known) => known,
+                None => {
+                    if graph.states.len() >= STATE_CAP {
+                        continue;
+                    }
+                    let fresh = graph.states.len();
+                    graph.states.push(t.state.clone());
+                    graph.parents.push(Some((at, event)));
+                    index.insert(t.state, fresh);
+                    queue.push_back((fresh, dist + 1));
+                    fresh
+                }
+            };
+            graph.edges.push(Edge {
+                from: at,
+                event,
+                restarted: t.restarted,
+                to,
+            });
+        }
+    }
+    graph
+}
+
+/// States reachable from `start` along recovery paths: authority schedule
+/// requests plus link recovery. Faults are adversarial and excluded.
+fn recovery_closure(ts: &TransitionSystem, start: &AbstractState) -> Vec<AbstractState> {
+    let mut seen: BTreeSet<AbstractState> = BTreeSet::new();
+    seen.insert(start.clone());
+    let mut queue: VecDeque<AbstractState> = VecDeque::new();
+    queue.push_back(start.clone());
+    while let Some(state) = queue.pop_front() {
+        for event in ts.enabled_events(&state) {
+            let controllable = matches!(
+                event,
+                AbstractEvent::ScheduleRequest { .. } | AbstractEvent::LinkUp
+            );
+            if !controllable {
+                continue;
+            }
+            let Some(t) = ts.step(&state, event) else {
+                continue;
+            };
+            if seen.len() < STATE_CAP && seen.insert(t.state.clone()) {
+                queue.push_back(t.state);
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Whether `partition` has service (running with a window) in `state`.
+fn has_service(ts: &TransitionSystem, state: &AbstractState, partition: PartitionId) -> bool {
+    state.mode_of(partition) == AbstractMode::Running
+        && ts.has_window(state.schedule, partition)
+}
+
+/// Whether any authority can issue a schedule request in `state`.
+fn has_command(ts: &TransitionSystem, state: &AbstractState) -> bool {
+    ts.authorities()
+        .iter()
+        .any(|&a| has_service(ts, state, a))
+}
+
+#[derive(Default)]
+struct Findings {
+    counterexamples: Vec<Counterexample>,
+    /// Dedup key: one finding per (code, subject).
+    flagged: BTreeSet<(Code, u32)>,
+}
+
+impl Findings {
+    fn push(&mut self, code: Code, subject: u32, witness: Witness, message: String) {
+        if self.flagged.insert((code, subject)) {
+            self.counterexamples.push(Counterexample {
+                code,
+                witness,
+                message,
+            });
+        }
+    }
+}
+
+/// Per-state invariants: starvation (AIR081), lost authority (AIR082),
+/// unrecoverable stops (AIR083), degraded traps (AIR086).
+fn check_states(
+    ts: &TransitionSystem,
+    graph: &Graph,
+    findings: &mut Findings,
+) {
+    // Partitions that require time under at least one schedule.
+    let time_requiring: BTreeSet<PartitionId> = ts
+        .schedules()
+        .iter()
+        .flat_map(|s| {
+            s.requirements()
+                .iter()
+                .filter(|q| !q.duration.is_zero())
+                .map(|q| q.partition)
+        })
+        .collect();
+    let multiple_schedules = ts.schedules().len() > 1;
+    let has_authorities = !ts.authorities().is_empty();
+
+    for (idx, state) in graph.states.iter().enumerate() {
+        // Computed lazily: most states need no closure at all.
+        let mut cached: Option<Vec<AbstractState>> = None;
+
+        for &p in ts.partitions() {
+            let starved = state.mode_of(p) == AbstractMode::Running
+                && time_requiring.contains(&p)
+                && !ts.has_window(state.schedule, p);
+            if starved {
+                let closure = cached
+                    .get_or_insert_with(|| recovery_closure(ts, state));
+                if !closure.iter().any(|s| has_service(ts, s, p)) {
+                    findings.push(
+                        Code::ModeStarvation,
+                        p.as_u32(),
+                        graph.witness_of(idx),
+                        format!(
+                            "partition {p} requires time but is left without \
+                             a window under {}; reachable via: {}; no \
+                             command path restores its service",
+                            state.schedule,
+                            graph.witness_of(idx).render()
+                        ),
+                    );
+                }
+            }
+            if state.mode_of(p) == AbstractMode::Stopped {
+                let closure = cached
+                    .get_or_insert_with(|| recovery_closure(ts, state));
+                if !closure
+                    .iter()
+                    .any(|s| s.mode_of(p) == AbstractMode::Running)
+                {
+                    findings.push(
+                        Code::StoppedPartitionUnrecoverable,
+                        p.as_u32(),
+                        graph.witness_of(idx),
+                        format!(
+                            "partition {p} is stopped and no command path \
+                             ever restarts it; reachable via: {}",
+                            graph.witness_of(idx).render()
+                        ),
+                    );
+                }
+            }
+        }
+
+        if multiple_schedules && has_authorities && !has_command(ts, state) {
+            if let LinkState::Degraded { nominal } = state.link {
+                findings.push(
+                    Code::DegradedScheduleTrap,
+                    state.schedule.as_u32(),
+                    graph.witness_of(idx),
+                    format!(
+                        "under degraded schedule {} no running authority \
+                         partition holds a window; recovery to {nominal} \
+                         depends solely on the link being restored; \
+                         reachable via: {}",
+                        state.schedule,
+                        graph.witness_of(idx).render()
+                    ),
+                );
+            } else {
+                let closure = cached
+                    .get_or_insert_with(|| recovery_closure(ts, state));
+                if !closure.iter().any(|s| has_command(ts, s)) {
+                    findings.push(
+                        Code::AuthorityLostAcrossModes,
+                        0,
+                        graph.witness_of(idx),
+                        format!(
+                            "no running authority partition holds a window \
+                             under {}; the module can never change schedule \
+                             again; reachable via: {}",
+                            state.schedule,
+                            graph.witness_of(idx).render()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// AIR084: a cycle of commanded schedule switches that restarts the same
+/// partition on every lap.
+fn check_restart_loops(ts: &TransitionSystem, graph: &Graph, findings: &mut Findings) {
+    for &p in ts.partitions() {
+        // Subgraph of commanded-switch edges that restart `p`.
+        let edges: Vec<&Edge> = graph
+            .edges
+            .iter()
+            .filter(|e| {
+                matches!(e.event, AbstractEvent::ScheduleRequest { .. })
+                    && e.restarted.contains(&p)
+            })
+            .collect();
+        if edges.is_empty() {
+            continue;
+        }
+        let Some(cycle) = find_cycle(graph.states.len(), &edges) else {
+            continue;
+        };
+        let entry = cycle[0].from;
+        let lap: Vec<String> =
+            cycle.iter().map(|e| e.event.to_string()).collect();
+        findings.push(
+            Code::RestartLoop,
+            p.as_u32(),
+            graph.witness_of(entry),
+            format!(
+                "schedule-switch cycle restarts {p} on every lap: {}; cycle \
+                 entered via: {}; repeated switching restarts the partition \
+                 unboundedly",
+                lap.join("; "),
+                graph.witness_of(entry).render()
+            ),
+        );
+    }
+}
+
+/// Finds a directed cycle in `edges` (indices into a `node_count`-node
+/// graph), returning its edge sequence, or `None`.
+fn find_cycle<'e>(node_count: usize, edges: &[&'e Edge]) -> Option<Vec<&'e Edge>> {
+    // Iterative DFS with an explicit path stack; the subgraphs here are
+    // tiny (commanded switches only), so clarity wins over asymptotics.
+    let mut adjacency: BTreeMap<usize, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adjacency.entry(e.from).or_default().push(e);
+    }
+    let mut visited = vec![false; node_count];
+    for &start in adjacency.keys() {
+        if visited[start] {
+            continue;
+        }
+        let mut path: Vec<&Edge> = Vec::new();
+        let mut on_path = vec![false; node_count];
+        // Each stack entry is (node, next adjacency position to try).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        on_path[start] = true;
+        visited[start] = true;
+        while let Some(&mut (node, ref mut pos)) = stack.last_mut() {
+            let next = adjacency.get(&node).and_then(|a| a.get(*pos)).copied();
+            *pos += 1;
+            match next {
+                None => {
+                    stack.pop();
+                    on_path[node] = false;
+                    path.pop();
+                }
+                Some(edge) => {
+                    if on_path[edge.to] {
+                        // Back edge: the cycle is the path suffix from
+                        // `edge.to`, closed by `edge`.
+                        let mut cycle: Vec<&Edge> = path
+                            .iter()
+                            .skip_while(|e| e.from != edge.to)
+                            .copied()
+                            .collect();
+                        cycle.push(edge);
+                        return Some(cycle);
+                    }
+                    if !visited[edge.to] {
+                        visited[edge.to] = true;
+                        on_path[edge.to] = true;
+                        path.push(edge);
+                        stack.push((edge.to, 0));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// AIR085: every reachable schedule must satisfy the per-schedule
+/// verification conditions.
+///
+/// The schedule in force is re-verified in *every* reachable state and the
+/// verdicts are accumulated through [`Report::merge`]: a schedule reached
+/// along several paths yields identical violations each time, and the
+/// merge deduplication keeps them from double-counting. The merged,
+/// deduplicated total is returned (and exposed as
+/// [`Exploration::reachable_schedule_violations`]).
+fn check_reachable_schedules(
+    model: &SystemModel,
+    ts: &TransitionSystem,
+    graph: &Graph,
+    findings: &mut Findings,
+) -> usize {
+    let mut first_reached: BTreeMap<ScheduleId, usize> = BTreeMap::new();
+    for (idx, state) in graph.states.iter().enumerate() {
+        first_reached.entry(state.schedule).or_insert(idx);
+    }
+    let mut merged = Report::new();
+    for state in &graph.states {
+        let Some(table) = ts.schedules().get(state.schedule) else {
+            continue;
+        };
+        merged.merge(verify_schedule(table, &model.partitions));
+    }
+    for (&schedule, &idx) in &first_reached {
+        let Some(table) = ts.schedules().get(schedule) else {
+            continue;
+        };
+        let verdict = verify_schedule(table, &model.partitions);
+        if !verdict.is_ok() {
+            let count = verdict.violations().len();
+            findings.push(
+                Code::ReachableScheduleUnclean,
+                schedule.as_u32(),
+                graph.witness_of(idx),
+                format!(
+                    "schedule {schedule} is reachable via: {}; but violates \
+                     {count} per-schedule verification condition(s) — the \
+                     module can be commanded into an invalid table",
+                    graph.witness_of(idx).render()
+                ),
+            );
+        }
+    }
+    merged.violations().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_config_text;
+
+    fn explored(text: &str, depth: usize) -> Exploration {
+        let doc = air_tools::config::parse(text).expect("config parses");
+        explore(&SystemModel::from_config(&doc), depth)
+    }
+
+    /// The seeded bad configuration of the acceptance criteria: per-schedule
+    /// lint passes (chi1 is a perfectly valid table that simply omits P0),
+    /// but one authority request starves P0 forever.
+    const STARVATION: &str = "\
+partition P0 name=AOCS authority=true
+partition P1 name=PAYLOAD
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=40
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+  window P1 offset=40 duration=40
+schedule chi1 name=payload-only mtf=100
+  require P1 cycle=100 duration=80
+  window P1 offset=0 duration=80
+";
+
+    #[test]
+    fn seeded_starvation_passes_per_schedule_lint() {
+        let report = lint_config_text(STARVATION);
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn seeded_starvation_is_found_with_a_minimal_witness() {
+        let ex = explored(STARVATION, 2);
+        assert!(ex.report.has_code(Code::ModeStarvation), "{}", ex.report);
+        assert!(ex.report.has_errors());
+        let witness = ex.witness_for(Code::ModeStarvation).expect("witness");
+        assert_eq!(witness.render(), "request(P0->chi1)");
+        // The same state also loses schedule authority (P0 was the only
+        // authority and chi1 gives it no window).
+        assert!(ex.report.has_code(Code::AuthorityLostAcrossModes), "{}", ex.report);
+        // The witness survives a serialisation round trip.
+        let reparsed = Witness::parse(&witness.render()).expect("parses");
+        assert_eq!(&reparsed, witness);
+    }
+
+    #[test]
+    fn starvation_with_a_way_back_is_clean() {
+        // Give P1 authority too: it keeps a window under chi1, so a command
+        // path back to chi0 always exists and nothing is starved for good.
+        let text = STARVATION
+            .replace("name=PAYLOAD", "name=PAYLOAD authority=true");
+        let ex = explored(&text, 3);
+        assert!(
+            !ex.report.has_code(Code::ModeStarvation),
+            "{}",
+            ex.report
+        );
+        assert!(!ex.report.has_errors(), "{}", ex.report);
+    }
+
+    #[test]
+    fn depth_zero_explores_only_the_initial_state() {
+        let ex = explored(STARVATION, 0);
+        assert_eq!(ex.states_explored, 1);
+        assert!(ex.report.is_empty(), "{}", ex.report);
+    }
+
+    #[test]
+    fn stop_action_without_restart_is_air083() {
+        let text = "\
+partition P0 name=AOCS authority=true
+partition P1 name=PAYLOAD
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=40
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+  window P1 offset=40 duration=40
+schedule chi1 name=shed mtf=100
+  require P0 cycle=100 duration=40
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+  window P1 offset=40 duration=40
+  action P1 stop
+";
+        let ex = explored(text, 2);
+        assert!(
+            ex.report.has_code(Code::StoppedPartitionUnrecoverable),
+            "{}",
+            ex.report
+        );
+        assert!(!ex.report.has_errors(), "{}", ex.report);
+    }
+
+    #[test]
+    fn stop_action_with_restart_on_return_is_clean() {
+        let text = "\
+partition P0 name=AOCS authority=true
+partition P1 name=PAYLOAD
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=40
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+  window P1 offset=40 duration=40
+  action P1 warm_restart
+schedule chi1 name=shed mtf=100
+  require P0 cycle=100 duration=40
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+  window P1 offset=40 duration=40
+  action P1 stop
+";
+        let ex = explored(text, 3);
+        assert!(
+            !ex.report.has_code(Code::StoppedPartitionUnrecoverable),
+            "{}",
+            ex.report
+        );
+        assert!(ex.report.is_empty(), "{}", ex.report);
+    }
+
+    #[test]
+    fn mutual_restart_actions_are_a_restart_loop() {
+        let text = "\
+partition P0 name=AOCS authority=true
+schedule chi0 name=a mtf=100
+  require P0 cycle=100 duration=60
+  window P0 offset=0 duration=60
+  action P0 warm_restart
+schedule chi1 name=b mtf=100
+  require P0 cycle=100 duration=60
+  window P0 offset=0 duration=60
+  action P0 warm_restart
+";
+        let ex = explored(text, 2);
+        assert!(ex.report.has_code(Code::RestartLoop), "{}", ex.report);
+        assert!(!ex.report.has_errors(), "{}", ex.report);
+    }
+
+    #[test]
+    fn degraded_schedule_without_authority_window_is_a_trap() {
+        // P0 is a non-real-time command console (duration 0), so losing its
+        // window is not starvation — but while degraded no one can command
+        // a schedule change, and recovery hangs entirely on the link.
+        let text = "\
+partition P0 name=OBDH authority=true
+partition P1 name=PAYLOAD
+schedule chi0 name=nominal mtf=100
+  require P0 cycle=100 duration=0
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+  window P1 offset=40 duration=40
+schedule chi1 name=degraded mtf=100
+  require P1 cycle=100 duration=80
+  window P1 offset=0 duration=80
+link primary_latency=3 secondary_latency=6 degraded=chi1
+";
+        let ex = explored(text, 2);
+        assert!(ex.report.has_code(Code::DegradedScheduleTrap), "{}", ex.report);
+        assert!(!ex.report.has_code(Code::ModeStarvation), "{}", ex.report);
+        // Commanding into chi1 voluntarily (link still up) also loses
+        // authority for good — flagged separately.
+        assert!(
+            ex.report.has_code(Code::AuthorityLostAcrossModes),
+            "{}",
+            ex.report
+        );
+        assert!(!ex.report.has_errors(), "{}", ex.report);
+        let witness = ex.witness_for(Code::DegradedScheduleTrap).expect("witness");
+        assert_eq!(witness.render(), "link_down");
+    }
+
+    #[test]
+    fn reachable_unclean_schedule_is_air085() {
+        let text = "\
+partition P0 name=AOCS authority=true
+partition P1 name=PAYLOAD
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=40
+  window P0 offset=0 duration=40
+schedule chi1 name=broken mtf=100
+  require P0 cycle=100 duration=40
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+";
+        let ex = explored(text, 2);
+        assert!(
+            ex.report.has_code(Code::ReachableScheduleUnclean),
+            "{}",
+            ex.report
+        );
+        assert!(ex.reachable_schedule_violations > 0);
+        let witness = ex
+            .witness_for(Code::ReachableScheduleUnclean)
+            .expect("witness");
+        assert_eq!(witness.render(), "request(P0->chi1)");
+    }
+
+    #[test]
+    fn merged_violations_deduplicate_across_paths() {
+        // chi1 (unclean) is reachable from chi0 and from chi2 — several
+        // states share it; the merged count must stay the per-schedule one.
+        let text = "\
+partition P0 name=AOCS authority=true
+schedule chi0 name=a mtf=100
+  require P0 cycle=100 duration=60
+  window P0 offset=0 duration=60
+schedule chi1 name=broken mtf=100
+  require P0 cycle=100 duration=60
+schedule chi2 name=c mtf=100
+  require P0 cycle=100 duration=60
+  window P0 offset=0 duration=60
+";
+        let ex = explored(text, 3);
+        // chi1 violates exactly one condition (PartitionWithoutWindows);
+        // reached along many interleavings, it still counts once.
+        assert_eq!(ex.reachable_schedule_violations, 1, "{}", ex.report);
+    }
+
+    #[test]
+    fn single_schedule_full_system_is_explorer_clean() {
+        let text = std::fs::read_to_string(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/full_system.air"),
+        )
+        .expect("example readable");
+        let ex = explored(&text, 3);
+        assert!(ex.report.is_empty(), "{}", ex.report);
+        assert!(ex.states_explored >= 1);
+    }
+}

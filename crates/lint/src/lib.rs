@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod explore;
 pub mod model;
 
 mod cluster;
@@ -63,6 +64,7 @@ mod temporal;
 mod transport;
 
 pub use diag::{Code, Diagnostic, LintReport, Severity};
+pub use explore::{explore, Counterexample, Exploration};
 pub use model::SystemModel;
 
 /// Runs every analysis over `model` and returns the sorted report.
@@ -110,6 +112,34 @@ pub fn lint_cluster_config_texts(a: &str, b: &str) -> LintReport {
                     );
                 }
             }
+            report.finish();
+            report
+        }
+    }
+}
+
+/// Runs every static analysis plus a bounded mode/HM exploration
+/// (`explore.rs`, AIR081–AIR086) to `depth` events, returning one merged,
+/// sorted report.
+pub fn lint_explored(model: &SystemModel, depth: usize) -> LintReport {
+    let mut report = lint(model);
+    for d in explore::explore(model, depth).report.diagnostics() {
+        report.push(d.clone());
+    }
+    report.finish();
+    report
+}
+
+/// Parses configuration text, lints it, and explores its mode/HM graph to
+/// `depth` events; a parse failure becomes a single `AIR000` diagnostic.
+pub fn lint_config_text_explored(text: &str, depth: usize) -> LintReport {
+    match air_tools::config::parse(text) {
+        Ok(doc) => lint_explored(&SystemModel::from_config(&doc), depth),
+        Err(e) => {
+            let mut report = LintReport::new();
+            report.push(
+                Diagnostic::new(Code::ParseError, e.message.clone()).with_line(Some(e.line)),
+            );
             report.finish();
             report
         }

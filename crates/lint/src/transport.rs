@@ -7,7 +7,9 @@
 //! adapter configured identically to the primary shares its common-mode
 //! failures and the failover buys nothing (AIR077), and a channel that
 //! crosses the link without the `arq` directive rides the raw datagram
-//! substrate, where a dropped frame is simply gone (AIR078).
+//! substrate, where a dropped frame is simply gone (AIR078). A `link`
+//! directive naming an undeclared degraded schedule leaves failover with
+//! nowhere to go (AIR079).
 
 use air_ports::Destination;
 use air_tools::config::span_key;
@@ -48,6 +50,21 @@ pub(crate) fn analyze(model: &SystemModel, report: &mut LintReport) {
     }
 
     if let Some(link) = &model.link {
+        if let Some(degraded) = link.degraded {
+            if !model.schedules.iter().any(|s| s.id() == degraded) {
+                report.push(
+                    Diagnostic::new(
+                        Code::UnknownDegradedSchedule,
+                        format!(
+                            "link names degraded schedule {degraded}, which is \
+                             not declared; failover would have no schedule to \
+                             switch to"
+                        ),
+                    )
+                    .with_line(model.spans.get(&span_key::link())),
+                );
+            }
+        }
         if link.secondary_latency == Some(link.primary_latency) {
             report.push(
                 Diagnostic::new(

@@ -1,0 +1,777 @@
+//! Finite abstraction of the mode/HM lifecycle for exhaustive exploration.
+//!
+//! The runtime system moves through a *graph* of configurations: schedule
+//! switches requested by authority partitions (Sect. 4.1), restart/stop
+//! change actions applied on switch (Algorithm 2), HM-driven partition and
+//! module recoveries, and degraded-mode entry/exit on link failover. Each
+//! mechanism is individually verified elsewhere; this module abstracts their
+//! *composition* into a finite transition system that a bounded model checker
+//! (`air-lint --explore`) can walk exhaustively.
+//!
+//! # The state tuple
+//!
+//! An [`AbstractState`] is `(active schedule, per-partition mode, link
+//! health)`:
+//!
+//! * the active schedule is the one in force after the last committed switch;
+//! * each partition is either [`AbstractMode::Running`] (operating mode
+//!   `Normal`, or transiently restarting towards it) or
+//!   [`AbstractMode::Stopped`] (`Idle` after a `Stop` change action);
+//! * the link is [`LinkState::Absent`] (no degraded schedule configured),
+//!   [`LinkState::Nominal`], or [`LinkState::Degraded`] carrying the schedule
+//!   to restore on recovery.
+//!
+//! # Soundness caveats
+//!
+//! The abstraction folds several runtime steps into one atomic transition:
+//! a schedule request, its commit at the next MTF boundary, and the
+//! switched-to schedule's change actions (applied at each partition's first
+//! dispatch) all happen "at once" here. Pending-but-unapplied change actions
+//! are therefore not part of the abstract state; a change action targeting a
+//! partition with no window in the new schedule never fires at runtime and is
+//! likewise skipped here. Process-level HM recoveries do not alter the tuple
+//! and are abstracted away entirely. See DESIGN.md §10 for the full
+//! discussion.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{PartitionId, ScheduleId};
+use crate::schedule::{Schedule, ScheduleChangeAction, ScheduleSet};
+
+/// Abstract operating mode of one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbstractMode {
+    /// The partition executes when its windows come up (`Normal`, or a
+    /// restart in flight that ends in `Normal`).
+    Running,
+    /// The partition was stopped (`Idle`) and executes nothing.
+    Stopped,
+}
+
+/// Abstract health of the inter-node link, for configurations that bind a
+/// degraded schedule to link failover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkState {
+    /// No degraded schedule is configured; link events do not occur.
+    Absent,
+    /// The link is healthy (primary or secondary adapter serving).
+    Nominal,
+    /// The link failed over; `nominal` is the schedule saved at entry, to be
+    /// restored when the link recovers.
+    Degraded {
+        /// Schedule in force when degraded mode was entered.
+        nominal: ScheduleId,
+    },
+}
+
+/// One point in the abstract configuration graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AbstractState {
+    /// The partition schedule currently in force.
+    pub schedule: ScheduleId,
+    /// Operating mode of every declared partition.
+    pub modes: BTreeMap<PartitionId, AbstractMode>,
+    /// Health of the inter-node link.
+    pub link: LinkState,
+}
+
+impl AbstractState {
+    /// Returns the abstract mode of `partition` (absent partitions are
+    /// treated as stopped).
+    pub fn mode_of(&self, partition: PartitionId) -> AbstractMode {
+        self.modes
+            .get(&partition)
+            .copied()
+            .unwrap_or(AbstractMode::Stopped)
+    }
+}
+
+impl fmt::Display for AbstractState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.schedule)?;
+        for (p, mode) in &self.modes {
+            let tag = match mode {
+                AbstractMode::Running => "run",
+                AbstractMode::Stopped => "stop",
+            };
+            write!(f, " {p}={tag}")?;
+        }
+        match self.link {
+            LinkState::Absent => Ok(()),
+            LinkState::Nominal => write!(f, " link=nominal"),
+            LinkState::Degraded { nominal } => {
+                write!(f, " link=degraded[{nominal}]")
+            }
+        }
+    }
+}
+
+/// One event of the abstract alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbstractEvent {
+    /// Authority partition `by` issues `SET_MODULE_SCHEDULE(to)`; the switch
+    /// commits at the next MTF boundary and the target's change actions are
+    /// folded into the same transition.
+    ScheduleRequest {
+        /// The requesting (authority) partition.
+        by: PartitionId,
+        /// The schedule switched to.
+        to: ScheduleId,
+    },
+    /// A partition-level HM fault on `partition`; the standard recovery is a
+    /// warm restart, which leaves the abstract tuple unchanged.
+    PartitionFault {
+        /// The faulting partition.
+        partition: PartitionId,
+    },
+    /// A module-level HM fault; the `Reset` recovery cold-restarts every
+    /// partition.
+    ModuleFault,
+    /// The link fails over; the module enters the configured degraded
+    /// schedule, saving the one in force.
+    LinkDown,
+    /// The link recovers; the saved schedule is restored.
+    LinkUp,
+}
+
+impl fmt::Display for AbstractEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstractEvent::ScheduleRequest { by, to } => {
+                write!(f, "request({by}->{to})")
+            }
+            AbstractEvent::PartitionFault { partition } => {
+                write!(f, "fault({partition})")
+            }
+            AbstractEvent::ModuleFault => write!(f, "module_fault"),
+            AbstractEvent::LinkDown => write!(f, "link_down"),
+            AbstractEvent::LinkUp => write!(f, "link_up"),
+        }
+    }
+}
+
+/// A counterexample witness: the event sequence leading from the initial
+/// state to a state of interest.
+///
+/// Witnesses render to a compact, stable text form so diagnostics can carry
+/// them and `air-core` can parse them back for concrete replay:
+///
+/// ```
+/// use air_model::explore::Witness;
+///
+/// let w = Witness::parse("request(P0->chi1); link_down").unwrap();
+/// assert_eq!(w.render(), "request(P0->chi1); link_down");
+/// assert_eq!(w.events.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Witness {
+    /// The events, in occurrence order.
+    pub events: Vec<AbstractEvent>,
+}
+
+impl Witness {
+    /// Renders the witness in its stable text form (`"; "`-separated events,
+    /// `"(initial state)"` when empty).
+    pub fn render(&self) -> String {
+        if self.events.is_empty() {
+            return "(initial state)".to_string();
+        }
+        let parts: Vec<String> =
+            self.events.iter().map(|e| e.to_string()).collect();
+        parts.join("; ")
+    }
+
+    /// Parses the text form produced by [`Witness::render`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WitnessParseError`] when a segment is not a recognised
+    /// event.
+    pub fn parse(text: &str) -> Result<Self, WitnessParseError> {
+        let trimmed = text.trim();
+        if trimmed.is_empty() || trimmed == "(initial state)" {
+            return Ok(Self::default());
+        }
+        let mut events = Vec::new();
+        for raw in trimmed.split(';') {
+            events.push(parse_event(raw.trim())?);
+        }
+        Ok(Self { events })
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Error parsing a [`Witness`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessParseError {
+    /// The offending segment.
+    pub segment: String,
+}
+
+impl fmt::Display for WitnessParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognised witness event `{}`", self.segment)
+    }
+}
+
+impl Error for WitnessParseError {}
+
+fn parse_event(raw: &str) -> Result<AbstractEvent, WitnessParseError> {
+    let err = || WitnessParseError {
+        segment: raw.to_string(),
+    };
+    match raw {
+        "module_fault" => return Ok(AbstractEvent::ModuleFault),
+        "link_down" => return Ok(AbstractEvent::LinkDown),
+        "link_up" => return Ok(AbstractEvent::LinkUp),
+        _ => {}
+    }
+    if let Some(inner) = raw
+        .strip_prefix("request(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        let (by, to) = inner.split_once("->").ok_or_else(err)?;
+        let by = parse_id(by.trim(), "P").ok_or_else(err)?;
+        let to = parse_id(to.trim(), "chi").ok_or_else(err)?;
+        return Ok(AbstractEvent::ScheduleRequest {
+            by: PartitionId(by),
+            to: ScheduleId(to),
+        });
+    }
+    if let Some(inner) = raw
+        .strip_prefix("fault(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        let m = parse_id(inner.trim(), "P").ok_or_else(err)?;
+        return Ok(AbstractEvent::PartitionFault {
+            partition: PartitionId(m),
+        });
+    }
+    Err(err())
+}
+
+fn parse_id(text: &str, prefix: &str) -> Option<u32> {
+    text.strip_prefix(prefix)?.parse().ok()
+}
+
+/// Which environment events the transition system models, beyond the
+/// always-present schedule requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreOptions {
+    /// Schedule entered on link failover; `None` disables link events.
+    pub degraded_schedule: Option<ScheduleId>,
+    /// Whether a module-level fault (HM `Reset` recovery) can occur.
+    pub module_faults: bool,
+    /// Whether partition-level faults (HM warm-restart recovery) can occur.
+    pub partition_faults: bool,
+}
+
+/// Error constructing a [`TransitionSystem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransitionSystemError {
+    /// The schedule set is empty; there is no initial state.
+    NoSchedules,
+    /// The configured degraded schedule is not in the schedule set.
+    UnknownDegradedSchedule(ScheduleId),
+}
+
+impl fmt::Display for TransitionSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionSystemError::NoSchedules => {
+                write!(f, "cannot explore a system with no schedules")
+            }
+            TransitionSystemError::UnknownDegradedSchedule(id) => {
+                write!(f, "degraded schedule {id} is not declared")
+            }
+        }
+    }
+}
+
+impl Error for TransitionSystemError {}
+
+/// The result of applying one event to a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// The successor state.
+    pub state: AbstractState,
+    /// Partitions that a restart (warm or cold) was applied to during this
+    /// transition — by a change action or an HM recovery.
+    pub restarted: Vec<PartitionId>,
+}
+
+/// The finite transition system over (schedule, partition modes, link).
+#[derive(Debug, Clone)]
+pub struct TransitionSystem {
+    schedules: ScheduleSet,
+    partitions: Vec<PartitionId>,
+    authorities: Vec<PartitionId>,
+    options: ExploreOptions,
+}
+
+impl TransitionSystem {
+    /// Builds the transition system.
+    ///
+    /// `partitions` is the full declared partition set (the domain of the
+    /// per-partition mode map); `authorities` the subset holding
+    /// `SET_MODULE_SCHEDULE` authority.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionSystemError`] when the schedule set is empty or
+    /// the degraded schedule in `options` is not declared.
+    pub fn new(
+        schedules: ScheduleSet,
+        partitions: Vec<PartitionId>,
+        authorities: Vec<PartitionId>,
+        options: ExploreOptions,
+    ) -> Result<Self, TransitionSystemError> {
+        if schedules.is_empty() {
+            return Err(TransitionSystemError::NoSchedules);
+        }
+        if let Some(degraded) = options.degraded_schedule {
+            if schedules.get(degraded).is_none() {
+                return Err(TransitionSystemError::UnknownDegradedSchedule(
+                    degraded,
+                ));
+            }
+        }
+        let mut partitions = partitions;
+        partitions.sort_unstable();
+        partitions.dedup();
+        let mut authorities = authorities;
+        authorities.sort_unstable();
+        authorities.dedup();
+        Ok(Self {
+            schedules,
+            partitions,
+            authorities,
+            options,
+        })
+    }
+
+    /// The schedule set explored over.
+    pub fn schedules(&self) -> &ScheduleSet {
+        &self.schedules
+    }
+
+    /// The declared partitions (sorted, deduplicated).
+    pub fn partitions(&self) -> &[PartitionId] {
+        &self.partitions
+    }
+
+    /// The authority partitions (sorted, deduplicated).
+    pub fn authorities(&self) -> &[PartitionId] {
+        &self.authorities
+    }
+
+    /// The environment-event options the system was built with.
+    pub fn options(&self) -> ExploreOptions {
+        self.options
+    }
+
+    /// The initial state: the boot schedule, every partition running, link
+    /// nominal (or absent when no degraded schedule is configured).
+    pub fn initial_state(&self) -> AbstractState {
+        let modes = self
+            .partitions
+            .iter()
+            .map(|&p| (p, AbstractMode::Running))
+            .collect();
+        let link = if self.options.degraded_schedule.is_some() {
+            LinkState::Nominal
+        } else {
+            LinkState::Absent
+        };
+        AbstractState {
+            schedule: self.schedules.initial().id(),
+            modes,
+            link,
+        }
+    }
+
+    /// Returns whether `partition` has at least one window under `schedule`.
+    pub fn has_window(
+        &self,
+        schedule: ScheduleId,
+        partition: PartitionId,
+    ) -> bool {
+        self.schedules
+            .get(schedule)
+            .is_some_and(|s| s.windows_for(partition).next().is_some())
+    }
+
+    /// Enumerates the events enabled in `state`, in a canonical
+    /// deterministic order: schedule requests sorted by (requester, target),
+    /// then partition faults, then module fault, then link events.
+    pub fn enabled_events(&self, state: &AbstractState) -> Vec<AbstractEvent> {
+        let mut events = Vec::new();
+        for &by in &self.authorities {
+            if state.mode_of(by) != AbstractMode::Running
+                || !self.has_window(state.schedule, by)
+            {
+                continue;
+            }
+            for schedule in self.schedules.iter() {
+                if schedule.id() != state.schedule {
+                    events.push(AbstractEvent::ScheduleRequest {
+                        by,
+                        to: schedule.id(),
+                    });
+                }
+            }
+        }
+        if self.options.partition_faults {
+            for &p in &self.partitions {
+                if state.mode_of(p) == AbstractMode::Running {
+                    events.push(AbstractEvent::PartitionFault { partition: p });
+                }
+            }
+        }
+        if self.options.module_faults {
+            events.push(AbstractEvent::ModuleFault);
+        }
+        match state.link {
+            LinkState::Nominal => events.push(AbstractEvent::LinkDown),
+            LinkState::Degraded { .. } => events.push(AbstractEvent::LinkUp),
+            LinkState::Absent => {}
+        }
+        events
+    }
+
+    /// Applies `event` to `state`, returning the successor (or `None` when
+    /// the event is not enabled there).
+    pub fn step(
+        &self,
+        state: &AbstractState,
+        event: AbstractEvent,
+    ) -> Option<Transition> {
+        let mut next = state.clone();
+        let mut restarted = Vec::new();
+        match event {
+            AbstractEvent::ScheduleRequest { by, to } => {
+                if !self.authorities.contains(&by)
+                    || state.mode_of(by) != AbstractMode::Running
+                    || !self.has_window(state.schedule, by)
+                    || to == state.schedule
+                {
+                    return None;
+                }
+                let target = self.schedules.get(to)?;
+                next.schedule = to;
+                self.apply_change_actions(target, &mut next, &mut restarted);
+            }
+            AbstractEvent::PartitionFault { partition } => {
+                if !self.options.partition_faults
+                    || state.mode_of(partition) != AbstractMode::Running
+                {
+                    return None;
+                }
+                // Standard recovery: warm restart; the tuple is unchanged.
+                restarted.push(partition);
+            }
+            AbstractEvent::ModuleFault => {
+                if !self.options.module_faults {
+                    return None;
+                }
+                // Module `Reset` recovery cold-restarts every partition.
+                for (&p, mode) in next.modes.iter_mut() {
+                    *mode = AbstractMode::Running;
+                    restarted.push(p);
+                }
+            }
+            AbstractEvent::LinkDown => {
+                if state.link != LinkState::Nominal {
+                    return None;
+                }
+                let degraded = self.options.degraded_schedule?;
+                next.link = LinkState::Degraded {
+                    nominal: state.schedule,
+                };
+                if degraded != state.schedule {
+                    let target = self.schedules.get(degraded)?;
+                    next.schedule = degraded;
+                    self.apply_change_actions(
+                        target,
+                        &mut next,
+                        &mut restarted,
+                    );
+                }
+            }
+            AbstractEvent::LinkUp => {
+                let LinkState::Degraded { nominal } = state.link else {
+                    return None;
+                };
+                next.link = LinkState::Nominal;
+                if nominal != state.schedule {
+                    let target = self.schedules.get(nominal)?;
+                    next.schedule = nominal;
+                    self.apply_change_actions(
+                        target,
+                        &mut next,
+                        &mut restarted,
+                    );
+                }
+            }
+        }
+        Some(Transition {
+            state: next,
+            restarted,
+        })
+    }
+
+    /// Applies the change actions of `target` to `state`'s mode map.
+    ///
+    /// A change action fires at the partition's first dispatch under the new
+    /// schedule, so a partition with no window there never sees its action;
+    /// the abstraction skips it too.
+    fn apply_change_actions(
+        &self,
+        target: &Schedule,
+        state: &mut AbstractState,
+        restarted: &mut Vec<PartitionId>,
+    ) {
+        for (partition, action) in target.change_actions() {
+            if target.windows_for(partition).next().is_none() {
+                continue;
+            }
+            match action {
+                ScheduleChangeAction::None => {}
+                ScheduleChangeAction::WarmRestart
+                | ScheduleChangeAction::ColdRestart => {
+                    state.modes.insert(partition, AbstractMode::Running);
+                    restarted.push(partition);
+                }
+                ScheduleChangeAction::Stop => {
+                    state.modes.insert(partition, AbstractMode::Stopped);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{PartitionRequirement, TimeWindow};
+    use crate::time::Ticks;
+
+    const P0: PartitionId = PartitionId(0);
+    const P1: PartitionId = PartitionId(1);
+    const CHI0: ScheduleId = ScheduleId(0);
+    const CHI1: ScheduleId = ScheduleId(1);
+
+    fn win(p: PartitionId, offset: u64, duration: u64) -> TimeWindow {
+        TimeWindow::new(p, Ticks(offset), Ticks(duration))
+    }
+
+    fn req(p: PartitionId) -> PartitionRequirement {
+        PartitionRequirement::new(p, Ticks(100), Ticks(40))
+    }
+
+    /// chi0 windows both partitions; chi1 windows both but stops P1 on
+    /// entry (a load-shedding schedule).
+    fn two_schedule_system(options: ExploreOptions) -> TransitionSystem {
+        let chi0 = Schedule::new(
+            CHI0,
+            "nominal",
+            Ticks(100),
+            vec![req(P0), req(P1)],
+            vec![win(P0, 0, 40), win(P1, 40, 40)],
+        );
+        let chi1 = Schedule::new(
+            CHI1,
+            "shed",
+            Ticks(100),
+            vec![req(P0), req(P1)],
+            vec![win(P0, 0, 40), win(P1, 40, 40)],
+        )
+        .with_change_action(P1, ScheduleChangeAction::Stop);
+        let schedules = match ScheduleSet::try_new(vec![chi0, chi1]) {
+            Ok(s) => s,
+            Err(e) => unreachable!("valid set: {e}"),
+        };
+        match TransitionSystem::new(
+            schedules,
+            vec![P0, P1],
+            vec![P0],
+            options,
+        ) {
+            Ok(ts) => ts,
+            Err(e) => unreachable!("valid system: {e}"),
+        }
+    }
+
+    #[test]
+    fn initial_state_runs_everything() {
+        let ts = two_schedule_system(ExploreOptions::default());
+        let s0 = ts.initial_state();
+        assert_eq!(s0.schedule, CHI0);
+        assert_eq!(s0.mode_of(P0), AbstractMode::Running);
+        assert_eq!(s0.mode_of(P1), AbstractMode::Running);
+        assert_eq!(s0.link, LinkState::Absent);
+    }
+
+    #[test]
+    fn switch_applies_stop_action() {
+        let ts = two_schedule_system(ExploreOptions::default());
+        let s0 = ts.initial_state();
+        let t = ts
+            .step(&s0, AbstractEvent::ScheduleRequest { by: P0, to: CHI1 })
+            .unwrap();
+        assert_eq!(t.state.schedule, CHI1);
+        assert_eq!(t.state.mode_of(P1), AbstractMode::Stopped);
+        assert_eq!(t.state.mode_of(P0), AbstractMode::Running);
+        assert!(t.restarted.is_empty());
+    }
+
+    #[test]
+    fn non_authority_cannot_switch() {
+        let ts = two_schedule_system(ExploreOptions::default());
+        let s0 = ts.initial_state();
+        assert!(ts
+            .step(&s0, AbstractEvent::ScheduleRequest { by: P1, to: CHI1 })
+            .is_none());
+    }
+
+    #[test]
+    fn module_fault_restarts_stopped_partitions() {
+        let ts = two_schedule_system(ExploreOptions {
+            module_faults: true,
+            ..ExploreOptions::default()
+        });
+        let s0 = ts.initial_state();
+        let stopped = ts
+            .step(&s0, AbstractEvent::ScheduleRequest { by: P0, to: CHI1 })
+            .unwrap()
+            .state;
+        let t = ts.step(&stopped, AbstractEvent::ModuleFault).unwrap();
+        assert_eq!(t.state.mode_of(P1), AbstractMode::Running);
+        assert_eq!(t.restarted, vec![P0, P1]);
+    }
+
+    #[test]
+    fn partition_fault_is_a_self_loop() {
+        let ts = two_schedule_system(ExploreOptions {
+            partition_faults: true,
+            ..ExploreOptions::default()
+        });
+        let s0 = ts.initial_state();
+        let t = ts
+            .step(&s0, AbstractEvent::PartitionFault { partition: P0 })
+            .unwrap();
+        assert_eq!(t.state, s0);
+        assert_eq!(t.restarted, vec![P0]);
+    }
+
+    #[test]
+    fn link_round_trip_restores_nominal() {
+        let ts = two_schedule_system(ExploreOptions {
+            degraded_schedule: Some(CHI1),
+            ..ExploreOptions::default()
+        });
+        let s0 = ts.initial_state();
+        assert_eq!(s0.link, LinkState::Nominal);
+        let down = ts.step(&s0, AbstractEvent::LinkDown).unwrap().state;
+        assert_eq!(down.schedule, CHI1);
+        assert_eq!(down.link, LinkState::Degraded { nominal: CHI0 });
+        assert_eq!(down.mode_of(P1), AbstractMode::Stopped);
+        let up = ts.step(&down, AbstractEvent::LinkUp).unwrap().state;
+        assert_eq!(up.schedule, CHI0);
+        assert_eq!(up.link, LinkState::Nominal);
+        // chi0 has no restart action for P1, so it stays stopped.
+        assert_eq!(up.mode_of(P1), AbstractMode::Stopped);
+    }
+
+    #[test]
+    fn enabled_events_are_canonical() {
+        let ts = two_schedule_system(ExploreOptions {
+            degraded_schedule: Some(CHI1),
+            module_faults: true,
+            partition_faults: true,
+        });
+        let s0 = ts.initial_state();
+        let events = ts.enabled_events(&s0);
+        assert_eq!(
+            events,
+            vec![
+                AbstractEvent::ScheduleRequest { by: P0, to: CHI1 },
+                AbstractEvent::PartitionFault { partition: P0 },
+                AbstractEvent::PartitionFault { partition: P1 },
+                AbstractEvent::ModuleFault,
+                AbstractEvent::LinkDown,
+            ]
+        );
+        for e in events {
+            assert!(ts.step(&s0, e).is_some(), "enabled event {e} must step");
+        }
+    }
+
+    #[test]
+    fn unknown_degraded_schedule_is_rejected() {
+        let chi0 = Schedule::new(
+            CHI0,
+            "only",
+            Ticks(100),
+            vec![req(P0)],
+            vec![win(P0, 0, 40)],
+        );
+        let schedules = ScheduleSet::try_new(vec![chi0]).unwrap();
+        let err = TransitionSystem::new(
+            schedules,
+            vec![P0],
+            vec![P0],
+            ExploreOptions {
+                degraded_schedule: Some(ScheduleId(9)),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TransitionSystemError::UnknownDegradedSchedule(ScheduleId(9))
+        );
+    }
+
+    #[test]
+    fn witness_round_trips() {
+        let w = Witness {
+            events: vec![
+                AbstractEvent::ScheduleRequest { by: P0, to: CHI1 },
+                AbstractEvent::LinkDown,
+                AbstractEvent::PartitionFault { partition: P1 },
+                AbstractEvent::ModuleFault,
+                AbstractEvent::LinkUp,
+            ],
+        };
+        let text = w.render();
+        assert_eq!(
+            text,
+            "request(P0->chi1); link_down; fault(P1); module_fault; link_up"
+        );
+        assert_eq!(Witness::parse(&text).unwrap(), w);
+    }
+
+    #[test]
+    fn empty_witness_round_trips() {
+        let w = Witness::default();
+        assert_eq!(w.render(), "(initial state)");
+        assert_eq!(Witness::parse(&w.render()).unwrap(), w);
+        assert_eq!(Witness::parse("").unwrap(), w);
+    }
+
+    #[test]
+    fn witness_parse_rejects_garbage() {
+        let err = Witness::parse("request(P0->chi1); explode").unwrap_err();
+        assert_eq!(err.segment, "explode");
+        assert!(Witness::parse("request(chi1->P0)").is_err());
+        assert!(Witness::parse("fault(tau3)").is_err());
+    }
+}

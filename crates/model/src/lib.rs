@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod explore;
 pub mod ids;
 pub mod multicore;
 pub mod partition;

@@ -356,9 +356,19 @@ impl Report {
         &self.violations
     }
 
-    /// Merges another report's findings into this one.
+    /// Merges another report's findings into this one, dropping violations
+    /// already present.
+    ///
+    /// Deduplication matters when the same schedule is verified along
+    /// several analysis paths (per-schedule lint plus every route the mode
+    /// explorer reaches it by): identical findings must not inflate the
+    /// count.
     pub fn merge(&mut self, other: Report) {
-        self.violations.extend(other.violations);
+        for v in other.violations {
+            if !self.violations.contains(&v) {
+                self.violations.push(v);
+            }
+        }
     }
 
     /// Records an externally discovered violation — the entry point for
@@ -811,11 +821,34 @@ mod tests {
     }
 
     #[test]
-    fn report_merge() {
+    fn report_merge_deduplicates_identical_violations() {
         let bad = schedule(0, vec![], vec![]);
         let mut r = verify_schedule(&bad, &[]);
+        let baseline = r.violations().len();
+        assert!(baseline > 0, "empty schedule must have violations");
+        // Verifying the same schedule again yields identical findings;
+        // merging must not double-report them.
         r.merge(verify_schedule(&bad, &[]));
-        assert_eq!(r.violations().len(), 2);
+        assert_eq!(r.violations().len(), baseline);
+    }
+
+    #[test]
+    fn report_merge_keeps_distinct_violations() {
+        let s0 = ScheduleId(0);
+        let s1 = ScheduleId(1);
+        let mut r = Report::new();
+        r.record(Violation::ZeroMtf { schedule: s0 });
+        let mut other = Report::new();
+        other.record(Violation::ZeroMtf { schedule: s0 });
+        other.record(Violation::ZeroMtf { schedule: s1 });
+        r.merge(other);
+        assert_eq!(
+            r.violations(),
+            &[
+                Violation::ZeroMtf { schedule: s0 },
+                Violation::ZeroMtf { schedule: s1 },
+            ]
+        );
     }
 
     #[test]

@@ -188,6 +188,10 @@ pub struct LinkDirective {
     pub failover_threshold: u32,
     /// Probation ticks on the secondary before reverting to the primary.
     pub revert_ticks: u64,
+    /// Schedule the module switches to while the link is degraded
+    /// (`degraded=chi<n>`); `None` means failover does not change the
+    /// schedule.
+    pub degraded: Option<ScheduleId>,
 }
 
 /// A parsed configuration document.
@@ -422,7 +426,8 @@ fn parse_recovery_action(line_no: usize, token: &str) -> Result<ProcessRecoveryA
 ///   is `P<n>:<port>` (local) or `remote:P<n>:<port>` (gateway to the
 ///   counterpart node of a cluster)
 /// * `link primary_latency=<ticks> [secondary_latency=<ticks>]
-///   [failover_threshold=<rounds>] [revert=<ticks>]` (at most one)
+///   [failover_threshold=<rounds>] [revert=<ticks>] [degraded=chi<n>]`
+///   (at most one; `degraded` names the schedule entered on failover)
 /// * `arq window=<frames> timeout=<ticks> [backoff_cap=<n>]
 ///   [max_retries=<n>] [recovery_threshold=<n>]` (at most one)
 /// * `hm <error_id> level=process|partition|module`
@@ -754,6 +759,23 @@ pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
                             })
                         })?,
                     revert_ticks: parse_u64_opt(line_no, &kv, "revert")?.unwrap_or(400),
+                    degraded: kv
+                        .get("degraded")
+                        .map(|raw| {
+                            raw.strip_prefix("chi")
+                                .and_then(|d| d.parse().ok())
+                                .map(ScheduleId)
+                                .ok_or_else(|| {
+                                    err(
+                                        line_no,
+                                        format!(
+                                            "expected schedule id 'chi<n>' \
+                                             for 'degraded', found '{raw}'"
+                                        ),
+                                    )
+                                })
+                        })
+                        .transpose()?,
                 });
             }
             "arq" => {
@@ -954,9 +976,13 @@ pub fn emit(doc: &ConfigDoc) -> String {
             out.push_str(&format!(" secondary_latency={s}"));
         }
         out.push_str(&format!(
-            " failover_threshold={} revert={}\n",
+            " failover_threshold={} revert={}",
             link.failover_threshold, link.revert_ticks
         ));
+        if let Some(degraded) = link.degraded {
+            out.push_str(&format!(" degraded={degraded}"));
+        }
+        out.push('\n');
     }
     if let Some(arq) = &doc.arq {
         out.push_str(&format!(
@@ -1244,7 +1270,7 @@ schedule chi0 name=ops mtf=100
   require P0 cycle=100 duration=100
   window P0 offset=0 duration=100
 queuing P0 name=tm dir=source size=64 depth=8
-link primary_latency=3 secondary_latency=6 failover_threshold=2 revert=600
+link primary_latency=3 secondary_latency=6 failover_threshold=2 revert=600 degraded=chi0
 arq window=8 timeout=24 backoff_cap=3 max_retries=8
 channel 50 from=P0:tm to=remote:P0:tm
 ";
@@ -1254,6 +1280,7 @@ channel 50 from=P0:tm to=remote:P0:tm
         assert_eq!(link.secondary_latency, Some(6));
         assert_eq!(link.failover_threshold, 2);
         assert_eq!(link.revert_ticks, 600);
+        assert_eq!(link.degraded, Some(ScheduleId(0)));
         let arq = doc.arq.expect("arq directive parsed");
         assert_eq!(arq.window, 8);
         assert_eq!(arq.timeout_ticks, 24);
@@ -1293,6 +1320,11 @@ channel 50 from=P0:tm to=remote:P0:tm
                 "duplicate 'link' directive",
             ),
             ("arq window=8", 1, "missing 'timeout='"),
+            (
+                "link primary_latency=1 degraded=nope",
+                1,
+                "expected schedule id 'chi<n>' for 'degraded'",
+            ),
             (
                 "arq window=8 timeout=24\narq window=4 timeout=12",
                 2,

@@ -28,14 +28,35 @@ echo "== lint: airlint cluster cross-check over the node pair =="
 cargo run --release -q -p air-lint --bin airlint -- --cluster \
     examples/cluster_degraded_a.air examples/cluster_degraded_b.air
 
+echo "== lint: bounded mode/HM exploration of the examples (depth 3) =="
+cargo run --release -q -p air-lint --bin airlint -- --explore --depth 3 \
+    examples/full_system.air
+cargo run --release -q -p air-lint --bin airlint -- --explore --depth 3 \
+    examples/cluster_degraded_a.air examples/cluster_degraded_b.air
+
 echo "== lint: airlint golden corpus (JSON diff) =="
 corpus_out=$(mktemp)
 trap 'rm -f "$corpus_out"' EXIT
 for case in tests/lint_corpus/*.air; do
+    case "$case" in *_pair_a.air|*_pair_b.air) continue ;; esac
+    # A first-line '#!explore depth=N' marker runs the case through the
+    # bounded exploration at that depth, matching the corpus test harness.
+    args=(--json)
+    marker=$(head -n 1 "$case")
+    if [[ "$marker" == '#!explore depth='* ]]; then
+        args+=(--explore --depth "${marker##*depth=}")
+    fi
     # airlint exits 1 on Error-level findings -- expected for the corpus.
-    cargo run --release -q -p air-lint --bin airlint -- --json "$case" > "$corpus_out" || true
+    cargo run --release -q -p air-lint --bin airlint -- "${args[@]}" "$case" > "$corpus_out" || true
     diff -u "${case%.air}.expected" "$corpus_out" \
         || { echo "golden drift in $case" >&2; exit 1; }
+done
+for pair_a in tests/lint_corpus/*_pair_a.air; do
+    base="${pair_a%_a.air}"
+    cargo run --release -q -p air-lint --bin airlint -- --json --cluster \
+        "$pair_a" "${base}_b.air" > "$corpus_out" || true
+    diff -u "${base}.expected" "$corpus_out" \
+        || { echo "golden drift in ${base}" >&2; exit 1; }
 done
 
 echo "== smoke fault-injection campaign (3 seeds x all fault classes) =="

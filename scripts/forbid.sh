@@ -9,14 +9,18 @@
 # `// lint: allow(panic)` comment (reserved for cases proven unreachable
 # or equivalent to a hardware halt).
 #
-#   scripts/forbid.sh            # scan crates/pmk/src crates/hw/src
+# The lint crate is held to the same bar: `SystemBuilder::build()` runs
+# it on every construction, so a panic in an analysis pass would turn a
+# diagnosable configuration error into a crash.
+#
+#   scripts/forbid.sh            # scan the default directories below
 #   scripts/forbid.sh <dirs...>  # scan specific directories
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dirs=("$@")
 if [[ ${#dirs[@]} -eq 0 ]]; then
-    dirs=(crates/pmk/src crates/hw/src)
+    dirs=(crates/pmk/src crates/hw/src crates/lint/src)
 fi
 
 fail=0

@@ -1,0 +1,137 @@
+//! Cross-validation property: the explorer's abstraction is sound for the
+//! real system — no concrete trace visits an abstract state the explorer
+//! calls unreachable.
+//!
+//! For 50 seeds, a two-schedule system is synthesized (every partition
+//! windowed in both schedules, random change actions — including `Stop` —
+//! on the alternate schedule), the matching abstract
+//! [`TransitionSystem`] is built over the same tables, and a random
+//! sequence of abstractly-enabled events is driven through the *real*
+//! tick loop via the replay hooks. After each event the concrete system
+//! is projected back into the abstract state space and must land inside
+//! the set of states the explorer reaches within that many events.
+
+use std::collections::BTreeSet;
+
+use air_core::replay::{apply_event, observe_abstract_state};
+use air_core::{PartitionConfig, SystemBuilder};
+use air_model::explore::{AbstractState, ExploreOptions, TransitionSystem};
+use air_model::schedule::PartitionRequirement;
+use air_model::testkit::TestRng;
+use air_model::{Partition, PartitionId, ScheduleChangeAction, ScheduleId, ScheduleSet, Ticks};
+use air_tools::synthesize_schedule;
+
+const SEEDS: u64 = 50;
+const MAX_EVENTS: usize = 4;
+
+/// Two synthesized schedules over 2–3 partitions, every partition windowed
+/// in both (durations 10–30 per 100-tick cycle, so earliest-fit always
+/// succeeds), with random change actions on the alternate schedule for the
+/// non-authority partitions. P0 holds schedule authority.
+fn synthesize_system(rng: &mut TestRng) -> (ScheduleSet, Vec<Partition>) {
+    let n = 2 + u32::try_from(rng.below(2)).unwrap_or(0);
+    let mut schedules = Vec::new();
+    for sid in 0..2u32 {
+        let reqs: Vec<PartitionRequirement> = (0..n)
+            .map(|m| {
+                PartitionRequirement::new(PartitionId(m), Ticks(100), Ticks(rng.range(10, 30)))
+            })
+            .collect();
+        let mut schedule = synthesize_schedule(ScheduleId(sid), &reqs).expect("capacity fits");
+        if sid == 1 {
+            for m in 1..n {
+                let action = match rng.below(4) {
+                    0 => ScheduleChangeAction::WarmRestart,
+                    1 => ScheduleChangeAction::ColdRestart,
+                    2 => ScheduleChangeAction::Stop,
+                    _ => ScheduleChangeAction::None,
+                };
+                schedule = schedule.with_change_action(PartitionId(m), action);
+            }
+        }
+        schedules.push(schedule);
+    }
+    let partitions: Vec<Partition> = (0..n)
+        .map(|m| {
+            let p = Partition::new(PartitionId(m), format!("p{m}"));
+            if m == 0 {
+                p.with_schedule_authority()
+            } else {
+                p
+            }
+        })
+        .collect();
+    (ScheduleSet::new(schedules), partitions)
+}
+
+/// All abstract states reachable within `depth` events.
+fn reachable(ts: &TransitionSystem, depth: usize) -> BTreeSet<AbstractState> {
+    let mut seen = BTreeSet::new();
+    seen.insert(ts.initial_state());
+    let mut frontier = vec![ts.initial_state()];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for state in frontier {
+            for event in ts.enabled_events(&state) {
+                if let Some(t) = ts.step(&state, event) {
+                    if seen.insert(t.state.clone()) {
+                        next.push(t.state);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    seen
+}
+
+#[test]
+fn concrete_traces_never_leave_the_explored_state_space() {
+    for seed in 0..SEEDS {
+        let mut rng = TestRng::new(seed);
+        let (schedules, partitions) = synthesize_system(&mut rng);
+        let ids: Vec<PartitionId> = partitions.iter().map(Partition::id).collect();
+        let ts = TransitionSystem::new(
+            schedules.clone(),
+            ids,
+            vec![PartitionId(0)],
+            ExploreOptions {
+                degraded_schedule: None,
+                module_faults: true,
+                partition_faults: true,
+            },
+        )
+        .expect("valid transition system");
+
+        let mut builder = SystemBuilder::new(schedules).with_exploration_depth(0);
+        for p in partitions {
+            builder = builder.with_partition(PartitionConfig::new(p));
+        }
+        // The campaign drives deliberately adversarial event sequences;
+        // the unchecked path keeps the run independent of lint verdicts.
+        let mut system = builder.build_unchecked().expect("assembles");
+
+        let initial = observe_abstract_state(&system);
+        assert_eq!(
+            initial,
+            ts.initial_state(),
+            "seed {seed}: initial states disagree"
+        );
+
+        for driven in 1..=MAX_EVENTS {
+            let state = observe_abstract_state(&system);
+            let enabled = ts.enabled_events(&state);
+            let Some(&event) = enabled.get(rng.below_usize(enabled.len().max(1))) else {
+                break;
+            };
+            apply_event(&mut system, &event);
+            let observed = observe_abstract_state(&system);
+            assert!(
+                reachable(&ts, driven).contains(&observed),
+                "seed {seed}: after {driven} events ending in '{event}', \
+                 concrete state {observed} is not in the explorer's \
+                 depth-{driven} reachable set"
+            );
+        }
+    }
+}

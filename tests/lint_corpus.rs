@@ -3,26 +3,68 @@
 //! compared byte-for-byte against the sibling `.expected` file, so the
 //! exact diagnostic codes (and their lines) are pinned down.
 //!
+//! Conventions:
+//!
+//! - `clean_*` cases lint without errors, `warn_*` cases have findings
+//!   but no errors, everything else must produce at least one error;
+//! - a first line `#!explore depth=N` (a comment to the parser) runs the
+//!   case through [`lint_config_text_explored`] at that depth, so the
+//!   golden pins the exploration diagnostics (AIR081–AIR086) too;
+//! - `<base>_pair_a.air` / `<base>_pair_b.air` describe the two nodes of
+//!   a cluster; they are excluded from the per-file loops and checked
+//!   against `<base>_pair.expected`, the concatenation of both per-node
+//!   reports and the cluster cross-check (exactly what
+//!   `airlint --json --cluster` prints).
+//!
 //! To regenerate a golden after an intentional change:
 //! `cargo run -p air-lint --bin airlint -- --json tests/lint_corpus/<case>.air`
-//! and review the diff by hand before committing it.
+//! (add `--explore --depth N` for marked cases, or
+//! `--cluster <base>_pair_a.air <base>_pair_b.air` for pairs) and review
+//! the diff by hand before committing it.
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use air_lint::lint_config_text;
+use air_lint::{lint_cluster_config_texts, lint_config_text, lint_config_text_explored, Code};
 
 fn corpus_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus")
 }
 
+/// Per-file corpus cases — cluster pair nodes are handled by
+/// [`cluster_pairs_match_goldens`] instead.
 fn corpus_cases() -> Vec<PathBuf> {
     let mut cases: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
         .expect("corpus directory exists")
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|ext| ext == "air"))
+        .filter(|p| !is_pair_node(p))
         .collect();
     cases.sort();
     cases
+}
+
+fn is_pair_node(path: &Path) -> bool {
+    path.file_stem()
+        .is_some_and(|s| {
+            let s = s.to_string_lossy();
+            s.ends_with("_pair_a") || s.ends_with("_pair_b")
+        })
+}
+
+/// Lints `text` honouring the `#!explore depth=N` first-line marker.
+fn report_for(text: &str) -> air_lint::LintReport {
+    if let Some(depth) = explore_depth(text) {
+        lint_config_text_explored(text, depth)
+    } else {
+        lint_config_text(text)
+    }
+}
+
+fn explore_depth(text: &str) -> Option<usize> {
+    let first = text.lines().next()?;
+    let rest = first.strip_prefix("#!explore")?;
+    rest.trim().strip_prefix("depth=")?.trim().parse().ok()
 }
 
 #[test]
@@ -43,7 +85,7 @@ fn corpus_reports_match_goldens() {
         let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
             panic!("missing golden file {}", golden_path.display())
         });
-        let actual = lint_config_text(&text).to_json_lines();
+        let actual = report_for(&text).to_json_lines();
         if actual != golden {
             failures.push(format!(
                 "== {} ==\n--- expected\n{golden}--- actual\n{actual}",
@@ -52,6 +94,72 @@ fn corpus_reports_match_goldens() {
         }
     }
     assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn cluster_pairs_match_goldens() {
+    let mut pairs = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus directory exists") {
+        let path = entry.expect("readable entry").path();
+        let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        if path.extension().is_none_or(|ext| ext != "air") || !stem.ends_with("_pair_a") {
+            continue;
+        }
+        let base = stem.trim_end_matches("_a");
+        let a = std::fs::read_to_string(&path).expect("readable pair node A");
+        let b = std::fs::read_to_string(path.with_file_name(format!("{base}_b.air")))
+            .expect("readable pair node B");
+        let golden_path = path.with_file_name(format!("{base}.expected"));
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!("missing golden file {}", golden_path.display())
+        });
+        let actual = format!(
+            "{}{}{}",
+            report_for(&a).to_json_lines(),
+            report_for(&b).to_json_lines(),
+            lint_cluster_config_texts(&a, &b).to_json_lines()
+        );
+        assert_eq!(actual, golden, "pair {base} diverged from its golden");
+        // Pairs follow the same naming convention as per-file cases.
+        assert!(
+            lint_cluster_config_texts(&a, &b).has_errors() != base.starts_with("clean_"),
+            "pair {base} violates the naming convention"
+        );
+        pairs += 1;
+    }
+    assert!(pairs >= 1, "expected at least one cluster pair case");
+}
+
+#[test]
+fn corpus_exercises_every_registered_code() {
+    // Codes the text corpus cannot reach: the parser rejects duplicate
+    // partition/schedule ids before lint runs (AIR070/AIR071 guard the
+    // programmatic path), and AIR014 is the catch-all for model
+    // verification violations that have no dedicated code yet.
+    let exempt: BTreeSet<&str> = ["AIR014", "AIR070", "AIR071"].into();
+    let mut covered = BTreeSet::new();
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus directory exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_some_and(|ext| ext == "expected") {
+            let golden = std::fs::read_to_string(&path).expect("readable golden");
+            for code in Code::ALL {
+                if golden.contains(&format!("\"{code}\"")) {
+                    covered.insert(code.as_str());
+                }
+            }
+        }
+    }
+    let missing: Vec<&str> = Code::ALL
+        .iter()
+        .map(|c| c.as_str())
+        .filter(|c| !covered.contains(c) && !exempt.contains(c))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "codes with no golden corpus case: {missing:?}"
+    );
 }
 
 #[test]
@@ -91,7 +199,7 @@ fn every_error_case_has_errors() {
     // must produce at least one Error-level diagnostic.
     for case in corpus_cases() {
         let text = std::fs::read_to_string(&case).expect("readable corpus case");
-        let report = lint_config_text(&text);
+        let report = report_for(&text);
         let name = case.file_stem().unwrap().to_string_lossy().into_owned();
         if name.starts_with("clean_") {
             assert!(!report.has_errors(), "{name} should be clean:\n{report}");
