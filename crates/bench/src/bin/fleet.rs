@@ -1,0 +1,178 @@
+//! Fleet-scale throughput: thousands of emulated AIR systems sharded
+//! across worker threads, emitting `BENCH_fleet.json`.
+//!
+//! Three sections:
+//!
+//! * **sequential baseline** — the 1k-machine campaign fleet run one
+//!   machine at a time (no threads, no barriers): the scaling curve's
+//!   denominator;
+//! * **scaling curve** — the same fleet on 1/2/4/8/16 workers, reporting
+//!   aggregate systems×ticks/sec and speedup vs both the 1-worker fleet
+//!   and the sequential baseline, with every configuration's fleet
+//!   digest checked against the baseline (a throughput number from a
+//!   diverged simulation would be meaningless);
+//! * **link fleet** — a smaller fleet of two-node link campaigns (each
+//!   machine is a full cluster), same metrics.
+//!
+//! `host_parallelism` records what the hardware can actually run
+//! concurrently: on a 1-core host the curve measures scheduling overhead,
+//! not speedup, and the JSON says so rather than hiding it.
+//!
+//! `--smoke-fleet` runs a reduced fleet (256 machines × 3 MTFs) on
+//! `AIR_FLEET_WORKERS` (default 4) workers, checks the fleet digest
+//! against the sequential run, and exits non-zero on divergence — the CI
+//! hook.
+
+use air_core::campaign::CAMPAIGN_MTF;
+use air_fleet::workloads::{CampaignFleet, LinkFleet};
+use air_fleet::{run_fleet, run_sequential, Capture, FleetConfig, FleetOutcome, FleetWorkload};
+
+const BASE_SEED: u64 = 42;
+const FLEET_MACHINES: usize = 1000;
+const LINK_MACHINES: usize = 64;
+const WORKER_CURVE: [usize; 5] = [1, 2, 4, 8, 16];
+const SMOKE_MACHINES: usize = 256;
+const SMOKE_WORKERS_DEFAULT: usize = 4;
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[allow(clippy::cast_precision_loss)] // reporting only
+fn speedup(curve_point: &FleetOutcome, baseline: &FleetOutcome) -> f64 {
+    let base = baseline.tick_elapsed.as_secs_f64();
+    let point = curve_point.tick_elapsed.as_secs_f64();
+    if point <= 0.0 {
+        return 0.0;
+    }
+    base / point
+}
+
+/// One scaling-curve sweep: sequential baseline plus the worker curve,
+/// digests cross-checked. Returns the JSON rows and whether all
+/// configurations agreed.
+fn sweep<W: FleetWorkload>(
+    label: &str,
+    workload: &W,
+    machines: usize,
+) -> (String, String, bool) {
+    let sequential = run_sequential(workload, machines, Capture::Digest);
+    println!(
+        "{label}: {machines} machines, {} total ticks, sequential {:.0} systems×ticks/sec \
+         (build {:.2}s, tick {:.2}s)",
+        sequential.total_ticks(),
+        sequential.systems_ticks_per_sec(),
+        sequential.build_elapsed.as_secs_f64(),
+        sequential.tick_elapsed.as_secs_f64()
+    );
+
+    let mut rows = String::new();
+    let mut all_agree = true;
+    let mut one_worker: Option<FleetOutcome> = None;
+    for (i, &workers) in WORKER_CURVE.iter().enumerate() {
+        let outcome = run_fleet(workload, &FleetConfig::new(machines, workers));
+        let agree = outcome.fleet_digest() == sequential.fleet_digest();
+        all_agree &= agree;
+        let vs_seq = speedup(&outcome, &sequential);
+        let vs_one = one_worker.as_ref().map_or(1.0, |one| speedup(&outcome, one));
+        println!(
+            "  {workers:>2} workers: {:>12.0} systems×ticks/sec  speedup vs 1-worker {vs_one:>5.2}×  \
+             vs sequential {vs_seq:>5.2}×  digests {}",
+            outcome.systems_ticks_per_sec(),
+            if agree { "agree" } else { "DIVERGED" }
+        );
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "      {{\"workers\": {workers}, \"rounds\": {}, \
+             \"systems_ticks_per_sec\": {:.0}, \"tick_seconds\": {:.4}, \
+             \"build_seconds\": {:.4}, \"speedup_vs_1_worker\": {vs_one:.3}, \
+             \"speedup_vs_sequential\": {vs_seq:.3}, \"digest_matches_sequential\": {agree}}}",
+            outcome.rounds,
+            outcome.systems_ticks_per_sec(),
+            outcome.tick_elapsed.as_secs_f64(),
+            outcome.build_elapsed.as_secs_f64()
+        ));
+        if workers == 1 {
+            one_worker = Some(outcome);
+        }
+    }
+    let baseline_row = format!(
+        "      {{\"systems_ticks_per_sec\": {:.0}, \"tick_seconds\": {:.4}, \
+         \"build_seconds\": {:.4}, \"total_ticks\": {}}}",
+        sequential.systems_ticks_per_sec(),
+        sequential.tick_elapsed.as_secs_f64(),
+        sequential.build_elapsed.as_secs_f64(),
+        sequential.total_ticks()
+    );
+    (baseline_row, rows, all_agree)
+}
+
+fn run_smoke() -> i32 {
+    let workers = air_fleet::workers_from_env(SMOKE_WORKERS_DEFAULT);
+    let fleet = CampaignFleet::new(BASE_SEED, 1).with_horizon(3 * CAMPAIGN_MTF);
+    let sharded = run_fleet(&fleet, &FleetConfig::new(SMOKE_MACHINES, workers));
+    let sequential = run_sequential(&fleet, SMOKE_MACHINES, Capture::Digest);
+    let agree = sharded.fleet_digest() == sequential.fleet_digest();
+    println!(
+        "smoke fleet: {SMOKE_MACHINES} machines × {} ticks on {workers} workers \
+         ({} rounds): {:.0} systems×ticks/sec, digests {}",
+        3 * CAMPAIGN_MTF,
+        sharded.rounds,
+        sharded.systems_ticks_per_sec(),
+        if agree { "agree with sequential" } else { "DIVERGED from sequential" }
+    );
+    if !agree {
+        eprintln!("smoke fleet: sharded execution diverged from the sequential reference");
+        return 1;
+    }
+    0
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke-fleet") {
+        std::process::exit(run_smoke());
+    }
+
+    let parallelism = host_parallelism();
+    println!(
+        "fleet: campaign fleet of {FLEET_MACHINES} + link fleet of {LINK_MACHINES}, \
+         workers {WORKER_CURVE:?}, host parallelism {parallelism}\n"
+    );
+    if parallelism < *WORKER_CURVE.last().unwrap_or(&1) {
+        println!(
+            "note: host exposes {parallelism} hardware thread(s); worker counts beyond that \
+             measure scheduling overhead, not speedup\n"
+        );
+    }
+
+    let campaign = CampaignFleet::new(BASE_SEED, 1);
+    let (campaign_baseline, campaign_rows, campaign_agree) =
+        sweep("campaign", &campaign, FLEET_MACHINES);
+
+    println!();
+    let link = LinkFleet::new(BASE_SEED, 1);
+    let (link_baseline, link_rows, link_agree) = sweep("link", &link, LINK_MACHINES);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"sharded fleet execution of emulated AIR systems\",\n  \
+           \"profile\": \"{}\",\n  \"host_parallelism\": {parallelism},\n  \
+           \"base_seed\": {BASE_SEED},\n  \"batch_ticks\": 64,\n  \
+           \"campaign_fleet\": {{\n    \"machines\": {FLEET_MACHINES},\n    \
+           \"sequential\":\n{campaign_baseline},\n    \"scaling\": [\n{campaign_rows}\n    ]\n  }},\n  \
+           \"link_fleet\": {{\n    \"machines\": {LINK_MACHINES},\n    \
+           \"sequential\":\n{link_baseline},\n    \"scaling\": [\n{link_rows}\n    ]\n  }},\n  \
+           \"deterministic\": {}\n}}\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        campaign_agree && link_agree
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!(
+        "\ndeterministic={} → BENCH_fleet.json written",
+        campaign_agree && link_agree
+    );
+    if !campaign_agree || !link_agree {
+        std::process::exit(1);
+    }
+}

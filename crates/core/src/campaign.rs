@@ -34,6 +34,7 @@ use air_hm::{
 };
 use air_hw::inject::{FaultClass, FaultEvent, FaultPlan};
 use air_hw::link::LinkEndpoint;
+use air_hw::machine::MachineConfig;
 use air_hw::mmu::{AccessKind, Privilege};
 use air_model::schedule::{PartitionRequirement, Schedule, TimeWindow};
 use air_model::testkit;
@@ -76,6 +77,13 @@ const P_RX: PartitionId = PartitionId(2);
 /// and seeded jitter.
 pub fn standard_plan(seed: u64, per_class: usize) -> FaultPlan {
     FaultPlan::generate(seed, &FaultClass::ALL, per_class, 70, 40, 11)
+}
+
+/// The default simulated horizon for `plan`: four MTFs past the last
+/// planned fault, so trailing detections (worst case: a process overrun
+/// discovered two frames later) land inside the run.
+pub fn default_horizon(plan: &FaultPlan) -> u64 {
+    plan.horizon() + 4 * CAMPAIGN_MTF
 }
 
 /// One injected fault and what became of it.
@@ -212,11 +220,9 @@ pub struct CampaignRunner {
 }
 
 impl CampaignRunner {
-    /// A runner for `plan`; the horizon extends four MTFs past the last
-    /// planned fault so trailing detections (worst case: a process overrun
-    /// discovered two frames later) land inside the run.
+    /// A runner for `plan` over the default horizon ([`default_horizon`]).
     pub fn new(plan: FaultPlan) -> Self {
-        let horizon = plan.horizon() + 4 * CAMPAIGN_MTF;
+        let horizon = default_horizon(&plan);
         Self { plan, horizon }
     }
 
@@ -231,11 +237,42 @@ impl CampaignRunner {
     /// check), the clean baseline, detection attribution and the
     /// invariant checks.
     pub fn run(&self) -> CampaignOutcome {
-        let faulted = execute(&self.plan, self.horizon);
-        let repeat = execute(&self.plan, self.horizon);
-        let clean = execute(&FaultPlan::empty(), self.horizon);
-        analyse(&self.plan, faulted, &repeat.trace_log, clean)
+        self.run_with_scratch(&mut CampaignScratch::default())
     }
+
+    /// [`run`](CampaignRunner::run), reusing `scratch` for the repeat
+    /// probe's record table, detection FIFO and rendered trace log. A
+    /// sweep over many seeds keeps one scratch alive instead of churning
+    /// the allocator once per seed — the fleet path runs thousands of
+    /// campaigns per worker, so the saved buffers add up.
+    pub fn run_with_scratch(&self, scratch: &mut CampaignScratch) -> CampaignOutcome {
+        let faulted = execute(&self.plan, self.horizon);
+        // The repeat probe only exists to prove byte-identical re-execution:
+        // its records and log live in the scratch, not in the outcome.
+        let mut repeat = CampaignSim::new_reusing(
+            &self.plan,
+            std::mem::take(&mut scratch.records),
+            std::mem::take(&mut scratch.spurious),
+        )
+        .with_horizon(self.horizon);
+        repeat.run_to_horizon();
+        scratch.repeat_log.clear();
+        repeat.render_trace_into(&mut scratch.repeat_log);
+        (scratch.records, scratch.spurious) = repeat.into_buffers();
+        let clean = execute(&FaultPlan::empty(), self.horizon);
+        analyse(&self.plan, faulted, &scratch.repeat_log, clean)
+    }
+}
+
+/// Reusable buffers for [`CampaignRunner::run_with_scratch`]: the repeat
+/// probe's per-fault record table, its spurious-detection FIFO and its
+/// rendered trace log survive from one seed to the next, so only the
+/// first campaign of a sweep pays their allocations.
+#[derive(Debug, Default)]
+pub struct CampaignScratch {
+    records: Vec<FaultRecord>,
+    spurious: Vec<(Ticks, String)>,
+    repeat_log: String,
 }
 
 /// Everything observed in one simulation run.
@@ -249,67 +286,239 @@ struct RunArtifacts {
     spurious: Vec<(Ticks, String)>,
 }
 
-fn execute(plan: &FaultPlan, horizon: u64) -> RunArtifacts {
-    let (mut system, overrun) = build_campaign_system();
-    let mut records: Vec<FaultRecord> = plan
-        .events()
-        .iter()
-        .map(|&event| FaultRecord {
+/// One incrementally-steppable campaign execution: the standard
+/// three-partition workload under a seeded [`FaultPlan`], advanced one
+/// tick at a time.
+///
+/// [`CampaignRunner`] drives three of these back to back (faulted,
+/// repeat, clean); the fleet executor (`air-fleet`) instead interleaves
+/// thousands of them across worker threads in batches of ticks. All state
+/// — machine, PMK, trace, fault cursor, detection FIFO — is owned by the
+/// instance, so two sims never share anything and per-machine trace logs
+/// are a pure function of the plan, independent of scheduling order.
+///
+/// # Examples
+///
+/// ```
+/// use air_core::campaign::{default_horizon, standard_plan, CampaignSim};
+///
+/// let plan = standard_plan(7, 1);
+/// let mut sim = CampaignSim::new(&plan);
+/// sim.run_to_horizon();
+/// assert_eq!(sim.now(), default_horizon(&plan));
+/// assert_eq!(sim.detected(), plan.len());
+/// ```
+pub struct CampaignSim {
+    system: AirSystem,
+    overrun: FaultSwitch,
+    records: Vec<FaultRecord>,
+    spurious: Vec<(Ticks, String)>,
+    next_fault: usize,
+    echo_seq: u64,
+    hm_cursor: usize,
+    prev_active: Option<PartitionId>,
+    horizon: u64,
+}
+
+impl CampaignSim {
+    /// A sim for `plan` on the default machine profile, over
+    /// [`default_horizon`]. The workload configuration passes the full
+    /// build gate (lint + bounded exploration).
+    pub fn new(plan: &FaultPlan) -> Self {
+        Self::assemble(plan, &MachineConfig::default(), true, Vec::new(), Vec::new())
+    }
+
+    /// A sim for `plan` on machine profile `config`, lint-gated like
+    /// [`CampaignSim::new`].
+    pub fn with_config(plan: &FaultPlan, config: &MachineConfig) -> Self {
+        Self::assemble(plan, config, true, Vec::new(), Vec::new())
+    }
+
+    /// The fleet fast path: builds the (fixed, statically valid) campaign
+    /// workload without re-running the static-analysis gate. The
+    /// configuration is identical for every instance, so a fleet validates
+    /// it once ([`CampaignSim::with_config`]) and then constructs
+    /// thousands of instances through this constructor.
+    pub fn new_unchecked(plan: &FaultPlan, config: &MachineConfig) -> Self {
+        Self::assemble(plan, config, false, Vec::new(), Vec::new())
+    }
+
+    /// A sim reusing previously recycled buffers ([`CampaignSim::into_buffers`]).
+    fn new_reusing(
+        plan: &FaultPlan,
+        records: Vec<FaultRecord>,
+        spurious: Vec<(Ticks, String)>,
+    ) -> Self {
+        Self::assemble(plan, &MachineConfig::default(), true, records, spurious)
+    }
+
+    fn assemble(
+        plan: &FaultPlan,
+        config: &MachineConfig,
+        checked: bool,
+        mut records: Vec<FaultRecord>,
+        mut spurious: Vec<(Ticks, String)>,
+    ) -> Self {
+        let (system, overrun) = build_campaign_system(config, checked);
+        records.clear();
+        records.extend(plan.events().iter().map(|&event| FaultRecord {
             event,
             affected: None,
             detected_at: None,
             extra_detections: 0,
-        })
-        .collect();
-    let mut next_fault = 0usize;
-    let mut echo_seq = 0u64;
-    let mut hm_cursor = 0usize;
-    let mut spurious = Vec::new();
-    let mut prev_active = system.active_partition();
+        }));
+        spurious.clear();
+        let prev_active = system.active_partition();
+        Self {
+            system,
+            overrun,
+            records,
+            spurious,
+            next_fault: 0,
+            echo_seq: 0,
+            hm_cursor: 0,
+            prev_active,
+            horizon: default_horizon(plan),
+        }
+    }
 
-    while system.now().as_u64() < horizon {
-        let now = system.now().as_u64();
+    /// Overrides the simulated horizon (ticks).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Current time.
+    pub fn now(&self) -> u64 {
+        self.system.now().as_u64()
+    }
+
+    /// The tick the sim stops at.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Whether the sim has reached its horizon.
+    pub fn is_done(&self) -> bool {
+        self.now() >= self.horizon
+    }
+
+    /// Advances one tick: due echo traffic and planned faults strike
+    /// first, the system executes the tick, the window-start probe touches
+    /// application data, and new health-monitor entries are attributed to
+    /// pending fault records. No-op past the horizon.
+    pub fn step(&mut self) {
+        if self.is_done() {
+            return;
+        }
+        let now = self.system.now().as_u64();
         // The remote peer's periodic echo traffic (sequenced link frames
         // into P2) — identical in faulted and clean runs.
         if now.is_multiple_of(ECHO_PERIOD) {
-            echo_seq += 1;
-            send_echo(&mut system, echo_seq, now);
+            self.echo_seq += 1;
+            send_echo(&mut self.system, self.echo_seq, now);
         }
         // Faults planned for this tick strike before the tick executes.
-        while next_fault < records.len() && records[next_fault].event.at == now {
-            realise(&mut system, &mut records[next_fault], &overrun, &mut echo_seq);
-            next_fault += 1;
+        while self.next_fault < self.records.len() && self.records[self.next_fault].event.at == now
+        {
+            realise(
+                &mut self.system,
+                &mut self.records[self.next_fault],
+                &self.overrun,
+                &mut self.echo_seq,
+            );
+            self.next_fault += 1;
         }
-        system.step();
+        self.system.step();
         // Window-start probe: each partition touches its application data
         // once per dispatch, so a revoked mapping faults (and is detected)
         // at the victim's next window.
-        let active = system.active_partition();
-        if active != prev_active {
+        let active = self.system.active_partition();
+        if active != self.prev_active {
             if let Some(m) = active {
-                let _ = system.access_memory(m, PROBE_VA, AccessKind::Read, Privilege::User);
+                let _ = self
+                    .system
+                    .access_memory(m, PROBE_VA, AccessKind::Read, Privilege::User);
             }
-            prev_active = active;
+            self.prev_active = active;
         }
-        attribute_detections(&system, &mut records, &mut hm_cursor, &overrun, &mut spurious);
+        attribute_detections(
+            &self.system,
+            &mut self.records,
+            &mut self.hm_cursor,
+            &self.overrun,
+            &mut self.spurious,
+        );
     }
 
-    RunArtifacts {
-        records,
-        events: system.trace().events().to_vec(),
-        occupancy: system.trace().occupancy().to_vec(),
-        trace_log: system.trace().render_log(),
-        hm_entries: system.hm().log().len(),
-        deadline_misses: system.trace().deadline_miss_count(),
-        spurious,
+    /// Advances up to `n` ticks, stopping at the horizon.
+    pub fn run_for(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.is_done() {
+                break;
+            }
+            self.step();
+        }
     }
+
+    /// Runs to the horizon.
+    pub fn run_to_horizon(&mut self) {
+        while !self.is_done() {
+            self.step();
+        }
+    }
+
+    /// Appends the canonical trace log to `out` (byte-stable; see
+    /// [`Trace::render_log`](crate::trace::Trace::render_log)).
+    pub fn render_trace_into(&self, out: &mut String) {
+        self.system.trace().render_log_into(out);
+    }
+
+    /// Per-fault records, in injection order.
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+
+    /// Number of faults detected by health monitoring so far.
+    pub fn detected(&self) -> usize {
+        self.records.iter().filter(|r| r.detected_at.is_some()).count()
+    }
+
+    /// The underlying system (trace, health-monitor log, consoles).
+    pub fn system(&self) -> &AirSystem {
+        &self.system
+    }
+
+    /// Recycles the record table and detection FIFO for the next run.
+    fn into_buffers(self) -> (Vec<FaultRecord>, Vec<(Ticks, String)>) {
+        (self.records, self.spurious)
+    }
+
+    fn into_artifacts(self) -> RunArtifacts {
+        RunArtifacts {
+            records: self.records,
+            events: self.system.trace().events().to_vec(),
+            occupancy: self.system.trace().occupancy().to_vec(),
+            trace_log: self.system.trace().render_log(),
+            hm_entries: self.system.hm().log().len(),
+            deadline_misses: self.system.trace().deadline_miss_count(),
+            spurious: self.spurious,
+        }
+    }
+}
+
+fn execute(plan: &FaultPlan, horizon: u64) -> RunArtifacts {
+    let mut sim = CampaignSim::new(plan).with_horizon(horizon);
+    sim.run_to_horizon();
+    sim.into_artifacts()
 }
 
 /// Builds the fixed campaign workload: three partitions over a 60-tick
 /// MTF — `ctl` (faultable control loop with a log-2-then-restart deadline
 /// policy), `tx` (telemetry producer on a remote channel), `rx` (consumer
 /// fed by the remote peer's echo frames).
-fn build_campaign_system() -> (AirSystem, FaultSwitch) {
+fn build_campaign_system(config: &MachineConfig, checked: bool) -> (AirSystem, FaultSwitch) {
     let window = CAMPAIGN_MTF / 3;
     let schedule = Schedule::new(
         ScheduleId(0),
@@ -336,7 +545,7 @@ fn build_campaign_system() -> (AirSystem, FaultSwitch) {
     }
 
     let overrun = FaultSwitch::new();
-    let system = SystemBuilder::new(ScheduleSet::new(vec![schedule]))
+    let builder = SystemBuilder::new(ScheduleSet::new(vec![schedule]))
         .with_hm_tables(tables)
         .with_partition(
             PartitionConfig::new(Partition::new(P_CTL, "ctl"))
@@ -387,8 +596,17 @@ fn build_campaign_system() -> (AirSystem, FaultSwitch) {
             source: PortAddr::new(P_TX, "echo-feed"),
             destinations: vec![Destination::Local(PortAddr::new(P_RX, "echo-rx"))],
         })
-        .build()
-        .expect("the campaign workload is statically valid");
+        .with_machine_config(config.clone());
+    let system = if checked {
+        builder.build().expect("the campaign workload is statically valid")
+    } else {
+        // The workload is fixed and was validated on a checked build of the
+        // same configuration; skipping the gate here only skips re-proving
+        // a proof that cannot change between instances.
+        builder
+            .build_unchecked()
+            .expect("the campaign workload is statically valid")
+    };
     (system, overrun)
 }
 

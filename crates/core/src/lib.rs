@@ -58,9 +58,14 @@ pub mod workload;
 
 pub use builder::{PartitionConfig, ProcessConfig, SystemBuilder, DEFAULT_EXPLORATION_DEPTH};
 pub use replay::{observe_abstract_state, replay_witness, ReplayReport};
-pub use campaign::{standard_plan, CampaignOutcome, CampaignRunner, EscalationTally, FaultRecord};
+pub use campaign::{
+    default_horizon, standard_plan, CampaignOutcome, CampaignRunner, CampaignScratch, CampaignSim,
+    EscalationTally, FaultRecord,
+};
 pub use cluster::{AirCluster, ClusterError, LinkHealth, Node};
-pub use link_campaign::{link_plan, LinkCampaignOutcome, LinkCampaignRunner};
+pub use link_campaign::{
+    link_plan, planned_horizon, LinkCampaignOutcome, LinkCampaignRunner, LinkSim,
+};
 pub use system::{AirSystem, KeyAction};
 pub use trace::{RecoveryDisposition, Trace, TraceEvent};
 pub use workload::{FaultSwitch, ProcessApi, ProcessBody};

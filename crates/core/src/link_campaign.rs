@@ -200,48 +200,155 @@ struct RunArtifacts {
     trace_log_b: String,
 }
 
-fn execute(plan: &FaultPlan) -> RunArtifacts {
-    // Traffic must outlive the plan so late faults find frames to strike,
-    // and the drain must cover the ARQ's worst-case repair plus the
-    // secondary-link probation and a few routing rounds.
-    let arq = ArqConfig::default();
+/// The total simulated horizon of a link campaign over `plan`: traffic
+/// outlives the plan so late faults find frames to strike, and the drain
+/// covers the ARQ's worst-case repair plus the secondary-link probation
+/// and a few routing rounds.
+pub fn planned_horizon(plan: &FaultPlan) -> u64 {
     let horizon = plan.horizon() + 2 * LINK_MTF;
-    let budget = horizon / TM_PERIOD;
-    let drain = arq.worst_case_delay() + REVERT_TICKS + 4 * LINK_MTF;
-    let mut cluster = AirCluster::new(sender_node(budget), receiver_node())
-        .expect("freshly built nodes start in lockstep");
+    let drain = ArqConfig::default().worst_case_delay() + REVERT_TICKS + 4 * LINK_MTF;
+    horizon + drain
+}
 
-    let mut pending = plan.events().to_vec();
-    let mut worst_sample_age: Option<Ticks> = None;
-    let end = horizon + drain;
-    for _ in 0..end {
-        let now = cluster.now().as_u64();
-        realise_due_faults(&mut cluster, &mut pending, now);
-        cluster.step();
-        if cluster.now().as_u64().is_multiple_of(LINK_MTF) {
-            probe_sample_age(&mut cluster, &mut worst_sample_age);
+/// One incrementally-steppable link campaign: the two-node reliable-
+/// transport workload under a seeded link-fault plan, advanced one tick
+/// at a time.
+///
+/// [`LinkCampaignRunner`] drives two of these back to back (the second is
+/// the determinism probe); the fleet executor (`air-fleet`) interleaves
+/// many across worker threads. Both nodes, the in-flight frames and the
+/// fault cursor are owned by the instance — nothing is shared between two
+/// sims, so trace logs are a pure function of the plan.
+pub struct LinkSim {
+    cluster: AirCluster,
+    pending: Vec<FaultEvent>,
+    worst_sample_age: Option<Ticks>,
+    expected: u64,
+    end: u64,
+}
+
+impl LinkSim {
+    /// A sim for `plan`; both nodes pass the full build gate.
+    pub fn new(plan: &FaultPlan) -> Self {
+        Self::assemble(plan, true)
+    }
+
+    /// The fleet fast path: the fixed two-node workload is built without
+    /// re-running the static-analysis gate (validate once with
+    /// [`LinkSim::new`], then mass-construct through this).
+    pub fn new_unchecked(plan: &FaultPlan) -> Self {
+        Self::assemble(plan, false)
+    }
+
+    fn assemble(plan: &FaultPlan, checked: bool) -> Self {
+        let horizon = plan.horizon() + 2 * LINK_MTF;
+        let budget = horizon / TM_PERIOD;
+        let cluster = AirCluster::new(sender_node(budget, checked), receiver_node(checked))
+            .expect("freshly built nodes start in lockstep");
+        Self {
+            cluster,
+            pending: plan.events().to_vec(),
+            worst_sample_age: None,
+            expected: budget,
+            end: planned_horizon(plan),
         }
     }
 
-    let health_a = cluster.link_health(Node::A);
-    let health_b = cluster.link_health(Node::B);
-    let console = cluster.node(Node::B).console_of(P0).to_owned();
-    let delivered: Vec<u64> = console
-        .lines()
-        .filter_map(|l| l.strip_prefix("rx frame-")?.parse().ok())
-        .collect();
-    RunArtifacts {
-        expected: budget,
-        delivered,
-        retransmissions: health_a.retransmissions,
-        duplicates_suppressed: health_b.duplicates_suppressed,
-        failovers: health_a.failovers,
-        reverts: health_a.reverts,
-        worst_sample_age,
-        events_a: cluster.node(Node::A).trace().events().to_vec(),
-        trace_log_a: cluster.node(Node::A).trace().render_log(),
-        trace_log_b: cluster.node(Node::B).trace().render_log(),
+    /// Current time (both nodes run in lockstep).
+    pub fn now(&self) -> u64 {
+        self.cluster.now().as_u64()
     }
+
+    /// The tick the sim stops at (traffic horizon plus drain).
+    pub fn horizon(&self) -> u64 {
+        self.end
+    }
+
+    /// Whether the sim has reached its horizon.
+    pub fn is_done(&self) -> bool {
+        self.now() >= self.end
+    }
+
+    /// The closed producer budget (queuing messages offered on node A).
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Advances one tick: due link faults strike first, both nodes execute
+    /// the tick in lockstep, and MTF boundaries probe the attitude
+    /// sample's age. No-op past the horizon.
+    pub fn step(&mut self) {
+        if self.is_done() {
+            return;
+        }
+        let now = self.cluster.now().as_u64();
+        realise_due_faults(&mut self.cluster, &mut self.pending, now);
+        self.cluster.step();
+        if self.cluster.now().as_u64().is_multiple_of(LINK_MTF) {
+            probe_sample_age(&mut self.cluster, &mut self.worst_sample_age);
+        }
+    }
+
+    /// Advances up to `n` ticks, stopping at the horizon.
+    pub fn run_for(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.is_done() {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs to the horizon.
+    pub fn run_to_horizon(&mut self) {
+        while !self.is_done() {
+            self.step();
+        }
+    }
+
+    /// Appends both nodes' canonical trace logs (headed `== node A ==` /
+    /// `== node B ==`) to `out`, byte-stable across reruns.
+    pub fn render_trace_into(&self, out: &mut String) {
+        out.push_str("== node A ==\n");
+        self.cluster.node(Node::A).trace().render_log_into(out);
+        out.push_str("== node B ==\n");
+        self.cluster.node(Node::B).trace().render_log_into(out);
+    }
+
+    /// The underlying cluster (traces, consoles, link health).
+    pub fn cluster(&self) -> &AirCluster {
+        &self.cluster
+    }
+
+    fn into_artifacts(self) -> RunArtifacts {
+        let health_a = self.cluster.link_health(Node::A);
+        let health_b = self.cluster.link_health(Node::B);
+        let delivered: Vec<u64> = self
+            .cluster
+            .node(Node::B)
+            .console_of(P0)
+            .lines()
+            .filter_map(|l| l.strip_prefix("rx frame-")?.parse().ok())
+            .collect();
+        RunArtifacts {
+            expected: self.expected,
+            delivered,
+            retransmissions: health_a.retransmissions,
+            duplicates_suppressed: health_b.duplicates_suppressed,
+            failovers: health_a.failovers,
+            reverts: health_a.reverts,
+            worst_sample_age: self.worst_sample_age,
+            events_a: self.cluster.node(Node::A).trace().events().to_vec(),
+            trace_log_a: self.cluster.node(Node::A).trace().render_log(),
+            trace_log_b: self.cluster.node(Node::B).trace().render_log(),
+        }
+    }
+}
+
+fn execute(plan: &FaultPlan) -> RunArtifacts {
+    let mut sim = LinkSim::new(plan);
+    sim.run_to_horizon();
+    sim.into_artifacts()
 }
 
 /// Strikes every fault whose time has come. Drop- and tamper-style faults
@@ -432,13 +539,13 @@ fn report_only_tables() -> HmTables {
     tables
 }
 
-fn sender_node(budget: u64) -> crate::system::AirSystem {
+fn sender_node(budget: u64, checked: bool) -> crate::system::AirSystem {
     let mut config = MachineConfig::default();
     // A slower standby adapter: failover is survivable but observable.
     config.secondary_link_latency_ticks = Some(2 * config.link_latency_ticks);
     config.link_failover_threshold = FAILOVER_THRESHOLD;
     config.link_revert_ticks = REVERT_TICKS;
-    let mut system = SystemBuilder::new(schedules())
+    let builder = SystemBuilder::new(schedules())
         .with_machine_config(config)
         .with_hm_tables(report_only_tables())
         .with_partition(
@@ -473,15 +580,20 @@ fn sender_node(budget: u64) -> crate::system::AirSystem {
             destinations: vec![Destination::Remote {
                 addr: PortAddr::new(P0, "att"),
             }],
-        })
-        .build()
-        .expect("link campaign sender node must build");
+        });
+    let mut system = if checked {
+        builder.build().expect("link campaign sender node must build")
+    } else {
+        builder
+            .build_unchecked()
+            .expect("link campaign sender node must build")
+    };
     system.set_degraded_schedule(DEGRADED);
     system
 }
 
-fn receiver_node() -> crate::system::AirSystem {
-    SystemBuilder::new(schedules())
+fn receiver_node(checked: bool) -> crate::system::AirSystem {
+    let builder = SystemBuilder::new(schedules())
         .with_hm_tables(report_only_tables())
         .with_partition(
             PartitionConfig::new(Partition::new(P0, "GROUND-IF"))
@@ -516,9 +628,14 @@ fn receiver_node() -> crate::system::AirSystem {
             id: ATT_CHANNEL,
             source: PortAddr::new(P0, "att-remote-source"),
             destinations: vec![Destination::Local(PortAddr::new(P0, "att"))],
-        })
-        .build()
-        .expect("link campaign receiver node must build")
+        });
+    if checked {
+        builder.build().expect("link campaign receiver node must build")
+    } else {
+        builder
+            .build_unchecked()
+            .expect("link campaign receiver node must build")
+    }
 }
 
 #[cfg(test)]

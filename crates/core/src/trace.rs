@@ -245,10 +245,20 @@ impl Trace {
     /// plain string comparison.
     pub fn render_log(&self) -> String {
         let mut out = String::new();
-        for (seq, event) in self.sequenced() {
-            out.push_str(&format!("{seq:06} t={} {event:?}\n", event.at().as_u64()));
-        }
+        self.render_log_into(&mut out);
         out
+    }
+
+    /// Appends the canonical text log to `out` without clearing it —
+    /// callers that render many runs (campaign repeat probes, fleet
+    /// machines) clear and reuse one buffer instead of allocating a fresh
+    /// `String` per run. Byte-for-byte identical to
+    /// [`render_log`](Trace::render_log).
+    pub fn render_log_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        for (seq, event) in self.sequenced() {
+            let _ = writeln!(out, "{seq:06} t={} {event:?}", event.at().as_u64());
+        }
     }
 
     /// Retained deadline-miss events.

@@ -49,6 +49,26 @@ impl Default for MachineConfig {
     }
 }
 
+impl MachineConfig {
+    /// A compact profile for fleet-scale emulation: enough installed
+    /// memory for a handful of partitions under the standard application
+    /// layout (each partition takes ~144 KiB of frames), and a narrow
+    /// console fan-out. Thousands of compact machines fit in one process.
+    ///
+    /// Every field of a [`Machine`] is owned per instance — there is no
+    /// shared or global state anywhere in `air-hw` — so compact machines
+    /// built from the same config are fully independent: ticking them
+    /// concurrently on different threads cannot leak state across the
+    /// partition boundary of one emulated system into another.
+    pub fn compact() -> Self {
+        Self {
+            memory_size: 2 * 1024 * 1024,
+            console_channels: 4,
+            ..Self::default()
+        }
+    }
+}
+
 /// The emulated onboard computer.
 ///
 /// Components are public fields: the machine is a passive substrate and the

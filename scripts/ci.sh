@@ -2,12 +2,18 @@
 # CI gate: tier-1 verify plus lint. Run from the repo root.
 #
 #   scripts/ci.sh          # build + test + clippy
-#   scripts/ci.sh --bench  # additionally run the hotpath comparison
+#   scripts/ci.sh --bench  # additionally run the hotpath comparison,
+#                          # the campaign matrix and the fleet scaling
+#                          # curve
 #
 # The workspace is offline-first: everything here works with no network
-# and no registry deps.
+# and no registry deps. Fleet runs pin their worker count via
+# AIR_FLEET_WORKERS (default 4) so CI results are reproducible machine
+# to machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+export AIR_FLEET_WORKERS="${AIR_FLEET_WORKERS:-4}"
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -21,17 +27,21 @@ cargo clippy --all-targets -- -D warnings
 echo "== lint: no panicking constructs in kernel-grade crates =="
 scripts/forbid.sh
 
+# The release build above already produced the airlint binary; invoking
+# it directly spares one cargo workspace check per corpus case (~30 of
+# them) per CI run.
+airlint=target/release/airlint
+[[ -x "$airlint" ]] || { echo "missing $airlint after release build" >&2; exit 1; }
+
 echo "== lint: airlint over the example configurations =="
-cargo run --release -q -p air-lint --bin airlint -- examples/*.air
+"$airlint" examples/*.air
 
 echo "== lint: airlint cluster cross-check over the node pair =="
-cargo run --release -q -p air-lint --bin airlint -- --cluster \
-    examples/cluster_degraded_a.air examples/cluster_degraded_b.air
+"$airlint" --cluster examples/cluster_degraded_a.air examples/cluster_degraded_b.air
 
 echo "== lint: bounded mode/HM exploration of the examples (depth 3) =="
-cargo run --release -q -p air-lint --bin airlint -- --explore --depth 3 \
-    examples/full_system.air
-cargo run --release -q -p air-lint --bin airlint -- --explore --depth 3 \
+"$airlint" --explore --depth 3 examples/full_system.air
+"$airlint" --explore --depth 3 \
     examples/cluster_degraded_a.air examples/cluster_degraded_b.air
 
 echo "== lint: airlint golden corpus (JSON diff) =="
@@ -47,14 +57,13 @@ for case in tests/lint_corpus/*.air; do
         args+=(--explore --depth "${marker##*depth=}")
     fi
     # airlint exits 1 on Error-level findings -- expected for the corpus.
-    cargo run --release -q -p air-lint --bin airlint -- "${args[@]}" "$case" > "$corpus_out" || true
+    "$airlint" "${args[@]}" "$case" > "$corpus_out" || true
     diff -u "${case%.air}.expected" "$corpus_out" \
         || { echo "golden drift in $case" >&2; exit 1; }
 done
 for pair_a in tests/lint_corpus/*_pair_a.air; do
     base="${pair_a%_a.air}"
-    cargo run --release -q -p air-lint --bin airlint -- --json --cluster \
-        "$pair_a" "${base}_b.air" > "$corpus_out" || true
+    "$airlint" --json --cluster "$pair_a" "${base}_b.air" > "$corpus_out" || true
     diff -u "${base}.expected" "$corpus_out" \
         || { echo "golden drift in ${base}" >&2; exit 1; }
 done
@@ -65,11 +74,16 @@ cargo run --release -q -p bench --bin campaign -- --smoke
 echo "== smoke link-fault campaign (3 seeds, exactly-once delivery) =="
 cargo run --release -q -p bench --bin campaign -- --smoke-link
 
+echo "== smoke fleet (256 machines x 3 MTFs, $AIR_FLEET_WORKERS workers) =="
+cargo run --release -q -p bench --bin fleet -- --smoke-fleet
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== hotpath before/after comparison =="
     cargo run --release -p bench --bin hotpath
     echo "== full fault-injection campaign matrix =="
     cargo run --release -p bench --bin campaign
+    echo "== fleet scaling curve (1k machines, 1/2/4/8/16 workers) =="
+    cargo run --release -p bench --bin fleet
 fi
 
 echo "CI OK"

@@ -1,0 +1,80 @@
+//! Scratch reuse across campaign seeds must pay off at the allocator: a
+//! warm [`CampaignScratch`] already owns the repeat probe's record table,
+//! detection FIFO and rendered trace log, so a second campaign on the
+//! same scratch performs strictly fewer allocations than the first. The
+//! counting global allocator (the PR 1 pattern) proves it — campaigns
+//! are deterministic, so allocation counts are too, and a strict
+//! inequality is a stable assertion.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use air_core::campaign::{standard_plan, CampaignRunner, CampaignScratch};
+
+/// Counts every allocation (alloc + realloc) while delegating to the
+/// system allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_of(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warm_scratch_allocates_strictly_less_than_cold() {
+    let runner = CampaignRunner::new(standard_plan(7, 1));
+    let mut scratch = CampaignScratch::default();
+
+    let mut outcomes = Vec::new();
+    let cold = allocations_of(|| outcomes.push(runner.run_with_scratch(&mut scratch)));
+    let warm = allocations_of(|| outcomes.push(runner.run_with_scratch(&mut scratch)));
+
+    // Identical campaign both times — the runs only differ in scratch
+    // temperature.
+    assert!(outcomes[0].is_ok(), "{}", outcomes[0].report);
+    assert_eq!(outcomes[0].detected(), outcomes[1].detected());
+    assert_eq!(
+        outcomes[0].report.violations().len(),
+        outcomes[1].report.violations().len()
+    );
+
+    assert!(
+        warm < cold,
+        "recycled scratch must save allocations: cold run {cold}, warm run {warm}"
+    );
+}
+
+#[test]
+fn scratch_and_plain_run_agree() {
+    let runner = CampaignRunner::new(standard_plan(11, 1));
+    let plain = runner.run();
+    let scratched = runner.run_with_scratch(&mut CampaignScratch::default());
+    assert_eq!(plain.detected(), scratched.detected());
+    assert_eq!(plain.deterministic, scratched.deterministic);
+    assert_eq!(
+        plain.report.violations().len(),
+        scratched.report.violations().len()
+    );
+}
