@@ -1,0 +1,141 @@
+//! Routed-mesh throughput and latency: N-node TM/TC campaigns over the
+//! go-back-N fabric, emitting `BENCH_mesh.json`.
+//!
+//! For every topology (line, star, ring) at 3, 5 and 9 nodes the full
+//! mesh campaign runs under one seeded fault of every link class per
+//! machine, reporting:
+//!
+//! * **packets/sec** — per-hop packet relays executed per wall-clock
+//!   second (the runner executes every plan twice for its determinism
+//!   probe; both executions count);
+//! * **hop latency** — one-way command latency in ticks divided by hop
+//!   count, measured on a fault-free plan of the same shape (first
+//!   telecommand origination to its acceptance at the executor);
+//! * the invariant verdict — a throughput number from a mesh that lost
+//!   or duplicated a command would be meaningless.
+//!
+//! `--smoke-mesh` runs a reduced gate: a 5-node line mesh fleet on
+//! `AIR_FLEET_WORKERS` (default 4) workers, fleet digest checked against
+//! the sequential run, non-zero exit on divergence or invariant failure
+//! — the CI hook.
+
+use std::time::Instant;
+
+use air_core::mesh::{mesh_plan, MeshCampaignRunner, CMD_START};
+use air_fleet::workloads::MeshFleet;
+use air_fleet::{run_fleet, run_sequential, Capture, FleetConfig};
+use air_ports::routing::MeshTopology;
+
+const BASE_SEED: u64 = 42;
+const SIZES: [usize; 3] = [3, 5, 9];
+const TOPOLOGIES: [MeshTopology; 3] =
+    [MeshTopology::Line, MeshTopology::Star, MeshTopology::Ring];
+const SMOKE_MACHINES: usize = 24;
+const SMOKE_WORKERS_DEFAULT: usize = 4;
+
+/// One-way first-command latency in ticks on a fault-free plan: the
+/// executor's first `CommandAccepted` trace tick minus the origination
+/// tick.
+fn first_delivery_ticks(topology: MeshTopology, nodes: usize) -> Option<u64> {
+    let outcome = MeshCampaignRunner::new(mesh_plan(topology, nodes, BASE_SEED, 0)).run();
+    let line = outcome
+        .trace_log
+        .lines()
+        .find(|l| l.contains("CommandAccepted"))?;
+    let t = line.split("t=").nth(1)?.split_whitespace().next()?;
+    t.parse::<u64>().ok().map(|t| t.saturating_sub(CMD_START))
+}
+
+fn run_smoke() -> i32 {
+    let workers = air_fleet::workers_from_env(SMOKE_WORKERS_DEFAULT);
+    let fleet = MeshFleet::new(BASE_SEED, 1, MeshTopology::Line, 5);
+    let sharded = run_fleet(&fleet, &FleetConfig::new(SMOKE_MACHINES, workers));
+    let sequential = run_sequential(&fleet, SMOKE_MACHINES, Capture::Digest);
+    let agree = sharded.fleet_digest() == sequential.fleet_digest();
+    let outcome = MeshCampaignRunner::new(fleet.plan_for(0)).run();
+    println!(
+        "smoke mesh: {SMOKE_MACHINES} five-node line meshes on {workers} workers \
+         ({} rounds): {:.0} systems×ticks/sec, digests {}, machine 0 {}",
+        sharded.rounds,
+        sharded.systems_ticks_per_sec(),
+        if agree { "agree with sequential" } else { "DIVERGED from sequential" },
+        if outcome.is_ok() { "holds all invariants" } else { "VIOLATES invariants" }
+    );
+    if !agree {
+        eprintln!("smoke mesh: sharded execution diverged from the sequential reference");
+        return 1;
+    }
+    if !outcome.is_ok() {
+        eprintln!("smoke mesh: {}", outcome.report);
+        return 1;
+    }
+    0
+}
+
+#[allow(clippy::cast_precision_loss)] // reporting only
+fn main() {
+    if std::env::args().any(|a| a == "--smoke-mesh") {
+        std::process::exit(run_smoke());
+    }
+
+    println!("mesh: topologies {{line, star, ring}} × {SIZES:?} nodes, seed {BASE_SEED}\n");
+    let mut rows = String::new();
+    let mut all_ok = true;
+    for topology in TOPOLOGIES {
+        for nodes in SIZES {
+            let plan = mesh_plan(topology, nodes, BASE_SEED, 1);
+            let started = Instant::now();
+            let outcome = MeshCampaignRunner::new(plan).run();
+            let elapsed = started.elapsed().as_secs_f64();
+            all_ok &= outcome.is_ok();
+            // The runner executes the plan twice (determinism probe).
+            let packets = 2 * outcome.forwarded;
+            let packets_per_sec = if elapsed > 0.0 { packets as f64 / elapsed } else { 0.0 };
+            let delivery = first_delivery_ticks(topology, nodes).unwrap_or(0);
+            let hop_latency = if outcome.command_hops > 0 {
+                delivery as f64 / outcome.command_hops as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:>4}[{nodes}]: {:>9.0} packets/sec  {} hops, first delivery {delivery} ticks \
+                 ({hop_latency:.1}/hop)  {} cmds, {} retransmits, invariants {}",
+                topology.label(),
+                packets_per_sec,
+                outcome.command_hops,
+                outcome.expected,
+                outcome.retransmissions,
+                if outcome.is_ok() { "hold" } else { "VIOLATED" }
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"topology\": \"{}\", \"nodes\": {nodes}, \
+                 \"packets_per_sec\": {packets_per_sec:.0}, \
+                 \"command_hops\": {}, \"first_delivery_ticks\": {delivery}, \
+                 \"hop_latency_ticks\": {hop_latency:.2}, \
+                 \"commands\": {}, \"retransmissions\": {}, \
+                 \"invariants_hold\": {}}}",
+                topology.label(),
+                outcome.command_hops,
+                outcome.expected,
+                outcome.retransmissions,
+                outcome.is_ok()
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"N-node routed mesh TM/TC campaigns\",\n  \
+           \"profile\": \"{}\",\n  \"base_seed\": {BASE_SEED},\n  \
+           \"per_class_faults\": 1,\n  \"meshes\": [\n{rows}\n  ],\n  \
+           \"all_invariants_hold\": {all_ok}\n}}\n",
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+    );
+    std::fs::write("BENCH_mesh.json", &json).expect("write BENCH_mesh.json");
+    println!("\nall_invariants_hold={all_ok} → BENCH_mesh.json written");
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

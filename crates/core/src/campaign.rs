@@ -191,7 +191,16 @@ pub fn event_owner(event: &TraceEvent) -> Option<PartitionId> {
         | TraceEvent::FrameRetransmitted { .. }
         | TraceEvent::LinkFailover { .. }
         | TraceEvent::DegradedModeEntered { .. }
-        | TraceEvent::DegradedModeExited { .. } => None,
+        | TraceEvent::DegradedModeExited { .. }
+        // Mesh-layer events are owned by protocol nodes, not partitions.
+        | TraceEvent::PacketForwarded { .. }
+        | TraceEvent::PacketDropped { .. }
+        | TraceEvent::CommandAccepted { .. }
+        | TraceEvent::CommandStarted { .. }
+        | TraceEvent::CommandCompleted { .. }
+        | TraceEvent::CommandAckReceived { .. }
+        | TraceEvent::TelemetryPublished { .. }
+        | TraceEvent::TelemetryReceived { .. } => None,
         TraceEvent::ScheduleChangeActionApplied { partition, .. }
         | TraceEvent::PartitionRestart { partition, .. }
         | TraceEvent::PartitionStop { partition, .. } => Some(*partition),

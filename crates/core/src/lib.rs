@@ -50,6 +50,7 @@ pub mod builder;
 pub mod campaign;
 pub mod cluster;
 pub mod link_campaign;
+pub mod mesh;
 pub mod prototype;
 pub mod replay;
 pub mod system;

@@ -1,0 +1,924 @@
+//! Deterministic campaigns over an N-node routed mesh with TM/TC
+//! services.
+//!
+//! The two-node cluster of [`crate::link_campaign`] generalises here to
+//! an arbitrary topology: N lightweight protocol nodes wired by a
+//! [`MeshFabric`] (one latency-modelled, fault-injectable link per
+//! edge), each node running one go-back-N [`ArqEndpoint`] per neighbour,
+//! a static next-hop [`RoutingTable`], and the PUS-flavoured services —
+//! command verification (accept/start/complete reports) and event
+//! telemetry. A ground node originates a closed budget of telecommands
+//! toward an executor at least two hops away; every hop is a reliable
+//! ARQ link; verification reports and event telemetry route back. A
+//! seeded [`FaultPlan`] over [`FaultClass::LINK`] strikes individual
+//! edges — in-flight drops, header corruption, sustained outages,
+//! acknowledgement destruction — and the campaign checks exactly-once
+//! in-order command delivery, complete verification-ack round trips, and
+//! byte-identical trace logs on re-execution.
+//!
+//! Mesh nodes are deliberately *not* full [`crate::system::AirSystem`]s:
+//! the mesh layer exercises the transport, routing and service state
+//! machines; the partition-scheduling story lives in the other
+//! campaigns. DESIGN.md §12 records the soundness caveats of that cut.
+
+use air_hw::inject::{FaultClass, FaultEvent, FaultPlan};
+use air_hw::link::LinkEndpoint;
+use air_hw::mesh::MeshFabric;
+use air_model::verify::{Report, Violation};
+use air_model::Ticks;
+use air_ports::pus::{
+    verification_report, AckStage, CommandVerifier, EventReporter, EventSeverity,
+    SERVICE_EVENT, SERVICE_VERIFICATION,
+};
+use air_ports::routing::{MeshTopology, NodeId, RoutingTable};
+use air_ports::spacepacket::{PacketKind, SpacePacket};
+use air_ports::transport::{ArqConfig, ArqEndpoint, ArqEvent, DataDisposition};
+use air_ports::wire::{bytes_look_like_ack, Frame};
+
+use crate::trace::{PacketDropReason, Trace, TraceEvent};
+
+/// Per-hop link latency of every mesh edge, in ticks.
+pub const MESH_LATENCY: u64 = 2;
+/// Initial hop budget stamped on every originated packet.
+pub const MESH_TTL: u8 = 16;
+/// The wire channel mesh frames ride on (distinct from the cluster's
+/// telemetry/attitude channels).
+const MESH_CHANNEL: u32 = 60;
+/// APID of the ground node's command stream.
+pub const CMD_APID: u16 = 100;
+/// Base APID of per-node event telemetry (node `i` publishes on
+/// `EVENT_APID_BASE + i`).
+pub const EVENT_APID_BASE: u16 = 200;
+/// First command origination tick.
+pub const CMD_START: u64 = 20;
+/// Ticks between command originations.
+const CMD_PERIOD: u64 = 40;
+/// Executor-side ticks between command start and completion.
+const EXEC_TICKS: u64 = 5;
+/// Post-plan traffic margin: commands keep flowing this long past the
+/// last fault so late faults find frames to strike.
+const TRAFFIC_TAIL: u64 = 200;
+/// Fixed drain slack on top of the structural worst-case repair bound.
+const DRAIN_SLACK: u64 = 100;
+
+/// A mesh campaign's complete, deterministic input: the topology, the
+/// node count and the seeded link-fault plan.
+#[derive(Debug, Clone)]
+pub struct MeshPlan {
+    /// The mesh shape.
+    pub topology: MeshTopology,
+    /// Number of nodes (minimum 3: the campaign demands ≥ 2 hops).
+    pub nodes: usize,
+    /// The seeded edge-fault plan.
+    pub faults: FaultPlan,
+}
+
+/// A convenient mesh-fault plan: `per_class` faults of every
+/// [`FaultClass::LINK`] class over a `nodes`-node `topology`, round-robin
+/// from tick 150 in 400-tick slots with seeded jitter — the same cadence
+/// as [`crate::link_campaign::link_plan`], so each fault resolves before
+/// the next lands.
+pub fn mesh_plan(topology: MeshTopology, nodes: usize, seed: u64, per_class: usize) -> MeshPlan {
+    MeshPlan {
+        topology,
+        nodes,
+        faults: FaultPlan::generate(seed, &FaultClass::LINK, per_class, 150, 400, 37),
+    }
+}
+
+/// The commander (ground) and executor nodes of a campaign over
+/// `topology`: the pair is chosen so the command path crosses at least
+/// two hops — the far end of a line, leaf to leaf across a star's hub,
+/// halfway around a ring.
+pub fn command_endpoints(topology: MeshTopology, nodes: usize) -> (usize, usize) {
+    match topology {
+        MeshTopology::Line => (0, nodes - 1),
+        MeshTopology::Star => (1, nodes - 1),
+        MeshTopology::Ring => (0, nodes / 2),
+    }
+}
+
+/// Number of hops from `src` to `dst` under `tables` (`None`: no route
+/// or a loop).
+fn hop_count(tables: &[RoutingTable], src: usize, dst: usize) -> Option<u64> {
+    let n = tables.len();
+    let mut at = src;
+    let mut hops = 0u64;
+    while at != dst {
+        let via = tables.get(at)?.next_hop(NodeId(dst as u16))?;
+        at = via.as_u16() as usize;
+        hops += 1;
+        if hops > n as u64 {
+            return None;
+        }
+    }
+    Some(hops)
+}
+
+/// End of the command-origination window for `plan`.
+fn traffic_window_end(plan: &MeshPlan) -> u64 {
+    plan.faults.horizon() + TRAFFIC_TAIL
+}
+
+/// The closed command budget of a campaign over `plan`.
+pub fn planned_budget(plan: &MeshPlan) -> u64 {
+    (traffic_window_end(plan).saturating_sub(CMD_START) / CMD_PERIOD).max(4)
+}
+
+/// The total simulated horizon of a mesh campaign: the traffic window,
+/// then a drain long enough for one worst-case ARQ repair plus a clean
+/// multi-hop round trip of the last command's completion report.
+pub fn planned_mesh_horizon(plan: &MeshPlan) -> u64 {
+    let per_hop = ArqConfig::default().worst_case_delay() + MESH_LATENCY + 4;
+    traffic_window_end(plan) + EXEC_TICKS + 2 * (plan.nodes as u64) * per_hop + DRAIN_SLACK
+}
+
+/// One mesh node: routing, per-neighbour reliable transport, the PUS
+/// services, and its own trace.
+struct MeshNode {
+    id: u16,
+    router: RoutingTable,
+    /// `(peer index, endpoint)` pairs sorted by peer — the deterministic
+    /// service order.
+    arqs: Vec<(usize, ArqEndpoint)>,
+    verifier: CommandVerifier,
+    reporter: EventReporter,
+    trace: Trace,
+    /// Command sequence counts delivered here as final destination, in
+    /// arrival order (the exactly-once oracle).
+    delivered_cmds: Vec<u16>,
+    /// Verification reports received here, indexed
+    /// acceptance/start/completion.
+    acks: [u64; 3],
+    /// Event reports received here (the ground role).
+    events_received: u64,
+    /// Frames that failed wire decode (header corruption caught by the
+    /// frame checksum).
+    corrupt_frames: u64,
+    /// Packets discarded by TTL exhaustion or missing routes.
+    packets_dropped: u64,
+}
+
+impl MeshNode {
+    fn new(id: u16, router: RoutingTable, neighbors: &[usize]) -> Self {
+        Self {
+            id,
+            router,
+            arqs: neighbors
+                .iter()
+                .map(|&peer| (peer, ArqEndpoint::new(ArqConfig::default())))
+                .collect(),
+            verifier: CommandVerifier::new(EXEC_TICKS),
+            reporter: EventReporter::new(EVENT_APID_BASE + id),
+            trace: Trace::new(),
+            delivered_cmds: Vec::new(),
+            acks: [0; 3],
+            events_received: 0,
+            corrupt_frames: 0,
+            packets_dropped: 0,
+        }
+    }
+
+    fn arq_toward(&mut self, peer: usize) -> Option<&mut ArqEndpoint> {
+        self.arqs
+            .iter_mut()
+            .find(|(p, _)| *p == peer)
+            .map(|(_, arq)| arq)
+    }
+
+    /// Routes `packet` out of this node: decrements the hop budget,
+    /// consults the table, and offers the encoded packet to the ARQ
+    /// toward the next hop. Records the forward (or the drop) in the
+    /// node's trace.
+    fn forward(&mut self, packet: SpacePacket, now: u64) {
+        let at = Ticks(now);
+        if packet.ttl == 0 {
+            self.packets_dropped += 1;
+            self.trace.record(TraceEvent::PacketDropped {
+                at,
+                apid: packet.apid,
+                dst: packet.dst,
+                reason: PacketDropReason::TtlExpired,
+            });
+            return;
+        }
+        let Some(via) = self.router.next_hop(NodeId(packet.dst)) else {
+            self.packets_dropped += 1;
+            self.trace.record(TraceEvent::PacketDropped {
+                at,
+                apid: packet.apid,
+                dst: packet.dst,
+                reason: PacketDropReason::NoRoute,
+            });
+            return;
+        };
+        let mut relayed = packet;
+        relayed.ttl -= 1;
+        self.trace.record(TraceEvent::PacketForwarded {
+            at,
+            apid: relayed.apid,
+            dst: relayed.dst,
+            via: via.as_u16(),
+            ttl: relayed.ttl,
+        });
+        let bytes = relayed.encode();
+        if let Some(arq) = self.arq_toward(via.as_u16() as usize) {
+            arq.offer(Frame::new(MESH_CHANNEL, at, bytes));
+        } else {
+            // The table names a non-neighbour: statically a lint error
+            // (AIR090/AIR093); dynamically the packet is unroutable.
+            self.packets_dropped += 1;
+            self.trace.record(TraceEvent::PacketDropped {
+                at,
+                apid: relayed.apid,
+                dst: relayed.dst,
+                reason: PacketDropReason::NoRoute,
+            });
+        }
+    }
+
+    /// Hands a locally built packet to the service layer: delivered in
+    /// place when addressed to this node, otherwise forwarded.
+    fn send_or_deliver(&mut self, packet: SpacePacket, now: u64) {
+        if packet.dst == self.id {
+            self.deliver(packet, now);
+        } else {
+            self.forward(packet, now);
+        }
+    }
+
+    /// Terminal delivery: the packet reached its destination node.
+    fn deliver(&mut self, packet: SpacePacket, now: u64) {
+        let at = Ticks(now);
+        match (packet.kind, packet.service) {
+            (PacketKind::Tc, _) => {
+                if let Some(transition) = self.verifier.accept(packet.apid, packet.seq, now) {
+                    self.delivered_cmds.push(packet.seq);
+                    self.trace.record(TraceEvent::CommandAccepted {
+                        at,
+                        apid: packet.apid,
+                        seq: packet.seq,
+                    });
+                    if let Ok(report) =
+                        verification_report(transition, self.id, packet.src, MESH_TTL)
+                    {
+                        self.send_or_deliver(report, now);
+                    }
+                }
+                // A duplicate surviving ARQ dedup would be re-accepted and
+                // re-recorded — exactly what the exactly-once check hunts.
+            }
+            (PacketKind::Tm, SERVICE_VERIFICATION) => {
+                if let Some(stage) = AckStage::from_subservice(packet.subservice) {
+                    self.acks[stage as usize] += 1;
+                    self.trace.record(TraceEvent::CommandAckReceived {
+                        at,
+                        apid: packet.apid,
+                        seq: packet.seq,
+                        stage,
+                    });
+                }
+            }
+            (PacketKind::Tm, SERVICE_EVENT) => {
+                self.events_received += 1;
+                self.trace.record(TraceEvent::TelemetryReceived {
+                    at,
+                    apid: packet.apid,
+                    seq: packet.seq,
+                    src: packet.src,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Publishes an event report toward the ground node (the event
+    /// manager: transport-health reports become telemetry packets).
+    fn publish_event(&mut self, ground: u16, severity: EventSeverity, payload: Vec<u8>, now: u64) {
+        let Ok(report) = self
+            .reporter
+            .report(self.id, ground, MESH_TTL, severity, payload)
+        else {
+            return;
+        };
+        self.trace.record(TraceEvent::TelemetryPublished {
+            at: Ticks(now),
+            apid: report.apid,
+            seq: report.seq,
+        });
+        self.send_or_deliver(report, now);
+    }
+}
+
+/// One incrementally-steppable mesh campaign: N nodes in lockstep over a
+/// faulted fabric, advanced one tick at a time. [`MeshCampaignRunner`]
+/// drives two back to back (the second is the determinism probe); the
+/// fleet executor interleaves many across worker threads.
+pub struct MeshSim {
+    plan: MeshPlan,
+    fabric: MeshFabric,
+    nodes: Vec<MeshNode>,
+    pending: Vec<FaultEvent>,
+    commander: usize,
+    executor: usize,
+    hops: u64,
+    sent: u64,
+    expected: u64,
+    now: u64,
+    end: u64,
+}
+
+impl MeshSim {
+    /// A sim for `plan`, with the routing tables walked end to end as a
+    /// build gate (every pair reachable, no loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` names fewer than 3 nodes or its built-in
+    /// topology fails the reachability walk (impossible for the
+    /// generated tables).
+    pub fn new(plan: &MeshPlan) -> Self {
+        Self::assemble(plan, true)
+    }
+
+    /// The fleet fast path: construction without the reachability gate
+    /// (validate once with [`MeshSim::new`], then mass-construct
+    /// through this).
+    pub fn new_unchecked(plan: &MeshPlan) -> Self {
+        Self::assemble(plan, false)
+    }
+
+    fn assemble(plan: &MeshPlan, checked: bool) -> Self {
+        assert!(plan.nodes >= 3, "a mesh campaign needs at least 3 nodes");
+        let tables = plan.topology.routing_tables(plan.nodes);
+        if checked {
+            for src in 0..plan.nodes {
+                for dst in 0..plan.nodes {
+                    if src != dst {
+                        assert!(
+                            hop_count(&tables, src, dst).is_some(),
+                            "{}[{}]: {src} cannot reach {dst}",
+                            plan.topology.label(),
+                            plan.nodes
+                        );
+                    }
+                }
+            }
+        }
+        let fabric = MeshFabric::new(
+            plan.nodes,
+            &plan.topology.edges(plan.nodes),
+            MESH_LATENCY,
+        )
+        .expect("built-in topologies are valid fabrics");
+        let (commander, executor) = command_endpoints(plan.topology, plan.nodes);
+        let hops = hop_count(&tables, commander, executor).unwrap_or(plan.nodes as u64);
+        let nodes = tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, table)| {
+                let neighbors: Vec<usize> =
+                    fabric.neighbors(i).iter().map(|&(peer, _)| peer).collect();
+                MeshNode::new(i as u16, table, &neighbors)
+            })
+            .collect();
+        Self {
+            fabric,
+            nodes,
+            pending: plan.faults.events().to_vec(),
+            commander,
+            executor,
+            hops,
+            sent: 0,
+            expected: planned_budget(plan),
+            now: 0,
+            end: planned_mesh_horizon(plan),
+            plan: plan.clone(),
+        }
+    }
+
+    /// The executed plan.
+    pub fn plan(&self) -> &MeshPlan {
+        &self.plan
+    }
+
+    /// Current tick (all nodes run in lockstep).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The tick the sim stops at (traffic window plus drain).
+    pub fn horizon(&self) -> u64 {
+        self.end
+    }
+
+    /// Whether the sim has reached its horizon.
+    pub fn is_done(&self) -> bool {
+        self.now >= self.end
+    }
+
+    /// The closed command budget the ground node originates.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Hops between commander and executor.
+    pub fn command_hops(&self) -> u64 {
+        self.hops
+    }
+
+    /// The ground node's index.
+    pub fn commander(&self) -> usize {
+        self.commander
+    }
+
+    /// The executor node's index.
+    pub fn executor(&self) -> usize {
+        self.executor
+    }
+
+    /// Advances one tick: due edge faults strike first, then every node
+    /// (ascending index) drains its inbound links, dispatches packets,
+    /// services its verifier, and transmits. No-op past the horizon.
+    pub fn step(&mut self) {
+        if self.is_done() {
+            return;
+        }
+        let now = self.now;
+        self.realise_due_faults(now);
+        self.originate_commands(now);
+        for i in 0..self.nodes.len() {
+            self.node_receive(i, now);
+            self.node_service(i, now);
+            self.node_transmit(i, now);
+        }
+        self.now += 1;
+    }
+
+    /// Advances up to `n` ticks, stopping at the horizon.
+    pub fn run_for(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.is_done() {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs to the horizon.
+    pub fn run_to_horizon(&mut self) {
+        while !self.is_done() {
+            self.step();
+        }
+    }
+
+    /// Appends every node's canonical trace log (headed `== node 0 ==`,
+    /// `== node 1 ==`, …) to `out`, byte-stable across reruns.
+    pub fn render_trace_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let _ = writeln!(out, "== node {i} ==");
+            node.trace.render_log_into(out);
+        }
+    }
+
+    /// Strikes every fault whose time has come. The faulted edge is
+    /// derived from the event's target; drop- and tamper-style faults
+    /// stay armed until a frame is in flight on that edge (still fully
+    /// deterministic).
+    fn realise_due_faults(&mut self, now: u64) {
+        let edges = self.fabric.edge_count();
+        if edges == 0 {
+            self.pending.clear();
+            return;
+        }
+        let fabric = &mut self.fabric;
+        self.pending.retain(|event| {
+            if event.at > now {
+                return true;
+            }
+            let edge = (event.target as usize) % edges;
+            // Direction bit: which endpoint the in-flight fault hunts
+            // frames toward.
+            let toward = if event.target & (1 << 7) == 0 {
+                LinkEndpoint::A
+            } else {
+                LinkEndpoint::B
+            };
+            let Some(link) = fabric.link_mut(edge) else {
+                return false;
+            };
+            let realised = match event.class {
+                FaultClass::LinkDrop => link.drop_in_flight(toward),
+                FaultClass::LinkBitFlip => {
+                    let byte = 2 + (event.target as usize % 8);
+                    let mask = ((event.target >> 8) as u8) | 0x01;
+                    link.tamper_in_flight(toward, byte, mask)
+                }
+                FaultClass::LinkOutage => {
+                    let duration = 220 + event.target % 80;
+                    link.begin_outage(now + duration);
+                    true
+                }
+                FaultClass::AckLoss => link.drop_in_flight_where(toward, bytes_look_like_ack),
+                _ => true,
+            };
+            !realised
+        });
+    }
+
+    /// The ground node originates one telecommand per period toward the
+    /// executor until the budget closes.
+    fn originate_commands(&mut self, now: u64) {
+        if self.sent >= self.expected
+            || now < CMD_START
+            || !(now - CMD_START).is_multiple_of(CMD_PERIOD)
+        {
+            return;
+        }
+        let seq = (self.sent & 0x3FFF) as u16;
+        self.sent += 1;
+        let commander = self.commander;
+        let executor = self.executor as u16;
+        let Ok(packet) = SpacePacket::new(
+            CMD_APID,
+            PacketKind::Tc,
+            seq,
+            commander as u16,
+            executor,
+            MESH_TTL,
+            0,
+            0,
+            vec![0xC0],
+        ) else {
+            return;
+        };
+        self.nodes[commander].send_or_deliver(packet, now);
+    }
+
+    /// Drains every inbound link of node `i`: ACK frames feed the ARQ
+    /// sender, data frames pass receiver-side dedup/ordering, delivered
+    /// payloads decode into space packets and dispatch (terminal
+    /// delivery or forward), and a cumulative ACK goes back per
+    /// neighbour that produced one.
+    fn node_receive(&mut self, i: usize, now: u64) {
+        let node = &mut self.nodes[i];
+        let fabric = &mut self.fabric;
+        let mut inbox: Vec<SpacePacket> = Vec::new();
+        for a in 0..node.arqs.len() {
+            let peer = node.arqs[a].0;
+            while let Some(bytes) = fabric.receive_from(i, peer, now) {
+                let arq = &mut node.arqs[a].1;
+                match Frame::decode(&bytes) {
+                    Err(_) => node.corrupt_frames += 1,
+                    Ok(frame) if frame.is_ack() => {
+                        arq.on_ack(frame.link_seq);
+                    }
+                    Ok(frame) => {
+                        if frame.link_seq == 0 {
+                            continue; // unsequenced frames don't ride the mesh
+                        }
+                        if arq.on_data(&frame) == DataDisposition::Deliver {
+                            if let Ok(packet) = SpacePacket::decode(&frame.payload) {
+                                inbox.push(packet);
+                            } else {
+                                node.corrupt_frames += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(ack) = node.arqs[a].1.take_ack(Ticks(now)) {
+                fabric.send(i, peer, now, ack.encode());
+            }
+        }
+        for packet in inbox {
+            self.nodes[i].send_or_deliver(packet, now);
+        }
+    }
+
+    /// Runs node `i`'s command-verification state machine: due stage
+    /// transitions become trace events and service 1 reports routed back
+    /// to the commander.
+    fn node_service(&mut self, i: usize, now: u64) {
+        let commander = self.commander as u16;
+        let node = &mut self.nodes[i];
+        let at = Ticks(now);
+        for transition in node.verifier.tick(now) {
+            let event = match transition.stage {
+                AckStage::Start => TraceEvent::CommandStarted {
+                    at,
+                    apid: transition.apid,
+                    seq: transition.seq,
+                },
+                AckStage::Completion => TraceEvent::CommandCompleted {
+                    at,
+                    apid: transition.apid,
+                    seq: transition.seq,
+                },
+                // Acceptance transitions are emitted inline by `deliver`.
+                AckStage::Acceptance => continue,
+            };
+            node.trace.record(event);
+            if let Ok(report) = verification_report(transition, node.id, commander, MESH_TTL) {
+                node.send_or_deliver(report, now);
+            }
+        }
+    }
+
+    /// Polls node `i`'s per-neighbour ARQ senders and puts the produced
+    /// frames on the fabric; transport-health events become trace lines
+    /// and event telemetry toward the ground node.
+    fn node_transmit(&mut self, i: usize, now: u64) {
+        let ground = self.commander as u16;
+        let node = &mut self.nodes[i];
+        let at = Ticks(now);
+        let mut health: Vec<(EventSeverity, Vec<u8>)> = Vec::new();
+        let mut outbound: Vec<(usize, Vec<Vec<u8>>)> = Vec::new();
+        for (peer, arq) in &mut node.arqs {
+            let batch = arq.poll_transmit(now);
+            for event in arq.take_events() {
+                match event {
+                    ArqEvent::Retransmitted { seq, retries } => {
+                        node.trace
+                            .record(TraceEvent::FrameRetransmitted { at, seq, retries });
+                    }
+                    ArqEvent::Exhausted { seq } => {
+                        health.push((EventSeverity::High, seq.to_be_bytes().to_vec()));
+                    }
+                    ArqEvent::Recovered => {
+                        health.push((EventSeverity::Info, Vec::new()));
+                    }
+                    _ => {}
+                }
+            }
+            if !batch.frames.is_empty() {
+                outbound.push((*peer, batch.frames));
+            }
+        }
+        for (severity, payload) in health {
+            node.publish_event(ground, severity, payload, now);
+        }
+        // Health telemetry may have offered new frames; poll again so
+        // they leave this tick when the window allows.
+        for (peer, arq) in &mut node.arqs {
+            let batch = arq.poll_transmit(now);
+            if !batch.frames.is_empty() {
+                if let Some(slot) = outbound.iter_mut().find(|(p, _)| p == peer) {
+                    slot.1.extend(batch.frames);
+                } else {
+                    outbound.push((*peer, batch.frames));
+                }
+            }
+        }
+        for (peer, frames) in outbound {
+            for bytes in frames {
+                self.fabric.send(i, peer, now, bytes);
+            }
+        }
+    }
+
+    fn into_artifacts(self) -> MeshArtifacts {
+        let mut trace_log = String::new();
+        self.render_trace_into(&mut trace_log);
+        let executor = &self.nodes[self.executor];
+        let commander = &self.nodes[self.commander];
+        MeshArtifacts {
+            expected: self.expected,
+            delivered: executor.delivered_cmds.clone(),
+            acks: commander.acks,
+            events_received: commander.events_received,
+            retransmissions: self
+                .nodes
+                .iter()
+                .flat_map(|n| n.arqs.iter())
+                .map(|(_, arq)| arq.retransmissions())
+                .sum(),
+            forwarded: self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.trace
+                        .events()
+                        .iter()
+                        .filter(|e| matches!(e, TraceEvent::PacketForwarded { .. }))
+                        .count() as u64
+                })
+                .sum(),
+            packets_dropped: self.nodes.iter().map(|n| n.packets_dropped).sum(),
+            corrupt_frames: self.nodes.iter().map(|n| n.corrupt_frames).sum(),
+            trace_log,
+        }
+    }
+}
+
+/// Everything one faulted mesh execution leaves behind.
+struct MeshArtifacts {
+    expected: u64,
+    delivered: Vec<u16>,
+    acks: [u64; 3],
+    events_received: u64,
+    retransmissions: u64,
+    forwarded: u64,
+    packets_dropped: u64,
+    corrupt_frames: u64,
+    trace_log: String,
+}
+
+/// The result of one mesh campaign: the invariant report, the delivery
+/// and service metrics, and the determinism verdict.
+#[derive(Debug)]
+pub struct MeshCampaignOutcome {
+    /// The executed plan.
+    pub plan: MeshPlan,
+    /// The reliability-invariant report (empty = all invariants hold).
+    pub report: Report,
+    /// Telecommands originated by the ground node (the closed budget).
+    pub expected: u64,
+    /// Telecommands delivered to the executor.
+    pub delivered: u64,
+    /// Verification reports received back at the ground node, indexed
+    /// acceptance/start/completion.
+    pub acks: [u64; 3],
+    /// Event-telemetry reports received at the ground node.
+    pub events_received: u64,
+    /// Frames retransmitted by any ARQ sender in the mesh.
+    pub retransmissions: u64,
+    /// Per-hop packet relays recorded across all nodes.
+    pub forwarded: u64,
+    /// Packets discarded (TTL exhaustion, missing routes).
+    pub packets_dropped: u64,
+    /// Frames rejected by wire-decode integrity.
+    pub corrupt_frames: u64,
+    /// Hops between commander and executor.
+    pub command_hops: u64,
+    /// Concatenated per-node trace logs.
+    pub trace_log: String,
+    /// Whether re-executing the same plan reproduced the trace log byte
+    /// for byte.
+    pub deterministic: bool,
+}
+
+impl MeshCampaignOutcome {
+    /// Whether every invariant held: exactly-once in-order delivery, a
+    /// complete accept/start/complete ack round trip per command, and a
+    /// reproduced trace log.
+    pub fn is_ok(&self) -> bool {
+        self.report.is_ok()
+            && self.deterministic
+            && self.acks.iter().all(|&a| a == self.expected)
+    }
+}
+
+/// Runs a [`MeshPlan`] twice (the second run is the determinism probe)
+/// and checks exactly-once in-order command delivery plus the
+/// verification-ack round trips.
+///
+/// # Examples
+///
+/// ```
+/// use air_core::mesh::{mesh_plan, MeshCampaignRunner};
+/// use air_ports::routing::MeshTopology;
+///
+/// let plan = mesh_plan(MeshTopology::Line, 5, 7, 1);
+/// let outcome = MeshCampaignRunner::new(plan).run();
+/// assert!(outcome.is_ok(), "{}", outcome.report);
+/// assert!(outcome.command_hops >= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeshCampaignRunner {
+    plan: MeshPlan,
+}
+
+impl MeshCampaignRunner {
+    /// A runner for `plan`.
+    pub fn new(plan: MeshPlan) -> Self {
+        Self { plan }
+    }
+
+    /// Executes the campaign twice and checks every invariant.
+    pub fn run(&self) -> MeshCampaignOutcome {
+        let first = execute(&self.plan);
+        let second = execute(&self.plan);
+        let mut report = Report::new();
+        check_exactly_once(&first, &mut report);
+        let deterministic = first.trace_log == second.trace_log;
+        let hops = {
+            let tables = self.plan.topology.routing_tables(self.plan.nodes);
+            let (src, dst) = command_endpoints(self.plan.topology, self.plan.nodes);
+            hop_count(&tables, src, dst).unwrap_or(0)
+        };
+        MeshCampaignOutcome {
+            plan: self.plan.clone(),
+            report,
+            expected: first.expected,
+            delivered: first.delivered.len() as u64,
+            acks: first.acks,
+            events_received: first.events_received,
+            retransmissions: first.retransmissions,
+            forwarded: first.forwarded,
+            packets_dropped: first.packets_dropped,
+            corrupt_frames: first.corrupt_frames,
+            command_hops: hops,
+            trace_log: first.trace_log,
+            deterministic,
+        }
+    }
+}
+
+fn execute(plan: &MeshPlan) -> MeshArtifacts {
+    let mut sim = MeshSim::new(plan);
+    sim.run_to_horizon();
+    sim.into_artifacts()
+}
+
+/// Walks the executor's delivered command sequence against the closed
+/// budget: every index exactly once, in order.
+fn check_exactly_once(run: &MeshArtifacts, report: &mut Report) {
+    let expected = run.expected;
+    let mut seen = vec![0u64; expected as usize];
+    let mut next_expected = 0u64;
+    for &seq in &run.delivered {
+        let seq = u64::from(seq);
+        if seq >= expected {
+            report.record(Violation::SpuriousDetection {
+                at: Ticks::ZERO,
+                detail: format!("executor delivered unknown command seq {seq}"),
+            });
+            continue;
+        }
+        seen[seq as usize] += 1;
+        if seen[seq as usize] > 1 {
+            report.record(Violation::DuplicateDelivery { seq });
+            continue;
+        }
+        if seq != next_expected {
+            report.record(Violation::OutOfOrderDelivery {
+                expected: next_expected,
+                got: seq,
+            });
+        }
+        next_expected = seq + 1;
+    }
+    for (seq, &count) in seen.iter().enumerate() {
+        if count == 0 {
+            report.record(Violation::MessageLost { seq: seq as u64 });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_line_mesh_delivers_and_verifies() {
+        let plan = MeshPlan {
+            topology: MeshTopology::Line,
+            nodes: 5,
+            faults: FaultPlan::generate(1, &[], 0, 150, 400, 37),
+        };
+        let outcome = MeshCampaignRunner::new(plan).run();
+        assert!(outcome.is_ok(), "{}", outcome.report);
+        assert_eq!(outcome.delivered, outcome.expected);
+        assert_eq!(outcome.command_hops, 4);
+        assert_eq!(outcome.acks, [outcome.expected; 3]);
+        assert!(outcome.forwarded >= outcome.expected * 4);
+        assert_eq!(outcome.packets_dropped, 0);
+        assert!(outcome.trace_log.contains("CommandAccepted"));
+        assert!(outcome.trace_log.contains("CommandStarted"));
+        assert!(outcome.trace_log.contains("CommandCompleted"));
+        assert!(outcome.trace_log.contains("CommandAckReceived"));
+    }
+
+    #[test]
+    fn faulted_star_mesh_survives_and_reproduces() {
+        let plan = mesh_plan(MeshTopology::Star, 5, 42, 1);
+        let outcome = MeshCampaignRunner::new(plan).run();
+        assert!(outcome.is_ok(), "{}", outcome.report);
+        assert_eq!(outcome.delivered, outcome.expected);
+        assert_eq!(outcome.command_hops, 2);
+    }
+
+    #[test]
+    fn ring_endpoints_sit_at_least_two_hops_apart() {
+        for n in [4usize, 5, 9] {
+            let (src, dst) = command_endpoints(MeshTopology::Ring, n);
+            let tables = MeshTopology::Ring.routing_tables(n);
+            assert!(hop_count(&tables, src, dst).unwrap_or(0) >= 2, "ring[{n}]");
+        }
+    }
+
+    #[test]
+    fn sim_is_steppable_and_idempotent_past_horizon() {
+        let plan = mesh_plan(MeshTopology::Line, 3, 9, 1);
+        let mut sim = MeshSim::new(&plan);
+        let horizon = sim.horizon();
+        sim.run_for(10);
+        assert_eq!(sim.now(), 10);
+        sim.run_to_horizon();
+        assert_eq!(sim.now(), horizon);
+        sim.step();
+        assert_eq!(sim.now(), horizon, "step past horizon is a no-op");
+    }
+}

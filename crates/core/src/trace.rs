@@ -150,6 +150,100 @@ pub enum TraceEvent {
         /// The nominal schedule now requested.
         schedule: ScheduleId,
     },
+    /// A mesh node relayed a space packet one hop toward its destination.
+    PacketForwarded {
+        /// When.
+        at: Ticks,
+        /// APID of the forwarded packet.
+        apid: u16,
+        /// Final destination node.
+        dst: u16,
+        /// The neighbour the packet left through.
+        via: u16,
+        /// Remaining hop budget after the decrement.
+        ttl: u8,
+    },
+    /// A mesh node discarded a space packet instead of relaying it.
+    PacketDropped {
+        /// When.
+        at: Ticks,
+        /// APID of the dropped packet.
+        apid: u16,
+        /// Final destination node the packet never reached.
+        dst: u16,
+        /// Why it was dropped.
+        reason: PacketDropReason,
+    },
+    /// A telecommand passed acceptance verification at its executor
+    /// (PUS service 1 subservice 1).
+    CommandAccepted {
+        /// When.
+        at: Ticks,
+        /// APID of the command.
+        apid: u16,
+        /// Source sequence count of the command.
+        seq: u16,
+    },
+    /// A telecommand began executing (PUS service 1 subservice 3).
+    CommandStarted {
+        /// When.
+        at: Ticks,
+        /// APID of the command.
+        apid: u16,
+        /// Source sequence count of the command.
+        seq: u16,
+    },
+    /// A telecommand finished executing (PUS service 1 subservice 7).
+    CommandCompleted {
+        /// When.
+        at: Ticks,
+        /// APID of the command.
+        apid: u16,
+        /// Source sequence count of the command.
+        seq: u16,
+    },
+    /// The commander received a verification report for one of its
+    /// outstanding telecommands.
+    CommandAckReceived {
+        /// When.
+        at: Ticks,
+        /// APID of the acknowledged command.
+        apid: u16,
+        /// Source sequence count of the acknowledged command.
+        seq: u16,
+        /// The verification stage the report confirms.
+        stage: air_ports::pus::AckStage,
+    },
+    /// A mesh node published an event report (PUS service 5) toward the
+    /// ground node.
+    TelemetryPublished {
+        /// When.
+        at: Ticks,
+        /// APID the report was published on.
+        apid: u16,
+        /// The report's sequence count.
+        seq: u16,
+    },
+    /// The ground node received an event report.
+    TelemetryReceived {
+        /// When.
+        at: Ticks,
+        /// APID of the received report.
+        apid: u16,
+        /// The report's sequence count.
+        seq: u16,
+        /// The node that published it.
+        src: u16,
+    },
+}
+
+/// Why a mesh node discarded a packet instead of forwarding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketDropReason {
+    /// The hop budget reached zero before the destination.
+    TtlExpired,
+    /// The node's routing table has no entry for the destination.
+    NoRoute,
 }
 
 impl TraceEvent {
@@ -168,7 +262,15 @@ impl TraceEvent {
             | TraceEvent::FrameRetransmitted { at, .. }
             | TraceEvent::LinkFailover { at, .. }
             | TraceEvent::DegradedModeEntered { at, .. }
-            | TraceEvent::DegradedModeExited { at, .. } => *at,
+            | TraceEvent::DegradedModeExited { at, .. }
+            | TraceEvent::PacketForwarded { at, .. }
+            | TraceEvent::PacketDropped { at, .. }
+            | TraceEvent::CommandAccepted { at, .. }
+            | TraceEvent::CommandStarted { at, .. }
+            | TraceEvent::CommandCompleted { at, .. }
+            | TraceEvent::CommandAckReceived { at, .. }
+            | TraceEvent::TelemetryPublished { at, .. }
+            | TraceEvent::TelemetryReceived { at, .. } => *at,
         }
     }
 }

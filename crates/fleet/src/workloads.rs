@@ -14,8 +14,10 @@
 
 use air_core::campaign::{default_horizon, standard_plan, CampaignSim};
 use air_core::link_campaign::{link_plan, planned_horizon, LinkSim};
+use air_core::mesh::{mesh_plan, planned_mesh_horizon, MeshPlan, MeshSim};
 use air_hw::inject::FaultPlan;
 use air_hw::machine::MachineConfig;
+use air_ports::routing::MeshTopology;
 
 use crate::executor::FleetWorkload;
 
@@ -145,6 +147,62 @@ impl FleetWorkload for LinkFleet {
     }
 }
 
+/// A fleet of mesh campaigns: machine `i` is an N-node routed mesh
+/// running the TM/TC workload under
+/// `mesh_plan(topology, nodes, machine_seed(base_seed, i), per_class)`.
+#[derive(Debug, Clone)]
+pub struct MeshFleet {
+    base_seed: u64,
+    per_class: usize,
+    topology: MeshTopology,
+    nodes: usize,
+}
+
+impl MeshFleet {
+    /// A mesh-campaign fleet from `base_seed` with `per_class` faults of
+    /// every link class per machine, each machine a `nodes`-node
+    /// `topology`. Runs the one-time reachability-gated build.
+    pub fn new(base_seed: u64, per_class: usize, topology: MeshTopology, nodes: usize) -> Self {
+        let _gate = MeshSim::new(&mesh_plan(topology, nodes, base_seed, per_class));
+        Self {
+            base_seed,
+            per_class,
+            topology,
+            nodes,
+        }
+    }
+
+    /// Machine `index`'s mesh plan.
+    pub fn plan_for(&self, index: usize) -> MeshPlan {
+        mesh_plan(
+            self.topology,
+            self.nodes,
+            machine_seed(self.base_seed, index),
+            self.per_class,
+        )
+    }
+}
+
+impl FleetWorkload for MeshFleet {
+    type Instance = MeshSim;
+
+    fn build(&self, index: usize) -> MeshSim {
+        MeshSim::new_unchecked(&self.plan_for(index))
+    }
+
+    fn horizon(&self, index: usize) -> u64 {
+        planned_mesh_horizon(&self.plan_for(index))
+    }
+
+    fn tick(&self, instance: &mut MeshSim, ticks: u64) {
+        instance.run_for(ticks);
+    }
+
+    fn render_trace(&self, instance: &MeshSim, out: &mut String) {
+        instance.render_trace_into(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +222,14 @@ mod tests {
     fn campaign_fleet_machines_differ() {
         let fleet = CampaignFleet::new(7, 1);
         assert_ne!(fleet.plan_for(0).events(), fleet.plan_for(1).events());
+    }
+
+    #[test]
+    fn mesh_fleet_machines_differ() {
+        let fleet = MeshFleet::new(7, 1, MeshTopology::Ring, 5);
+        assert_ne!(
+            fleet.plan_for(0).faults.events(),
+            fleet.plan_for(1).faults.events()
+        );
     }
 }

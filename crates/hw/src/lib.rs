@@ -44,6 +44,7 @@ pub mod interrupt;
 pub mod link;
 pub mod machine;
 pub mod memory;
+pub mod mesh;
 pub mod mmu;
 pub mod redundant;
 
@@ -55,5 +56,6 @@ pub use interrupt::{InterruptController, InterruptLine};
 pub use link::{InterNodeLink, LinkEndpoint};
 pub use machine::Machine;
 pub use memory::PhysicalMemory;
+pub use mesh::{MeshFabric, MeshTopologyError};
 pub use mmu::{AccessKind, AccessPermissions, Mmu, MmuContextId, MmuFault, PageFlags};
 pub use redundant::{LinkRole, RedundantLink};

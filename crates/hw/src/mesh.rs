@@ -1,0 +1,252 @@
+//! The mesh fabric: one point-to-point inter-node link per topology
+//! edge.
+//!
+//! A mesh of N emulated nodes is wired at integration time from
+//! [`InterNodeLink`]s — the same latency-modelled, fault-injectable
+//! pipes the two-node cluster uses — one per undirected edge. The
+//! fabric owns the links and the adjacency; nodes address each other by
+//! index and the fabric resolves which link and which endpoint carries
+//! the hop. Edges are normalised `(low, high)` with the low-index node
+//! on [`LinkEndpoint::A`], and adjacency lists are kept sorted, so every
+//! iteration order a simulation can observe is deterministic.
+
+use crate::link::{InterNodeLink, LinkEndpoint};
+
+/// Why a fabric could not be built from an edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshTopologyError {
+    /// An edge names a node index at or beyond the node count.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: (usize, usize),
+        /// The declared node count.
+        nodes: usize,
+    },
+    /// An edge connects a node to itself.
+    SelfEdge {
+        /// The node with the self-edge.
+        node: usize,
+    },
+    /// The same undirected edge appears twice.
+    DuplicateEdge {
+        /// The duplicated edge, normalised `(low, high)`.
+        edge: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for MeshTopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshTopologyError::EdgeOutOfRange { edge, nodes } => {
+                write!(f, "edge ({}, {}) exceeds the {nodes}-node fabric", edge.0, edge.1)
+            }
+            MeshTopologyError::SelfEdge { node } => {
+                write!(f, "node {node} cannot be linked to itself")
+            }
+            MeshTopologyError::DuplicateEdge { edge } => {
+                write!(f, "edge ({}, {}) declared twice", edge.0, edge.1)
+            }
+        }
+    }
+}
+
+/// The links and adjacency of an N-node mesh.
+#[derive(Debug)]
+pub struct MeshFabric {
+    nodes: usize,
+    /// Normalised `(low, high)` node pairs, sorted; `links[i]` carries
+    /// `edges[i]`.
+    edges: Vec<(usize, usize)>,
+    links: Vec<InterNodeLink>,
+    /// Per node: `(peer, edge index)` pairs sorted by peer.
+    adjacency: Vec<Vec<(usize, usize)>>,
+}
+
+impl MeshFabric {
+    /// Builds a fabric over `nodes` nodes from an undirected `edges`
+    /// list, every link modelling `latency_ticks` of flight time.
+    pub fn new(
+        nodes: usize,
+        edges: &[(usize, usize)],
+        latency_ticks: u64,
+    ) -> Result<Self, MeshTopologyError> {
+        let mut normalised: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            if a == b {
+                return Err(MeshTopologyError::SelfEdge { node: a });
+            }
+            if a >= nodes || b >= nodes {
+                return Err(MeshTopologyError::EdgeOutOfRange { edge: (a, b), nodes });
+            }
+            let edge = if a < b { (a, b) } else { (b, a) };
+            normalised.push(edge);
+        }
+        normalised.sort_unstable();
+        if let Some(window) = normalised.windows(2).find(|w| w[0] == w[1]) {
+            return Err(MeshTopologyError::DuplicateEdge { edge: window[0] });
+        }
+        let links = normalised
+            .iter()
+            .map(|_| InterNodeLink::new(latency_ticks))
+            .collect();
+        let mut adjacency = vec![Vec::new(); nodes];
+        for (idx, &(a, b)) in normalised.iter().enumerate() {
+            adjacency[a].push((b, idx));
+            adjacency[b].push((a, idx));
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        Ok(Self {
+            nodes,
+            edges: normalised,
+            links,
+            adjacency,
+        })
+    }
+
+    /// Number of nodes the fabric wires.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of links (undirected edges).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The normalised, sorted edge list; index positions match
+    /// [`MeshFabric::link_mut`].
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// `node`'s neighbours as sorted `(peer, edge index)` pairs.
+    pub fn neighbors(&self, node: usize) -> &[(usize, usize)] {
+        static EMPTY: [(usize, usize); 0] = [];
+        self.adjacency.get(node).map_or(&EMPTY[..], Vec::as_slice)
+    }
+
+    /// The edge index between `a` and `b`, if they are linked.
+    pub fn edge_between(&self, a: usize, b: usize) -> Option<usize> {
+        let edge = if a < b { (a, b) } else { (b, a) };
+        self.edges.binary_search(&edge).ok()
+    }
+
+    /// The link carrying edge `index` — the hook fault campaigns use for
+    /// in-flight drops, tampering and outages.
+    pub fn link_mut(&mut self, index: usize) -> Option<&mut InterNodeLink> {
+        self.links.get_mut(index)
+    }
+
+    /// The link carrying edge `index`, read-only.
+    pub fn link(&self, index: usize) -> Option<&InterNodeLink> {
+        self.links.get(index)
+    }
+
+    /// Which endpoint `node` occupies on edge `(a, b)`: the low index
+    /// sits on [`LinkEndpoint::A`].
+    fn endpoint_of(edge: (usize, usize), node: usize) -> LinkEndpoint {
+        if node == edge.0 {
+            LinkEndpoint::A
+        } else {
+            LinkEndpoint::B
+        }
+    }
+
+    /// Sends `payload` from `from` to its direct neighbour `to`; returns
+    /// `false` (payload discarded) when no edge links the pair.
+    pub fn send(&mut self, from: usize, to: usize, now: u64, payload: Vec<u8>) -> bool {
+        let Some(idx) = self.edge_between(from, to) else {
+            return false;
+        };
+        let edge = self.edges[idx];
+        let endpoint = Self::endpoint_of(edge, from);
+        if let Some(link) = self.links.get_mut(idx) {
+            link.send(endpoint, now, payload);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Receives the next deliverable payload at `node` from neighbour
+    /// `peer`, if any has arrived by `now`.
+    pub fn receive_from(&mut self, node: usize, peer: usize, now: u64) -> Option<Vec<u8>> {
+        let idx = self.edge_between(node, peer)?;
+        let edge = self.edges[idx];
+        let endpoint = Self::endpoint_of(edge, node);
+        self.links.get_mut(idx)?.receive(endpoint, now)
+    }
+
+    /// Total frames handed to all links.
+    pub fn sent(&self) -> u64 {
+        self.links.iter().map(InterNodeLink::sent).sum()
+    }
+
+    /// Total frames delivered by all links.
+    pub fn delivered(&self) -> u64 {
+        self.links.iter().map(InterNodeLink::delivered).sum()
+    }
+
+    /// Total frames destroyed in flight across all links.
+    pub fn dropped(&self) -> u64 {
+        self.links.iter().map(InterNodeLink::dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_normalises_edges() {
+        let fabric = MeshFabric::new(3, &[(1, 0), (2, 1)], 1).expect("valid");
+        assert_eq!(fabric.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(fabric.neighbors(1), &[(0, 0), (2, 1)]);
+        assert_eq!(fabric.edge_between(2, 1), Some(1));
+        assert_eq!(fabric.edge_between(0, 2), None);
+        assert_eq!(fabric.node_count(), 3);
+        assert_eq!(fabric.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_topologies() {
+        assert!(matches!(
+            MeshFabric::new(2, &[(0, 0)], 1),
+            Err(MeshTopologyError::SelfEdge { node: 0 })
+        ));
+        assert!(matches!(
+            MeshFabric::new(2, &[(0, 3)], 1),
+            Err(MeshTopologyError::EdgeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            MeshFabric::new(3, &[(0, 1), (1, 0)], 1),
+            Err(MeshTopologyError::DuplicateEdge { edge: (0, 1) })
+        ));
+    }
+
+    #[test]
+    fn delivers_point_to_point_with_latency() {
+        let mut fabric = MeshFabric::new(3, &[(0, 1), (1, 2)], 2).expect("valid");
+        assert!(fabric.send(0, 1, 10, b"hop".to_vec()));
+        assert!(!fabric.send(0, 2, 10, b"no edge".to_vec()));
+        assert_eq!(fabric.receive_from(1, 0, 11), None);
+        assert_eq!(fabric.receive_from(1, 0, 12), Some(b"hop".to_vec()));
+        // The reverse direction of the same edge.
+        assert!(fabric.send(1, 0, 12, b"back".to_vec()));
+        assert_eq!(fabric.receive_from(0, 1, 14), Some(b"back".to_vec()));
+        assert_eq!(fabric.sent(), 2);
+        assert_eq!(fabric.delivered(), 2);
+    }
+
+    #[test]
+    fn fault_hooks_reach_individual_links() {
+        let mut fabric = MeshFabric::new(3, &[(0, 1), (1, 2)], 1).expect("valid");
+        fabric.send(1, 2, 5, b"doomed".to_vec());
+        let idx = fabric.edge_between(1, 2).expect("edge");
+        assert!(fabric.link_mut(idx).expect("link").drop_in_flight(LinkEndpoint::B));
+        assert_eq!(fabric.receive_from(2, 1, 20), None);
+        assert_eq!(fabric.dropped(), 1);
+    }
+}

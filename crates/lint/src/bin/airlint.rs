@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! airlint [--json] [--explore [--depth N]] <config.air> [more.air ...]
-//! airlint [--json] --cluster <node_a.air> <node_b.air>
+//! airlint [--json] --cluster <node_a.air> <node_b.air> [more.air ...]
 //! airlint --explain AIRnnn
 //! ```
 //!
-//! `--cluster` takes exactly two files describing the two nodes of a
-//! dual-node integration: each node is linted on its own, then the pair
-//! is cross-checked (AIR080 — remote channels must pair up with the
-//! peer's inbound gateways).
+//! `--cluster` takes two or more files describing the members of a
+//! multi-node integration: each member is linted on its own, then the
+//! set is cross-checked (AIR080 — remote channels must pair up with
+//! inbound gateways on some peer; AIR090–AIR094 — routed-mesh identity,
+//! routing and APID consistency, once `node` directives appear).
 //!
 //! `--explore` additionally walks the mode/HM configuration graph
 //! breadth-first up to `--depth` events (default 4) and reports invariant
@@ -25,16 +26,14 @@
 
 use std::process::ExitCode;
 
-use air_lint::{
-    lint_cluster_config_texts, lint_config_text, lint_config_text_explored, Code,
-};
+use air_lint::{lint_config_text, lint_config_text_explored, lint_mesh_config_texts, Code};
 
 /// Default exploration depth for `--explore` without `--depth`.
 const DEFAULT_DEPTH: usize = 4;
 
 fn usage() {
     eprintln!("usage: airlint [--json] [--explore [--depth N]] <config.air>...");
-    eprintln!("       airlint [--json] --cluster <node_a.air> <node_b.air>");
+    eprintln!("       airlint [--json] --cluster <node_a.air> <node_b.air> [more.air ...]");
     eprintln!("       airlint --explain AIRnnn");
 }
 
@@ -86,7 +85,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!("usage: airlint [--json] [--explore [--depth N]] <config.air>...");
-                println!("       airlint [--json] --cluster <node_a.air> <node_b.air>");
+                println!("       airlint [--json] --cluster <node_a.air> <node_b.air> [more.air ...]");
                 println!("       airlint --explain AIRnnn");
                 println!("exit status: 0 clean, 1 errors found, 2 usage/I/O failure");
                 return ExitCode::SUCCESS;
@@ -98,9 +97,9 @@ fn main() -> ExitCode {
             file => files.push(file.to_owned()),
         }
     }
-    if files.is_empty() || (cluster && files.len() != 2) {
+    if files.is_empty() || (cluster && files.len() < 2) {
         if cluster {
-            eprintln!("airlint: --cluster takes exactly two files, got {}", files.len());
+            eprintln!("airlint: --cluster takes at least two files, got {}", files.len());
         }
         usage();
         return ExitCode::from(2);
@@ -133,12 +132,12 @@ fn main() -> ExitCode {
         }
     }
     if cluster {
-        let report = lint_cluster_config_texts(&texts[0], &texts[1]);
+        let report = lint_mesh_config_texts(&texts);
         any_error |= report.has_errors();
         if json {
             print!("{}", report.to_json_lines());
         } else {
-            println!("== cluster: {} + {} ==", files[0], files[1]);
+            println!("== cluster: {} ==", files.join(" + "));
             println!("{report}");
         }
     }

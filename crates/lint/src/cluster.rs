@@ -21,7 +21,7 @@ pub(crate) fn analyze_pair(a: &SystemModel, b: &SystemModel, report: &mut LintRe
 }
 
 /// Channel ids `model` sends over the link (≥ 1 remote destination).
-fn outbound_ids(model: &SystemModel) -> BTreeSet<u32> {
+pub(crate) fn outbound_ids(model: &SystemModel) -> BTreeSet<u32> {
     model
         .channels
         .iter()
@@ -36,7 +36,7 @@ fn outbound_ids(model: &SystemModel) -> BTreeSet<u32> {
 
 /// Channel ids `model` expects to arrive over the link: channels whose
 /// source port no local partition declares (inbound gateways).
-fn inbound_gateway_ids(model: &SystemModel) -> BTreeSet<u32> {
+pub(crate) fn inbound_gateway_ids(model: &SystemModel) -> BTreeSet<u32> {
     let local_ports: BTreeSet<(u32, &str)> = model
         .sampling_ports
         .iter()

@@ -194,6 +194,17 @@ codes! {
         "chi1 fails Eq. 23 and an authority request reaches it from chi0"),
     DegradedScheduleTrap = ("AIR086", Warning, "recovery from the degraded schedule depends solely on link restoration",
         "`link … degraded=chi1` where chi1 windows no authority partition"),
+    // Mesh-level cross-checks (`airlint --cluster` with ≥ 1 `node` directive).
+    MeshUnreachableNode = ("AIR090", Error, "a declared mesh node has no route from this node",
+        "node A declares `node N0` and the mesh knows N3, but N0 has no `route N3 via=…`"),
+    MeshRoutingLoop = ("AIR091", Error, "the mesh routing tables walk a packet in a circle",
+        "`route N2 via=N1` on N0 and `route N2 via=N0` on N1 — a packet for N2 ping-pongs forever"),
+    MeshApidCollision = ("AIR092", Error, "two mesh nodes originate packets under the same APID",
+        "`apid 100 name=CMD kind=tc` declared by both N0 and N2"),
+    MeshRouteToUndeclaredNode = ("AIR093", Error, "a route references a node no document declares",
+        "`route N7 via=N1` in a three-node mesh with no `node N7` document"),
+    MeshNodeIdentityConflict = ("AIR094", Error, "mesh node identities are missing or duplicated",
+        "two documents both declare `node N1`, or one cluster member has no `node` directive"),
 }
 
 impl fmt::Display for Code {

@@ -56,6 +56,7 @@ pub mod model;
 
 mod cluster;
 mod hm;
+mod mesh;
 mod modes;
 mod ports;
 mod spatial;
@@ -97,25 +98,58 @@ pub fn lint_cluster(a: &SystemModel, b: &SystemModel) -> LintReport {
 /// cross-checks; a parse failure on either side becomes an `AIR000`
 /// diagnostic carrying the offending line.
 pub fn lint_cluster_config_texts(a: &str, b: &str) -> LintReport {
-    let parse = |text: &str| air_tools::config::parse(text);
-    match (parse(a), parse(b)) {
-        (Ok(doc_a), Ok(doc_b)) => {
-            lint_cluster(&SystemModel::from_config(&doc_a), &SystemModel::from_config(&doc_b))
-        }
-        (res_a, res_b) => {
-            let mut report = LintReport::new();
-            for (node, res) in [("node A", res_a), ("node B", res_b)] {
-                if let Err(e) = res {
-                    report.push(
-                        Diagnostic::new(Code::ParseError, format!("{node}: {}", e.message))
-                            .with_line(Some(e.line)),
-                    );
-                }
-            }
-            report.finish();
-            report
+    lint_mesh_config_texts(&[a, b])
+}
+
+/// Cross-checks the member snapshots of an N-node cluster or routed
+/// mesh.
+///
+/// Channel pairing (AIR080) always runs: for exactly two members
+/// without `node` directives it is the classic pair check; for more
+/// members (or once mesh identities appear) every outbound channel id
+/// must land in a gateway of *some* other member and vice versa. When
+/// any member declares a `node` directive, the mesh cross-checks
+/// (AIR090–AIR094) run too: identity uniqueness, routing-table
+/// completeness, loop freedom, and APID ownership. Per-member findings
+/// are *not* included — lint each member with [`lint`] separately.
+pub fn lint_mesh(members: &[SystemModel], report_sink: Option<LintReport>) -> LintReport {
+    let mut report = report_sink.unwrap_or_default();
+    let meshy = members.iter().any(|m| m.mesh_node.is_some());
+    match members {
+        [a, b] if !meshy => cluster::analyze_pair(a, b, &mut report),
+        _ => mesh::analyze_channels_n(members, &mut report),
+    }
+    if meshy {
+        mesh::analyze_mesh(members, &mut report);
+    }
+    report.finish();
+    report
+}
+
+/// Parses N member configuration texts and runs the cluster/mesh
+/// cross-checks ([`lint_mesh`]); a parse failure on any member becomes
+/// an `AIR000` diagnostic naming the member (`node A`, `node B`, …) and
+/// carrying the offending line, and suppresses the cross-checks.
+pub fn lint_mesh_config_texts<T: AsRef<str>>(texts: &[T]) -> LintReport {
+    let mut report = LintReport::new();
+    let mut members = Vec::with_capacity(texts.len());
+    for (i, text) in texts.iter().enumerate() {
+        match air_tools::config::parse(text.as_ref()) {
+            Ok(doc) => members.push(SystemModel::from_config(&doc)),
+            Err(e) => report.push(
+                Diagnostic::new(
+                    Code::ParseError,
+                    format!("{}: {}", mesh::node_label(i), e.message),
+                )
+                .with_line(Some(e.line)),
+            ),
         }
     }
+    if members.len() < texts.len() {
+        report.finish();
+        return report;
+    }
+    lint_mesh(&members, Some(report))
 }
 
 /// Runs every static analysis plus a bounded mode/HM exploration
@@ -239,6 +273,101 @@ channel 50 from=P0:tm-remote-source to=P0:tm
         let pair = lint_cluster_config_texts(NODE_A, "bogus directive\n");
         assert!(pair.has_errors());
         let d = &pair.diagnostics()[0];
+        assert_eq!(d.code, Code::ParseError);
+        assert!(d.message.starts_with("node B:"), "{d}");
+    }
+
+    /// A minimal clean mesh member: identity `N<id>`, routes toward the
+    /// other two members of a 3-node line N0–N1–N2, one owned APID.
+    fn mesh_member(id: u16) -> String {
+        let routes = match id {
+            0 => "route N1 via=N1\nroute N2 via=N1\n".to_string(),
+            1 => "route N0 via=N0\nroute N2 via=N2\n".to_string(),
+            _ => "route N0 via=N1\nroute N1 via=N1\n".to_string(),
+        };
+        format!(
+            "partition P0 name=SW{id}\n\
+             schedule chi0 name=ops mtf=100\n\
+               require P0 cycle=100 duration=100\n\
+               window P0 offset=0 duration=100\n\
+             link primary_latency=3 secondary_latency=6\n\
+             arq window=8 timeout=24\n\
+             node N{id} name=NODE{id}\n\
+             {routes}\
+             apid {} name=STREAM{id} kind=tm\n",
+            100 + id
+        )
+    }
+
+    #[test]
+    fn clean_three_node_mesh_cross_checks_clean() {
+        let texts: Vec<String> = (0..3).map(mesh_member).collect();
+        for t in &texts {
+            assert!(!lint_config_text(t).has_errors(), "{}", lint_config_text(t));
+        }
+        let report = lint_mesh_config_texts(&texts);
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn missing_route_is_air090() {
+        let mut texts: Vec<String> = (0..3).map(mesh_member).collect();
+        texts[0] = texts[0].replace("route N2 via=N1\n", "");
+        let report = lint_mesh_config_texts(&texts);
+        assert!(report.has_code(Code::MeshUnreachableNode), "{report}");
+    }
+
+    #[test]
+    fn routing_loop_is_air091_once() {
+        let mut texts: Vec<String> = (0..3).map(mesh_member).collect();
+        // N0 and N1 point packets for N2 at each other.
+        texts[1] = texts[1].replace("route N2 via=N2", "route N2 via=N0");
+        let report = lint_mesh_config_texts(&texts);
+        let loops = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::MeshRoutingLoop)
+            .count();
+        assert_eq!(loops, 1, "{report}");
+    }
+
+    #[test]
+    fn apid_collision_is_air092() {
+        let mut texts: Vec<String> = (0..3).map(mesh_member).collect();
+        texts[2] = texts[2].replace("apid 102", "apid 100");
+        let report = lint_mesh_config_texts(&texts);
+        assert!(report.has_code(Code::MeshApidCollision), "{report}");
+    }
+
+    #[test]
+    fn route_to_undeclared_node_is_air093() {
+        let mut texts: Vec<String> = (0..3).map(mesh_member).collect();
+        texts[0] = texts[0].replace("route N2 via=N1", "route N7 via=N1");
+        let report = lint_mesh_config_texts(&texts);
+        assert!(report.has_code(Code::MeshRouteToUndeclaredNode), "{report}");
+        // Dropping the N2 route also leaves N2 unreachable from node A.
+        assert!(report.has_code(Code::MeshUnreachableNode), "{report}");
+    }
+
+    #[test]
+    fn identity_conflicts_are_air094() {
+        let mut texts: Vec<String> = (0..3).map(mesh_member).collect();
+        texts[2] = texts[2].replace("node N2 name=NODE2", "node N0 name=IMPOSTOR");
+        let report = lint_mesh_config_texts(&texts);
+        assert!(report.has_code(Code::MeshNodeIdentityConflict), "{report}");
+
+        let mut texts: Vec<String> = (0..3).map(mesh_member).collect();
+        texts[1] = texts[1].replace("node N1 name=NODE1\n", "");
+        let report = lint_mesh_config_texts(&texts);
+        assert!(report.has_code(Code::MeshNodeIdentityConflict), "{report}");
+    }
+
+    #[test]
+    fn mesh_parse_failures_name_the_member() {
+        let texts = [mesh_member(0), "bogus directive\n".into(), mesh_member(2)];
+        let report = lint_mesh_config_texts(&texts);
+        assert!(report.has_errors());
+        let d = &report.diagnostics()[0];
         assert_eq!(d.code, Code::ParseError);
         assert!(d.message.starts_with("node B:"), "{d}");
     }

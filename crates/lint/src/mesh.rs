@@ -1,0 +1,278 @@
+//! Mesh-level cross-analysis (AIR090–AIR094): the node descriptions of
+//! an N-node routed mesh must agree on identities, routes and APID
+//! ownership. Each document declares who it is (`node`), how packets
+//! leave it (`route … via=…`, with a direct neighbour written as
+//! `route N<k> via=N<k>`), and which packet streams it originates
+//! (`apid`). A missing identity, a destination with no local route, a
+//! routing walk that revisits a node, a route into an undeclared node,
+//! or two nodes claiming the same APID are integration faults no
+//! single-document lint can see.
+//!
+//! Soundness caveat: the analysis is static. It proves the declared
+//! tables are loop-free and complete; it says nothing about TTL budgets
+//! under transient faults — that is the mesh campaign's job.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use air_tools::config::span_key;
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use crate::model::SystemModel;
+
+/// The display label of cluster member `index`: `node A`, `node B`, …
+/// (past 26 members, `node #27` and onward).
+pub(crate) fn node_label(index: usize) -> String {
+    if index < 26 {
+        let letter = char::from(b'A' + index as u8);
+        format!("node {letter}")
+    } else {
+        format!("node #{}", index + 1)
+    }
+}
+
+/// Runs every mesh cross-check over the member snapshots, in code order.
+pub(crate) fn analyze_mesh(models: &[SystemModel], report: &mut LintReport) {
+    // AIR094 — identities: every member declares exactly one `node`, and
+    // no two members claim the same id. Members with a usable identity
+    // feed the remaining checks even when others are broken.
+    let mut owner_of: BTreeMap<u16, usize> = BTreeMap::new();
+    for (i, m) in models.iter().enumerate() {
+        let Some(node) = &m.mesh_node else {
+            report.push(Diagnostic::new(
+                Code::MeshNodeIdentityConflict,
+                format!(
+                    "{} declares no 'node' directive but is cross-checked as a \
+                     mesh member; every member needs a mesh identity",
+                    node_label(i)
+                ),
+            ));
+            continue;
+        };
+        if let Some(&prev) = owner_of.get(&node.id.0) {
+            report.push(
+                Diagnostic::new(
+                    Code::MeshNodeIdentityConflict,
+                    format!(
+                        "{} claims node identity {} already declared by {}; \
+                         routing by destination id becomes ambiguous",
+                        node_label(i),
+                        node.id,
+                        node_label(prev)
+                    ),
+                )
+                .with_line(m.spans.get(&span_key::node())),
+            );
+        } else {
+            owner_of.insert(node.id.0, i);
+        }
+    }
+    let declared: BTreeSet<u16> = owner_of.keys().copied().collect();
+
+    // AIR093 — every route endpoint must be a declared node, and a node
+    // needs no route to itself.
+    for (&id, &i) in &owner_of {
+        let m = &models[i];
+        for r in &m.routes {
+            let line = m.spans.get(&span_key::route(r.dst.0));
+            if r.dst.0 == id {
+                report.push(
+                    Diagnostic::new(
+                        Code::MeshRouteToUndeclaredNode,
+                        format!(
+                            "{} ({}) declares a route to itself; local delivery \
+                             never takes a hop",
+                            node_label(i),
+                            r.dst
+                        ),
+                    )
+                    .with_line(line),
+                );
+                continue;
+            }
+            for endpoint in [r.dst, r.via] {
+                if !declared.contains(&endpoint.0) {
+                    report.push(
+                        Diagnostic::new(
+                            Code::MeshRouteToUndeclaredNode,
+                            format!(
+                                "{} routes {} via {} but no mesh member declares \
+                                 node {endpoint}",
+                                node_label(i),
+                                r.dst,
+                                r.via
+                            ),
+                        )
+                        .with_line(line),
+                    );
+                }
+            }
+        }
+    }
+
+    // AIR090 — completeness: every member must know a next hop toward
+    // every other declared node (a direct neighbour is `route N<k>
+    // via=N<k>`), else packets for it die with NoRoute.
+    for (&id, &i) in &owner_of {
+        let m = &models[i];
+        for &dst in &declared {
+            if dst != id && !m.routes.iter().any(|r| r.dst.0 == dst) {
+                report.push(
+                    Diagnostic::new(
+                        Code::MeshUnreachableNode,
+                        format!(
+                            "{} (N{id}) has no route toward N{dst}; packets for \
+                             N{dst} would be dropped with NoRoute",
+                            node_label(i)
+                        ),
+                    )
+                    .with_line(m.spans.get(&span_key::node())),
+                );
+            }
+        }
+    }
+
+    // AIR091 — loop freedom: walking the declared tables from every
+    // (origin, destination) pair must reach the destination without
+    // revisiting a node. Dead ends are already AIR090/AIR093 findings;
+    // the walk just stops there. Each distinct cycle is reported once.
+    let next_hop = |node: u16, dst: u16| -> Option<u16> {
+        let &i = owner_of.get(&node)?;
+        models[i]
+            .routes
+            .iter()
+            .find(|r| r.dst.0 == dst)
+            .map(|r| r.via.0)
+    };
+    let mut seen_cycles: BTreeSet<(u16, Vec<u16>)> = BTreeSet::new();
+    for &origin in &declared {
+        for &dst in &declared {
+            if dst == origin {
+                continue;
+            }
+            let mut path = vec![origin];
+            let mut cur = origin;
+            while cur != dst {
+                let Some(via) = next_hop(cur, dst) else {
+                    break; // dead end — flagged by AIR090/AIR093 above
+                };
+                if let Some(start) = path.iter().position(|&n| n == via) {
+                    let mut cycle: Vec<u16> = path[start..].to_vec();
+                    cycle.sort_unstable();
+                    if seen_cycles.insert((dst, cycle)) {
+                        let rendering: Vec<String> = path[start..]
+                            .iter()
+                            .chain(std::iter::once(&via))
+                            .map(|n| format!("N{n}"))
+                            .collect();
+                        let closer = owner_of
+                            .get(&cur)
+                            .and_then(|&i| models[i].spans.get(&span_key::route(dst)));
+                        report.push(
+                            Diagnostic::new(
+                                Code::MeshRoutingLoop,
+                                format!(
+                                    "packets for N{dst} loop through {}; the TTL \
+                                     budget, not the topology, bounds their lifetime",
+                                    rendering.join(" -> ")
+                                ),
+                            )
+                            .with_line(closer),
+                        );
+                    }
+                    break;
+                }
+                path.push(via);
+                cur = via;
+            }
+        }
+    }
+
+    // AIR092 — APID ownership: an application process identifier may be
+    // originated by exactly one mesh node.
+    let mut claims: BTreeMap<u16, Vec<usize>> = BTreeMap::new();
+    for (i, m) in models.iter().enumerate() {
+        for a in &m.apids {
+            let owners = claims.entry(a.apid).or_default();
+            if !owners.contains(&i) {
+                owners.push(i);
+            }
+        }
+    }
+    for (apid, owners) in &claims {
+        if let [first, rest @ ..] = owners.as_slice() {
+            for &i in rest {
+                let name = models[i]
+                    .apids
+                    .iter()
+                    .find(|a| a.apid == *apid)
+                    .map_or("", |a| a.name.as_str());
+                report.push(
+                    Diagnostic::new(
+                        Code::MeshApidCollision,
+                        format!(
+                            "{} originates APID {apid} ({name}) already claimed \
+                             by {}; receivers cannot attribute its packets",
+                            node_label(i),
+                            node_label(*first)
+                        ),
+                    )
+                    .with_line(models[i].spans.get(&span_key::apid(*apid))),
+                );
+            }
+        }
+    }
+}
+
+/// The N-ary generalisation of the pair channel cross-check (AIR080):
+/// every channel id a member sends over its link must land in an inbound
+/// gateway of at least one other member, and every gateway must be fed
+/// by at least one other member.
+pub(crate) fn analyze_channels_n(models: &[SystemModel], report: &mut LintReport) {
+    let outbound: Vec<BTreeSet<u32>> = models.iter().map(crate::cluster::outbound_ids).collect();
+    let gateways: Vec<BTreeSet<u32>> = models
+        .iter()
+        .map(crate::cluster::inbound_gateway_ids)
+        .collect();
+    for (i, m) in models.iter().enumerate() {
+        for id in &outbound[i] {
+            let matched = gateways
+                .iter()
+                .enumerate()
+                .any(|(j, g)| j != i && g.contains(id));
+            if !matched {
+                report.push(
+                    Diagnostic::new(
+                        Code::UnmatchedRemoteChannel,
+                        format!(
+                            "{} sends channel {id} into the mesh but no other \
+                             member declares a gateway channel with that id; its \
+                             frames would be dropped on arrival",
+                            node_label(i)
+                        ),
+                    )
+                    .with_line(m.spans.get(&span_key::channel(*id))),
+                );
+            }
+        }
+        for id in &gateways[i] {
+            let fed = outbound
+                .iter()
+                .enumerate()
+                .any(|(j, o)| j != i && o.contains(id));
+            if !fed {
+                report.push(
+                    Diagnostic::new(
+                        Code::UnmatchedRemoteChannel,
+                        format!(
+                            "{} channel {id} expects frames from the mesh but no \
+                             other member sends on that id; the gateway's \
+                             destinations would starve",
+                            node_label(i)
+                        ),
+                    )
+                    .with_line(m.spans.get(&span_key::channel(*id))),
+                );
+            }
+        }
+    }
+}

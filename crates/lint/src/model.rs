@@ -11,7 +11,10 @@ use air_model::process::ProcessAttributes;
 use air_model::{PartitionId, Schedule};
 use air_ports::transport::ArqConfig;
 use air_ports::{ChannelConfig, QueuingPortConfig, SamplingPortConfig};
-use air_tools::config::{ConfigDoc, LinkDirective, MemoryRegion, Spans};
+use air_tools::config::{
+    ApidDirective, ConfigDoc, LinkDirective, MemoryRegion, MeshNodeDirective, RouteDirective,
+    Spans,
+};
 
 /// Everything the static analyses need to know about a system, with no
 /// behaviour attached: the integration-time description, flattened.
@@ -45,6 +48,13 @@ pub struct SystemModel {
     pub link: Option<LinkDirective>,
     /// Reliable-transport tuning (`arq` directive), when declared.
     pub arq: Option<ArqConfig>,
+    /// Mesh identity (`node` directive), when the node is part of an
+    /// N-node routed mesh.
+    pub mesh_node: Option<MeshNodeDirective>,
+    /// Static routing entries (`route` directives).
+    pub routes: Vec<RouteDirective>,
+    /// APID origination claims (`apid` directives).
+    pub apids: Vec<ApidDirective>,
     /// Whether channels with a non-local source port are legitimate
     /// (multi-node integrations with gateways). `false` for a
     /// single-node configuration document, where an unknown source port
@@ -77,6 +87,9 @@ impl SystemModel {
             handlers: doc.handlers.clone(),
             link: doc.link,
             arq: doc.arq,
+            mesh_node: doc.mesh_node.clone(),
+            routes: doc.routes.clone(),
+            apids: doc.apids.clone(),
             gateways_allowed: doc.link.is_some(),
             spans: doc.spans.clone(),
         }

@@ -22,7 +22,14 @@
 //!   ([`wire`]);
 //! * the **reliable transport** over that link — go-back-N ARQ with
 //!   cumulative ACKs, deterministic tick-based timeouts and exponential
-//!   backoff ([`transport`]).
+//!   backoff ([`transport`]);
+//! * **space packets** for the routed mesh — CCSDS-flavoured APID/TC/TM
+//!   framing riding inside ARQ frames ([`spacepacket`]);
+//! * **static routing** — per-node next-hop tables and the standard
+//!   line/star/ring topology builders ([`routing`]);
+//! * **PUS-flavoured services** — the command-verification state machine
+//!   (accept/start/complete reports) and the event-report publisher
+//!   ([`pus`]).
 
 #![warn(missing_docs)]
 
@@ -30,8 +37,11 @@ pub mod channel;
 pub mod error;
 pub mod message;
 pub mod payload;
+pub mod pus;
 pub mod queuing;
+pub mod routing;
 pub mod sampling;
+pub mod spacepacket;
 pub mod transport;
 pub mod wire;
 
@@ -39,6 +49,9 @@ pub use channel::{ChannelConfig, Destination, PortAddr, PortRegistry};
 pub use error::PortError;
 pub use message::{Message, Validity};
 pub use payload::Payload;
+pub use pus::{AckStage, CommandVerifier, EventReporter, EventSeverity};
 pub use queuing::{QueuingPort, QueuingPortConfig};
+pub use routing::{MeshTopology, NodeId, RoutingTable};
 pub use sampling::{SamplingPort, SamplingPortConfig};
+pub use spacepacket::{PacketKind, SpacePacket};
 pub use transport::{ArqConfig, ArqEndpoint, ArqEvent, DataDisposition};

@@ -1,0 +1,300 @@
+//! Static next-hop routing for the N-node mesh.
+//!
+//! Routing is integration-time configuration, exactly like channel
+//! wiring: every node carries a table mapping each reachable destination
+//! to the neighbour the packet should leave through. There is no
+//! discovery protocol and no dynamic convergence — the tables are
+//! declared (`route` directives in `.air` configurations), checked
+//! statically by `air-lint` (unreachable destinations, routing loops),
+//! and then trusted at run time. The standard topologies (line, star,
+//! ring) come with deterministic shortest-path table builders; ring
+//! ties break clockwise.
+
+use std::collections::BTreeMap;
+
+/// A mesh node identity, as declared by a `node` directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The raw identifier.
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Why a route could not be added to a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// A route toward this destination already exists.
+    DuplicateDestination {
+        /// The destination declared twice.
+        dst: NodeId,
+    },
+    /// The destination is the table's own node.
+    SelfRoute {
+        /// The node routing to itself.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::DuplicateDestination { dst } => {
+                write!(f, "duplicate route toward {dst}")
+            }
+            RouteError::SelfRoute { node } => {
+                write!(f, "{node} cannot declare a route toward itself")
+            }
+        }
+    }
+}
+
+/// One node's static next-hop table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    node: NodeId,
+    routes: BTreeMap<NodeId, NodeId>,
+}
+
+impl RoutingTable {
+    /// An empty table owned by `node`.
+    pub fn new(node: NodeId) -> Self {
+        Self {
+            node,
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Declares that packets for `dst` leave through neighbour `via`.
+    /// A direct neighbour route has `dst == via`.
+    pub fn add_route(&mut self, dst: NodeId, via: NodeId) -> Result<(), RouteError> {
+        if dst == self.node {
+            return Err(RouteError::SelfRoute { node: self.node });
+        }
+        if self.routes.contains_key(&dst) {
+            return Err(RouteError::DuplicateDestination { dst });
+        }
+        self.routes.insert(dst, via);
+        Ok(())
+    }
+
+    /// The neighbour packets for `dst` leave through, if routed.
+    pub fn next_hop(&self, dst: NodeId) -> Option<NodeId> {
+        self.routes.get(&dst).copied()
+    }
+
+    /// All `(destination, next hop)` entries in destination order.
+    pub fn routes(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.routes.iter().map(|(d, v)| (*d, *v))
+    }
+
+    /// The distinct neighbours this table forwards through, ascending.
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        let mut vias: Vec<NodeId> = self.routes.values().copied().collect();
+        vias.sort_unstable();
+        vias.dedup();
+        vias
+    }
+
+    /// Number of routed destinations.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table routes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// The standard mesh shapes the campaigns and benches quantify over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshTopology {
+    /// A chain `0 — 1 — … — n-1`; the diameter grows with `n`.
+    Line,
+    /// Node 0 is the hub; every other node is a leaf (leaf→leaf is 2 hops).
+    Star,
+    /// A cycle; shortest-path ties (even `n`, antipodal pairs) break
+    /// clockwise.
+    Ring,
+}
+
+impl MeshTopology {
+    /// Stable lower-case name for logs and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            MeshTopology::Line => "line",
+            MeshTopology::Star => "star",
+            MeshTopology::Ring => "ring",
+        }
+    }
+
+    /// The undirected edge set over `n` nodes, each pair normalised
+    /// `(low, high)` and the list sorted — the deterministic ground truth
+    /// the fabric and the routing tables are both built from.
+    pub fn edges(self, n: usize) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        if n < 2 {
+            return edges;
+        }
+        match self {
+            MeshTopology::Line => {
+                for i in 0..n - 1 {
+                    edges.push((i, i + 1));
+                }
+            }
+            MeshTopology::Star => {
+                for i in 1..n {
+                    edges.push((0, i));
+                }
+            }
+            MeshTopology::Ring => {
+                for i in 0..n {
+                    let j = (i + 1) % n;
+                    let (a, b) = if i < j { (i, j) } else { (j, i) };
+                    edges.push((a, b));
+                }
+                edges.sort_unstable();
+                edges.dedup();
+            }
+        }
+        edges
+    }
+
+    /// Deterministic shortest-path next-hop tables for every node,
+    /// indexed by node. Node `i` carries [`NodeId`] `i`.
+    ///
+    /// # Panics
+    ///
+    /// Never — table construction over the built-in topologies cannot
+    /// produce duplicate or self routes.
+    pub fn routing_tables(self, n: usize) -> Vec<RoutingTable> {
+        let mut tables: Vec<RoutingTable> = (0..n)
+            .map(|i| RoutingTable::new(NodeId(i as u16)))
+            .collect();
+        for (i, table) in tables.iter_mut().enumerate() {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let via = match self {
+                    MeshTopology::Line => {
+                        if j > i {
+                            i + 1
+                        } else {
+                            i - 1
+                        }
+                    }
+                    MeshTopology::Star => {
+                        if i == 0 {
+                            j
+                        } else {
+                            0
+                        }
+                    }
+                    MeshTopology::Ring => {
+                        let cw = (j + n - i) % n;
+                        let ccw = n - cw;
+                        if cw <= ccw {
+                            (i + 1) % n
+                        } else {
+                            (i + n - 1) % n
+                        }
+                    }
+                };
+                table
+                    .add_route(NodeId(j as u16), NodeId(via as u16))
+                    .expect("built-in topology tables are duplicate-free");
+            }
+        }
+        tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_duplicates_and_self_routes() {
+        let mut t = RoutingTable::new(NodeId(0));
+        assert_eq!(t.add_route(NodeId(2), NodeId(1)), Ok(()));
+        assert_eq!(
+            t.add_route(NodeId(2), NodeId(3)),
+            Err(RouteError::DuplicateDestination { dst: NodeId(2) })
+        );
+        assert_eq!(
+            t.add_route(NodeId(0), NodeId(1)),
+            Err(RouteError::SelfRoute { node: NodeId(0) })
+        );
+        assert_eq!(t.next_hop(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(t.next_hop(NodeId(9)), None);
+        assert_eq!(t.neighbors(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn line_routes_walk_the_chain() {
+        let tables = MeshTopology::Line.routing_tables(5);
+        assert_eq!(tables[0].next_hop(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(tables[2].next_hop(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(tables[2].next_hop(NodeId(4)), Some(NodeId(3)));
+        assert_eq!(MeshTopology::Line.edges(5).len(), 4);
+    }
+
+    #[test]
+    fn star_routes_through_the_hub() {
+        let tables = MeshTopology::Star.routing_tables(5);
+        assert_eq!(tables[1].next_hop(NodeId(4)), Some(NodeId(0)));
+        assert_eq!(tables[0].next_hop(NodeId(3)), Some(NodeId(3)));
+        assert_eq!(MeshTopology::Star.edges(5).len(), 4);
+    }
+
+    #[test]
+    fn ring_ties_break_clockwise() {
+        let tables = MeshTopology::Ring.routing_tables(4);
+        // Antipodal 0→2: clockwise and counter-clockwise are both 2 hops;
+        // clockwise (via 1) must win.
+        assert_eq!(tables[0].next_hop(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(tables[0].next_hop(NodeId(3)), Some(NodeId(3)));
+        assert_eq!(MeshTopology::Ring.edges(4), vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn every_topology_walk_terminates() {
+        for topo in [MeshTopology::Line, MeshTopology::Star, MeshTopology::Ring] {
+            for n in 2..=9usize {
+                let tables = topo.routing_tables(n);
+                for src in 0..n {
+                    for dst in 0..n {
+                        if src == dst {
+                            continue;
+                        }
+                        let mut at = src;
+                        let mut hops = 0;
+                        while at != dst {
+                            let via = tables[at]
+                                .next_hop(NodeId(dst as u16))
+                                .expect("complete tables");
+                            at = via.as_u16() as usize;
+                            hops += 1;
+                            assert!(hops <= n, "{}: {src}->{dst} loops", topo.label());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

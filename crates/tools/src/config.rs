@@ -30,7 +30,9 @@ use air_model::schedule::{
     TimeWindow,
 };
 use air_model::{PartitionId, ScheduleId, Ticks};
+use air_ports::routing::NodeId;
 use air_ports::sampling::Direction;
+use air_ports::spacepacket::{PacketKind, APID_MAX};
 use air_ports::transport::ArqConfig;
 use air_ports::{ChannelConfig, Destination, PortAddr, QueuingPortConfig, SamplingPortConfig};
 
@@ -130,6 +132,21 @@ pub mod span_key {
     pub fn handler(partition: PartitionId, error: ErrorId) -> String {
         format!("handler:{partition}:{}", super::error_id_token(error))
     }
+
+    /// Key of the `node` declaration (at most one per document).
+    pub fn node() -> String {
+        "node".into()
+    }
+
+    /// Key of a `route` declaration, keyed by destination node.
+    pub fn route(dst: u16) -> String {
+        format!("route:N{dst}")
+    }
+
+    /// Key of an `apid` declaration.
+    pub fn apid(apid: u16) -> String {
+        format!("apid:{apid}")
+    }
 }
 
 /// The configuration-file token of an [`ErrorId`] (snake_case).
@@ -194,6 +211,38 @@ pub struct LinkDirective {
     pub degraded: Option<ScheduleId>,
 }
 
+/// The mesh identity of a `node` directive: which node of an N-node
+/// routed mesh this configuration document describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshNodeDirective {
+    /// This node's mesh identity.
+    pub id: NodeId,
+    /// Human-readable node name (e.g. `GROUND`, `RELAY1`).
+    pub name: String,
+}
+
+/// One static routing entry of a `route` directive: packets for `dst`
+/// leave through neighbour `via`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDirective {
+    /// Final destination node.
+    pub dst: NodeId,
+    /// Next-hop neighbour toward `dst`.
+    pub via: NodeId,
+}
+
+/// One application-process identifier claim of an `apid` directive: the
+/// node declares it originates packets under this APID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApidDirective {
+    /// The 11-bit application process identifier.
+    pub apid: u16,
+    /// Human-readable stream name (e.g. `CMD`, `HM_EVENTS`).
+    pub name: String,
+    /// Whether the stream carries telecommands or telemetry.
+    pub kind: PacketKind,
+}
+
 /// A parsed configuration document.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ConfigDoc {
@@ -218,6 +267,14 @@ pub struct ConfigDoc {
     /// Reliable-transport tuning (`arq` directive); `None` leaves the
     /// runtime defaults in force.
     pub arq: Option<ArqConfig>,
+    /// Mesh identity (`node` directive), when the node is part of an
+    /// N-node routed mesh.
+    pub mesh_node: Option<MeshNodeDirective>,
+    /// Static routing entries (`route` directives), in declaration order.
+    pub routes: Vec<RouteDirective>,
+    /// Application-process identifier claims (`apid` directives), in
+    /// declaration order.
+    pub apids: Vec<ApidDirective>,
     /// Explicit module-level HM classification (`hm` directives).
     pub hm_levels: Vec<(ErrorId, ErrorLevel)>,
     /// Partition error-handler entries (`handler` directives).
@@ -299,6 +356,16 @@ fn parse_pid(line_no: usize, token: &str) -> Result<PartitionId, ConfigError> {
         .parse::<u32>()
         .map(PartitionId)
         .map_err(|_| err(line_no, format!("invalid partition number '{digits}'")))
+}
+
+fn parse_node_id(line_no: usize, token: &str) -> Result<NodeId, ConfigError> {
+    let digits = token
+        .strip_prefix('N')
+        .ok_or_else(|| err(line_no, format!("expected node id 'N<n>', found '{token}'")))?;
+    digits
+        .parse::<u16>()
+        .map(NodeId)
+        .map_err(|_| err(line_no, format!("invalid node number '{digits}'")))
 }
 
 fn parse_u64(line_no: usize, map: &BTreeMap<&str, &str>, key: &str) -> Result<u64, ConfigError> {
@@ -430,6 +497,13 @@ fn parse_recovery_action(line_no: usize, token: &str) -> Result<ProcessRecoveryA
 ///   (at most one; `degraded` names the schedule entered on failover)
 /// * `arq window=<frames> timeout=<ticks> [backoff_cap=<n>]
 ///   [max_retries=<n>] [recovery_threshold=<n>]` (at most one)
+/// * `node N<n> name=<str>` (at most one; declares this document's mesh
+///   identity within an N-node routed mesh)
+/// * `route N<dst> via=N<next>` (static routing entry: packets for
+///   `N<dst>` leave through neighbour `N<next>`; one entry per
+///   destination)
+/// * `apid <id> name=<str> kind=tc|tm` (this node originates packets
+///   under APID `<id>`, which must fit the 11-bit space-packet field)
 /// * `hm <error_id> level=process|partition|module`
 /// * `handler P<n> <error_id> ignore|restart_process|start_other_process|
 ///   stop_process|restart_partition|stop_partition|
@@ -803,6 +877,79 @@ pub fn parse(text: &str) -> Result<ConfigDoc, ConfigError> {
                     )?,
                 });
             }
+            "node" => {
+                close(&mut doc, &mut open);
+                if doc.mesh_node.is_some() {
+                    return Err(err(line_no, "duplicate 'node' directive"));
+                }
+                let id_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'node' needs an id"))?;
+                let id = parse_node_id(line_no, id_tok)?;
+                let kv = parse_kv(line_no, tokens)?;
+                let name = kv
+                    .get("name")
+                    .ok_or_else(|| err(line_no, "missing 'name='"))?;
+                doc.spans.set(span_key::node(), line_no);
+                doc.mesh_node = Some(MeshNodeDirective {
+                    id,
+                    name: (*name).to_string(),
+                });
+            }
+            "route" => {
+                close(&mut doc, &mut open);
+                let dst_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'route' needs a destination node"))?;
+                let dst = parse_node_id(line_no, dst_tok)?;
+                let kv = parse_kv(line_no, tokens)?;
+                let via_tok = kv
+                    .get("via")
+                    .ok_or_else(|| err(line_no, "missing 'via='"))?;
+                let via = parse_node_id(line_no, via_tok)?;
+                if doc.routes.iter().any(|r| r.dst == dst) {
+                    return Err(err(line_no, format!("duplicate route for destination {dst}")));
+                }
+                doc.spans.set(span_key::route(dst.0), line_no);
+                doc.routes.push(RouteDirective { dst, via });
+            }
+            "apid" => {
+                close(&mut doc, &mut open);
+                let id_tok = tokens
+                    .next()
+                    .ok_or_else(|| err(line_no, "'apid' needs an id"))?;
+                let apid = id_tok
+                    .parse::<u16>()
+                    .ok()
+                    .filter(|a| *a <= APID_MAX)
+                    .ok_or_else(|| {
+                        err(
+                            line_no,
+                            format!("invalid apid '{id_tok}' (11-bit field, max {APID_MAX})"),
+                        )
+                    })?;
+                if doc.apids.iter().any(|a| a.apid == apid) {
+                    return Err(err(line_no, format!("duplicate apid {apid}")));
+                }
+                let kv = parse_kv(line_no, tokens)?;
+                let name = kv
+                    .get("name")
+                    .ok_or_else(|| err(line_no, "missing 'name='"))?;
+                let kind = match kv.get("kind").copied() {
+                    Some("tc") => PacketKind::Tc,
+                    Some("tm") => PacketKind::Tm,
+                    Some(other) => {
+                        return Err(err(line_no, format!("unknown apid kind '{other}'")));
+                    }
+                    None => return Err(err(line_no, "missing 'kind='")),
+                };
+                doc.spans.set(span_key::apid(apid), line_no);
+                doc.apids.push(ApidDirective {
+                    apid,
+                    name: (*name).to_string(),
+                    kind,
+                });
+            }
             "hm" => {
                 close(&mut doc, &mut open);
                 let err_tok = tokens
@@ -1011,6 +1158,19 @@ pub fn emit(doc: &ConfigDoc) -> String {
             dests.join(",")
         ));
     }
+    if let Some(node) = &doc.mesh_node {
+        out.push_str(&format!("node {} name={}\n", node.id, node.name));
+    }
+    for r in &doc.routes {
+        out.push_str(&format!("route {} via={}\n", r.dst, r.via));
+    }
+    for a in &doc.apids {
+        let kind = match a.kind {
+            PacketKind::Tc => "tc",
+            PacketKind::Tm => "tm",
+        };
+        out.push_str(&format!("apid {} name={} kind={kind}\n", a.apid, a.name));
+    }
     out
 }
 
@@ -1176,6 +1336,65 @@ mod tests {
         let report = verify_schedule_set(&doc.schedule_set(), &doc.partitions);
         assert!(report.is_ok(), "{report}");
         assert_eq!(doc.schedule_set().get(CHI_1).unwrap().mtf(), Ticks(1300));
+    }
+
+    #[test]
+    fn mesh_directives_parse_emit_and_span() {
+        let text = "\
+partition P0 name=GSW
+node N2 name=RELAY1
+route N0 via=N1
+route N4 via=N3
+apid 100 name=CMD kind=tc
+apid 202 name=HM_EVENTS kind=tm
+";
+        let doc = parse(text).unwrap();
+        let node = doc.mesh_node.as_ref().unwrap();
+        assert_eq!(node.id, NodeId(2));
+        assert_eq!(node.name, "RELAY1");
+        assert_eq!(
+            doc.routes,
+            vec![
+                RouteDirective { dst: NodeId(0), via: NodeId(1) },
+                RouteDirective { dst: NodeId(4), via: NodeId(3) },
+            ]
+        );
+        assert_eq!(doc.apids.len(), 2);
+        assert_eq!(doc.apids[0].apid, 100);
+        assert_eq!(doc.apids[0].kind, PacketKind::Tc);
+        assert_eq!(doc.apids[1].kind, PacketKind::Tm);
+        // Spans point at the declaration lines.
+        assert_eq!(doc.spans.get(&span_key::node()), Some(2));
+        assert_eq!(doc.spans.get(&span_key::route(4)), Some(4));
+        assert_eq!(doc.spans.get(&span_key::apid(202)), Some(6));
+        // Round-trip: emit(parse(emit(doc))) == emit(doc).
+        let emitted = emit(&doc);
+        let reparsed = parse(&emitted).unwrap();
+        assert_eq!(reparsed.mesh_node, doc.mesh_node);
+        assert_eq!(reparsed.routes, doc.routes);
+        assert_eq!(reparsed.apids, doc.apids);
+        assert_eq!(emit(&reparsed), emitted);
+    }
+
+    #[test]
+    fn mesh_directive_errors_carry_lines() {
+        let cases = [
+            ("node X2 name=a", 1, "expected node id"),
+            ("node N0 name=a\nnode N1 name=b", 2, "duplicate 'node' directive"),
+            ("node N0", 1, "missing 'name='"),
+            ("route N1", 1, "missing 'via='"),
+            ("route N1 via=P0", 1, "expected node id"),
+            ("route N1 via=N2\nroute N1 via=N3", 2, "duplicate route for destination N1"),
+            ("apid 2047 name=a kind=tc", 1, "invalid apid"),
+            ("apid 9 name=a kind=xx", 1, "unknown apid kind"),
+            ("apid 9 name=a", 1, "missing 'kind='"),
+            ("apid 9 name=a kind=tc\napid 9 name=b kind=tm", 2, "duplicate apid 9"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse(text).unwrap_err();
+            assert_eq!(e.line, line, "{text}");
+            assert!(e.message.contains(needle), "{text}: {e}");
+        }
     }
 
     #[test]

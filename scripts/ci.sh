@@ -39,6 +39,10 @@ echo "== lint: airlint over the example configurations =="
 echo "== lint: airlint cluster cross-check over the node pair =="
 "$airlint" --cluster examples/cluster_degraded_a.air examples/cluster_degraded_b.air
 
+echo "== lint: airlint mesh cross-check over the five-node example =="
+"$airlint" --cluster examples/mesh_n0.air examples/mesh_n1.air \
+    examples/mesh_n2.air examples/mesh_n3.air examples/mesh_n4.air
+
 echo "== lint: bounded mode/HM exploration of the examples (depth 3) =="
 "$airlint" --explore --depth 3 examples/full_system.air
 "$airlint" --explore --depth 3 \
@@ -48,7 +52,7 @@ echo "== lint: airlint golden corpus (JSON diff) =="
 corpus_out=$(mktemp)
 trap 'rm -f "$corpus_out"' EXIT
 for case in tests/lint_corpus/*.air; do
-    case "$case" in *_pair_a.air|*_pair_b.air) continue ;; esac
+    case "$case" in *_pair_a.air|*_pair_b.air|*_mesh_[a-z].air) continue ;; esac
     # A first-line '#!explore depth=N' marker runs the case through the
     # bounded exploration at that depth, matching the corpus test harness.
     args=(--json)
@@ -67,6 +71,16 @@ for pair_a in tests/lint_corpus/*_pair_a.air; do
     diff -u "${base}.expected" "$corpus_out" \
         || { echo "golden drift in ${base}" >&2; exit 1; }
 done
+for mesh_a in tests/lint_corpus/*_mesh_a.air; do
+    base="${mesh_a%_a.air}"
+    members=()
+    for member in "${base}"_[a-z].air; do
+        [[ -e "$member" ]] && members+=("$member")
+    done
+    "$airlint" --json --cluster "${members[@]}" > "$corpus_out" || true
+    diff -u "${base}.expected" "$corpus_out" \
+        || { echo "golden drift in ${base}" >&2; exit 1; }
+done
 
 echo "== smoke fault-injection campaign (3 seeds x all fault classes) =="
 cargo run --release -q -p bench --bin campaign -- --smoke
@@ -77,6 +91,9 @@ cargo run --release -q -p bench --bin campaign -- --smoke-link
 echo "== smoke fleet (256 machines x 3 MTFs, $AIR_FLEET_WORKERS workers) =="
 cargo run --release -q -p bench --bin fleet -- --smoke-fleet
 
+echo "== smoke mesh (24 five-node line meshes, $AIR_FLEET_WORKERS workers) =="
+cargo run --release -q -p bench --bin mesh -- --smoke-mesh
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== hotpath before/after comparison =="
     cargo run --release -p bench --bin hotpath
@@ -84,6 +101,8 @@ if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p bench --bin campaign
     echo "== fleet scaling curve (1k machines, 1/2/4/8/16 workers) =="
     cargo run --release -p bench --bin fleet
+    echo "== mesh matrix (line/star/ring x 3/5/9 nodes) =="
+    cargo run --release -p bench --bin mesh
 fi
 
 echo "CI OK"

@@ -14,31 +14,41 @@
 //!   a cluster; they are excluded from the per-file loops and checked
 //!   against `<base>_pair.expected`, the concatenation of both per-node
 //!   reports and the cluster cross-check (exactly what
-//!   `airlint --json --cluster` prints).
+//!   `airlint --json --cluster` prints);
+//! - `<base>_mesh_a.air`, `<base>_mesh_b.air`, … describe the members of
+//!   an N-node routed mesh; they are excluded from the per-file loops and
+//!   checked against `<base>_mesh.expected`, the concatenation of every
+//!   per-member report and the mesh cross-check (exactly what
+//!   `airlint --json --cluster` prints for the member list).
 //!
 //! To regenerate a golden after an intentional change:
 //! `cargo run -p air-lint --bin airlint -- --json tests/lint_corpus/<case>.air`
-//! (add `--explore --depth N` for marked cases, or
-//! `--cluster <base>_pair_a.air <base>_pair_b.air` for pairs) and review
-//! the diff by hand before committing it.
+//! (add `--explore --depth N` for marked cases,
+//! `--cluster <base>_pair_a.air <base>_pair_b.air` for pairs, or
+//! `--cluster <base>_mesh_a.air <base>_mesh_b.air …` for mesh sets) and
+//! review the diff by hand before committing it.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use air_lint::{lint_cluster_config_texts, lint_config_text, lint_config_text_explored, Code};
+use air_lint::{
+    lint_cluster_config_texts, lint_config_text, lint_config_text_explored, lint_mesh_config_texts,
+    Code,
+};
 
 fn corpus_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus")
 }
 
-/// Per-file corpus cases — cluster pair nodes are handled by
-/// [`cluster_pairs_match_goldens`] instead.
+/// Per-file corpus cases — cluster pair nodes and mesh members are
+/// handled by [`cluster_pairs_match_goldens`] and
+/// [`mesh_sets_match_goldens`] instead.
 fn corpus_cases() -> Vec<PathBuf> {
     let mut cases: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
         .expect("corpus directory exists")
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|ext| ext == "air"))
-        .filter(|p| !is_pair_node(p))
+        .filter(|p| !is_pair_node(p) && !is_mesh_member(p))
         .collect();
     cases.sort();
     cases
@@ -50,6 +60,21 @@ fn is_pair_node(path: &Path) -> bool {
             let s = s.to_string_lossy();
             s.ends_with("_pair_a") || s.ends_with("_pair_b")
         })
+}
+
+/// Whether `path` is one member of a mesh set (`<base>_mesh_<letter>`).
+fn is_mesh_member(path: &Path) -> bool {
+    path.file_stem().is_some_and(|s| {
+        let s = s.to_string_lossy();
+        match s.rsplit_once('_') {
+            Some((prefix, suffix)) => {
+                prefix.ends_with("_mesh")
+                    && suffix.len() == 1
+                    && suffix.chars().all(|c| c.is_ascii_lowercase())
+            }
+            None => false,
+        }
+    })
 }
 
 /// Lints `text` honouring the `#!explore depth=N` first-line marker.
@@ -130,6 +155,49 @@ fn cluster_pairs_match_goldens() {
         pairs += 1;
     }
     assert!(pairs >= 1, "expected at least one cluster pair case");
+}
+
+#[test]
+fn mesh_sets_match_goldens() {
+    let mut sets = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus directory exists") {
+        let path = entry.expect("readable entry").path();
+        let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        if path.extension().is_none_or(|ext| ext != "air") || !stem.ends_with("_mesh_a") {
+            continue;
+        }
+        let base = stem.trim_end_matches("_a");
+        // Collect the member files in letter order until the first gap.
+        let mut texts = Vec::new();
+        for letter in 'a'..='z' {
+            let member = path.with_file_name(format!("{base}_{letter}.air"));
+            match std::fs::read_to_string(&member) {
+                Ok(text) => texts.push(text),
+                Err(_) => break,
+            }
+        }
+        assert!(texts.len() >= 2, "mesh set {base} needs at least two members");
+        let golden_path = path.with_file_name(format!("{base}.expected"));
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!("missing golden file {}", golden_path.display())
+        });
+        let mut actual = String::new();
+        for text in &texts {
+            actual.push_str(&report_for(text).to_json_lines());
+        }
+        let cross = lint_mesh_config_texts(&texts);
+        actual.push_str(&cross.to_json_lines());
+        assert_eq!(actual, golden, "mesh set {base} diverged from its golden");
+        // Mesh sets follow the same naming convention as per-file cases.
+        assert!(
+            cross.has_errors() != base.starts_with("clean_"),
+            "mesh set {base} violates the naming convention"
+        );
+        sets += 1;
+    }
+    assert!(sets >= 6, "expected the clean set plus one per AIR09x code, found {sets}");
 }
 
 #[test]

@@ -1,0 +1,80 @@
+//! Mesh campaigns under the fleet executor: a machine's rendered
+//! per-node trace logs are a pure function of its mesh plan — worker
+//! count, shard assignment and batch size must all be invisible.
+//!
+//! Extends `fleet_determinism_prop.rs` to the N-node routed mesh: for
+//! each topology, a small mesh fleet is executed sequentially (the
+//! reference) and then with K ∈ {1, 4, 16} workers; every machine's
+//! rendered trace — the concatenation of all N nodes' logs — must be
+//! byte-identical to the reference.
+
+use air_fleet::workloads::MeshFleet;
+use air_fleet::{run_fleet, run_sequential, Capture, FleetConfig, FleetOutcome};
+use air_ports::routing::MeshTopology;
+
+const WORKER_COUNTS: [usize; 3] = [1, 4, 16];
+
+fn assert_logs_identical(
+    label: &str,
+    seed: u64,
+    workers: usize,
+    got: &FleetOutcome,
+    reference: &FleetOutcome,
+) {
+    assert_eq!(got.outcomes.len(), reference.outcomes.len());
+    for (g, r) in got.outcomes.iter().zip(&reference.outcomes) {
+        assert_eq!(g.index, r.index);
+        let (g_log, r_log) = (
+            g.trace_log.as_ref().expect("full capture"),
+            r.trace_log.as_ref().expect("full capture"),
+        );
+        assert!(
+            g_log == r_log,
+            "{label} seed {seed}, {workers} workers: machine {} diverged from \
+             the sequential run\n--- sequential ---\n{r_log}\n--- fleet ---\n{g_log}",
+            g.index
+        );
+        assert_eq!(g.digest, r.digest, "digest must follow the log bytes");
+    }
+}
+
+#[test]
+fn mesh_fleet_is_schedule_invariant_across_topologies() {
+    // Mesh machines are 5 protocol nodes each (≈ 2k-tick horizons), so
+    // the seed sweep stays narrow per topology; the property is the same
+    // one the 50-seed campaign sweep holds for single machines.
+    for topology in [MeshTopology::Line, MeshTopology::Star, MeshTopology::Ring] {
+        for seed in [1u64, 42] {
+            let fleet = MeshFleet::new(seed, 1, topology, 5);
+            let machines = 4;
+            let reference = run_sequential(&fleet, machines, Capture::FullTrace);
+            for workers in WORKER_COUNTS {
+                // A deliberately odd batch size: batch boundaries must not
+                // align with fault slots or horizons.
+                let config = FleetConfig::new(machines, workers)
+                    .with_batch_ticks(37)
+                    .with_capture(Capture::FullTrace);
+                let fleet_run = run_fleet(&fleet, &config);
+                assert_logs_identical(topology.label(), seed, workers, &fleet_run, &reference);
+            }
+        }
+    }
+}
+
+#[test]
+fn mesh_fleet_digests_match_sequential_without_full_capture() {
+    let fleet = MeshFleet::new(9, 1, MeshTopology::Line, 5);
+    let machines = 8;
+    let sequential = run_sequential(&fleet, machines, Capture::Digest);
+    for workers in WORKER_COUNTS {
+        let outcome = run_fleet(
+            &fleet,
+            &FleetConfig::new(machines, workers).with_batch_ticks(37),
+        );
+        assert_eq!(
+            outcome.fleet_digest(),
+            sequential.fleet_digest(),
+            "{workers} workers: digest diverged from sequential"
+        );
+    }
+}
