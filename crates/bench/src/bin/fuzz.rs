@@ -1,0 +1,67 @@
+//! Fuzz-farm driver: seeded configuration generation through lint →
+//! bounded exploration → witness minimization → concrete replay, hunting
+//! for abstraction divergences (the `AIR099` defect class).
+//!
+//! Two modes:
+//!
+//! * `fuzz --smoke-fuzz` — the CI gate: 64 configurations from a fixed
+//!   seed base at depth 3, exit 1 on any divergence. Deterministic, so a
+//!   red gate is reproducible by seed number alone.
+//! * `fuzz [count [depth]]` — a wider sweep (default 256 cases at depth
+//!   4) for local soak runs; prints the farm statistics and every
+//!   divergence, exit 1 if any.
+//!
+//! Divergence-free runs still print how many findings were produced,
+//! minimized and concretely replayed, so a silently vacuous farm (a
+//! generator too tame to produce findings) is visible at a glance.
+
+use air_core::fuzz::run_fuzz;
+
+/// Fixed seed base for the CI smoke gate; the wider sweep offsets past
+/// it so local soaks explore fresh configurations.
+const SMOKE_SEED: u64 = 0x5eed_0a1b;
+const SMOKE_CASES: usize = 64;
+const SMOKE_DEPTH: usize = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke-fuzz");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (first_seed, cases, depth) = if smoke {
+        (SMOKE_SEED, SMOKE_CASES, SMOKE_DEPTH)
+    } else {
+        let cases = positional
+            .first()
+            .map(|s| s.parse().expect("count must be a number"))
+            .unwrap_or(256);
+        let depth = positional
+            .get(1)
+            .map(|s| s.parse().expect("depth must be a number"))
+            .unwrap_or(4);
+        (SMOKE_SEED + SMOKE_CASES as u64, cases, depth)
+    };
+
+    let label = if smoke { "smoke gate" } else { "soak sweep" };
+    println!(
+        "fuzz: {label} — {cases} generated configurations, depth {depth}, \
+         seeds {first_seed}..{}",
+        first_seed + cases as u64
+    );
+    let report = run_fuzz(first_seed, cases, depth);
+    println!(
+        "  {} findings, {} witnesses minimized, {} concretely replayed",
+        report.findings, report.minimized, report.replayed
+    );
+    if report.divergences.is_empty() {
+        println!("  no divergences: abstraction and concrete replay agree");
+        return;
+    }
+    eprintln!(
+        "  {} DIVERGENCE(S) — the abstraction is unsound for these seeds:",
+        report.divergences.len()
+    );
+    for divergence in &report.divergences {
+        eprintln!("    {divergence}");
+    }
+    std::process::exit(1);
+}

@@ -1,33 +1,42 @@
 //! Timing of the static-analysis stages, emitting `BENCH_lint.json`.
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! * `corpus_lint` — one full pass of the per-schedule analyses over
 //!   every `.air` case in `tests/lint_corpus/` (the cost of the gate a
 //!   [`air_core::SystemBuilder::build`] caller pays, times the corpus);
-//! * `explore_<example>_depth_{1,2,3}` — bounded mode/HM state-space
-//!   exploration of `examples/full_system.air` (single schedule: the
-//!   degenerate one-state graph) and `examples/cluster_degraded_a.air`
-//!   (two schedules plus a degraded-mode link: a real graph) at
-//!   increasing depths, with the number of abstract states each depth
-//!   visits, so the growth of the search is visible next to its cost.
+//! * `explore_<example>_depth_{4..8}` — bounded state-space exploration
+//!   of `examples/full_system.air` (three schedules plus a degraded
+//!   link) and `examples/constellation_hub.air` (the ten-spoke mesh hub
+//!   whose space clears 10^4 states by depth 8) at increasing depths,
+//!   with the number of abstract states each depth visits and the
+//!   resulting states/sec throughput;
+//! * `explore_constellation_hub_depth_8_workers_{1,2,4,8}` — the same
+//!   deepest exploration under the sharded parallel engine, so the
+//!   worker scaling curve is recorded next to the sequential baseline.
 //!
-//! The exploration must stay cheap enough to run in CI on every build
-//! (`scripts/ci.sh` runs depth 3 on the full system); the JSON records
-//! the profile so debug numbers are never mistaken for release ones.
+//! Deep explorations cost seconds per call, so the sample count adapts:
+//! cheap points keep the batched 20-sample scheme, expensive ones drop
+//! to as few as 3 un-batched samples. `tests/explore_bench_guard.rs`
+//! pins the benched examples non-degenerate (an earlier revision timed a
+//! one-state graph here). The JSON records the profile so debug numbers
+//! are never mistaken for release ones.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use bench::criterion::{fmt_ns, stats_of};
 
-use air_lint::{explore, lint, SystemModel};
+use air_lint::{explore_with, lint, ExploreConfig, SystemModel};
 
 const SAMPLES: usize = 20;
 const SAMPLE_NS: f64 = 10_000_000.0; // ~10 ms per sample
+/// Per-point budget: expensive explorations get fewer samples.
+const POINT_BUDGET_NS: f64 = 3_000_000_000.0;
 
 /// Median nanoseconds per call of `f`, batch-calibrated (same scheme as
-/// the hotpath bench).
+/// the hotpath bench), with the sample count scaled down so one point
+/// never exceeds its time budget.
 fn measure<F: FnMut()>(mut f: F) -> f64 {
     let start = Instant::now();
     let mut calls = 0u64;
@@ -37,19 +46,28 @@ fn measure<F: FnMut()>(mut f: F) -> f64 {
     }
     let per_call = start.elapsed().as_nanos() as f64 / calls.max(1) as f64;
     let batch = ((SAMPLE_NS / per_call.max(1.0)) as u64).max(1);
-    let mut samples = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
+    let affordable = (POINT_BUDGET_NS / (per_call * batch as f64).max(1.0)) as usize;
+    let samples = affordable.clamp(3, SAMPLES);
+    let mut medians = Vec::with_capacity(samples);
+    for _ in 0..samples {
         let t = Instant::now();
         for _ in 0..batch {
             f();
         }
-        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        medians.push(t.elapsed().as_nanos() as f64 / batch as f64);
     }
-    stats_of(&samples).median
+    stats_of(&medians).median
 }
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn model_of(file: &str) -> SystemModel {
+    let text = std::fs::read_to_string(repo_root().join(file))
+        .unwrap_or_else(|e| panic!("{file}: {e}"));
+    let doc = air_tools::config::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+    SystemModel::from_config(&doc)
 }
 
 /// Every corpus case parsed into its lint model (parse cost excluded from
@@ -73,8 +91,28 @@ fn corpus_models() -> Vec<SystemModel> {
         .collect()
 }
 
+/// One exploration row: prints the human line and returns the JSON row.
+fn explore_row(name: &str, model: &SystemModel, config: &ExploreConfig) -> String {
+    let states = explore_with(model, config).states_explored;
+    let ns = measure(|| {
+        std::hint::black_box(explore_with(model, config));
+    });
+    let states_per_sec = states as f64 / (ns / 1e9);
+    println!(
+        "{name:<44} {:>12}   ({states} abstract states, {:.0} states/s)",
+        fmt_ns(ns),
+        states_per_sec
+    );
+    format!(
+        ",\n    {{\"name\": \"{name}\", \"median_ns\": {ns:.2}, \
+         \"states_explored\": {states}, \"states_per_sec\": {states_per_sec:.0}, \
+         \"workers\": {}}}",
+        config.workers
+    )
+}
+
 fn main() {
-    println!("lint: static-analysis stage timings (medians of {SAMPLES} samples)\n");
+    println!("lint: static-analysis stage timings (adaptive sample counts)\n");
 
     let models = corpus_models();
     let corpus_ns = measure(|| {
@@ -83,7 +121,7 @@ fn main() {
         }
     });
     println!(
-        "{:<18} {:>12}   ({} parsed cases per pass)",
+        "{:<44} {:>12}   ({} parsed cases per pass)",
         "corpus_lint",
         fmt_ns(corpus_ns),
         models.len()
@@ -95,31 +133,33 @@ fn main() {
 
     for (label, file) in [
         ("full_system", "examples/full_system.air"),
-        ("cluster_degraded_a", "examples/cluster_degraded_a.air"),
+        ("constellation_hub", "examples/constellation_hub.air"),
     ] {
-        let text = std::fs::read_to_string(repo_root().join(file))
-            .unwrap_or_else(|e| panic!("{file}: {e}"));
-        let doc = air_tools::config::parse(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
-        let model = SystemModel::from_config(&doc);
-        for depth in 1..=3usize {
-            let states = explore(&model, depth).states_explored;
-            let ns = measure(|| {
-                std::hint::black_box(explore(&model, depth));
-            });
-            println!(
-                "{:<34} {:>12}   ({states} abstract states)",
-                format!("explore_{label}_depth_{depth}"),
-                fmt_ns(ns)
-            );
-            rows.push_str(&format!(
-                ",\n    {{\"name\": \"explore_{label}_depth_{depth}\", \"median_ns\": {ns:.2}, \
-                 \"states_explored\": {states}}}"
+        let model = model_of(file);
+        for depth in 4..=8usize {
+            let config = ExploreConfig { depth, ..ExploreConfig::default() };
+            rows.push_str(&explore_row(
+                &format!("explore_{label}_depth_{depth}"),
+                &model,
+                &config,
             ));
         }
     }
 
+    // Worker scaling curve at the deepest, largest exploration.
+    let hub = model_of("examples/constellation_hub.air");
+    for workers in [1usize, 2, 4, 8] {
+        let config = ExploreConfig { depth: 8, workers, ..ExploreConfig::default() };
+        rows.push_str(&explore_row(
+            &format!("explore_constellation_hub_depth_8_workers_{workers}"),
+            &hub,
+            &config,
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"experiment\": \"air-lint stage timings: corpus pass and bounded exploration\",\n  \
+        "{{\n  \"experiment\": \"air-lint stage timings: corpus pass, bounded exploration \
+         depth curve, and parallel-engine worker scaling\",\n  \
            \"profile\": \"{}\",\n  \"benches\": [\n{rows}\n  ]\n}}\n",
         if cfg!(debug_assertions) { "debug" } else { "release" }
     );

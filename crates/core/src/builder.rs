@@ -134,7 +134,18 @@ pub enum BuildError {
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BuildError::Lint(r) => write!(f, "configuration rejected by static analysis:\n{r}"),
+            BuildError::Lint(r) => {
+                write!(f, "configuration rejected by static analysis:\n{r}")?;
+                if r.has_code(air_lint::Code::ExplorationCapped) {
+                    write!(
+                        f,
+                        "\nnote: the bounded exploration hit its state cap \
+                         (AIR098), so this report may be incomplete; re-run \
+                         `airlint --explore` with a larger --max-states"
+                    )?;
+                }
+                Ok(())
+            }
             BuildError::NonContiguousPartitionIds => {
                 f.write_str("partition ids must be contiguous from 0 in declaration order")
             }

@@ -49,6 +49,7 @@
 pub mod builder;
 pub mod campaign;
 pub mod cluster;
+pub mod fuzz;
 pub mod link_campaign;
 pub mod mesh;
 pub mod prototype;

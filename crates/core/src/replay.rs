@@ -22,7 +22,9 @@
 
 use std::collections::BTreeSet;
 
-use air_model::explore::{AbstractEvent, AbstractMode, AbstractState, LinkState, Witness};
+use air_model::explore::{
+    AbstractEvent, AbstractMode, AbstractState, ArqHealth, LinkState, Witness,
+};
 use air_model::partition::OperatingMode;
 use air_model::{PartitionId, ScheduleId, Ticks};
 
@@ -84,10 +86,22 @@ pub fn apply_event(system: &mut AirSystem, event: &AbstractEvent) {
         AbstractEvent::ScheduleRequest { to, .. } => {
             let _ = system.request_schedule(*to);
         }
+        // Racing requests: both land before the same MTF boundary and the
+        // scheduler's last-wins rule commits the second — exactly the
+        // abstract semantics.
+        AbstractEvent::RaceRequest { first, second, .. } => {
+            let _ = system.request_schedule(*first);
+            let _ = system.request_schedule(*second);
+        }
         AbstractEvent::PartitionFault { partition } => system.inject_partition_fault(*partition),
+        AbstractEvent::DeadlineFault { partition } => system.inject_deadline_fault(*partition),
         AbstractEvent::ModuleFault => system.inject_module_fault(),
         AbstractEvent::LinkDown => system.force_link_down(),
         AbstractEvent::LinkUp => system.force_link_up(),
+        AbstractEvent::ArqExhausted => system.inject_arq_exhaustion(),
+        AbstractEvent::ArqRecovered => system.clear_arq_exhaustion(),
+        AbstractEvent::MeshLinkDown { edge } => system.force_mesh_edge_down(*edge),
+        AbstractEvent::MeshLinkUp { edge } => system.force_mesh_edge_up(*edge),
     }
     run_past_next_mtf_boundary(system);
 }
@@ -118,10 +132,19 @@ pub fn observe_abstract_state(system: &AirSystem) -> AbstractState {
     } else {
         LinkState::Absent
     };
+    let arq = if !system.arq_tracking() {
+        ArqHealth::Absent
+    } else if system.arq_exhausted() {
+        ArqHealth::Exhausted
+    } else {
+        ArqHealth::Nominal
+    };
     AbstractState {
         schedule,
         modes,
         link,
+        arq,
+        mesh_down: system.mesh_edges_down(),
     }
 }
 
@@ -270,5 +293,57 @@ mod tests {
         let report = replay_witness(&mut system, &witness, 2);
         assert_eq!(report.final_state.mode_of(P0), AbstractMode::Running);
         assert_eq!(report.final_state.mode_of(P1), AbstractMode::Running);
+    }
+
+    #[test]
+    fn deadline_fault_is_concretely_a_self_loop() {
+        // No handler is installed, so the standard process-level
+        // classification falls back to Ignore: tuple unchanged.
+        let mut system = two_schedule_system();
+        let witness = Witness::parse("deadline(P0)").expect("parses");
+        let report = replay_witness(&mut system, &witness, 2);
+        assert_eq!(report.final_schedule, CHI0);
+        assert_eq!(report.final_state.mode_of(P0), AbstractMode::Running);
+        assert_eq!(report.final_state.mode_of(P1), AbstractMode::Running);
+    }
+
+    #[test]
+    fn arq_exhaustion_latches_and_recovery_clears() {
+        let mut system = two_schedule_system();
+        system.enable_arq_tracking();
+        assert_eq!(observe_abstract_state(&system).arq, ArqHealth::Nominal);
+        apply_event(&mut system, &AbstractEvent::ArqExhausted);
+        assert_eq!(observe_abstract_state(&system).arq, ArqHealth::Exhausted);
+        apply_event(&mut system, &AbstractEvent::ArqRecovered);
+        assert_eq!(observe_abstract_state(&system).arq, ArqHealth::Nominal);
+    }
+
+    #[test]
+    fn untracked_arq_projects_as_absent() {
+        let system = two_schedule_system();
+        assert_eq!(observe_abstract_state(&system).arq, ArqHealth::Absent);
+    }
+
+    #[test]
+    fn mesh_edges_toggle_the_projection_mask() {
+        let mut system = two_schedule_system();
+        system.configure_mesh_edges(3);
+        apply_event(&mut system, &AbstractEvent::MeshLinkDown { edge: 0 });
+        apply_event(&mut system, &AbstractEvent::MeshLinkDown { edge: 2 });
+        assert_eq!(observe_abstract_state(&system).mesh_down, 0b101);
+        apply_event(&mut system, &AbstractEvent::MeshLinkUp { edge: 0 });
+        assert_eq!(observe_abstract_state(&system).mesh_down, 0b100);
+        // Edge 7 is beyond the configured count: ignored, not latched.
+        apply_event(&mut system, &AbstractEvent::MeshLinkDown { edge: 7 });
+        assert_eq!(observe_abstract_state(&system).mesh_down, 0b100);
+    }
+
+    #[test]
+    fn racing_requests_commit_the_second_target() {
+        let mut system = two_schedule_system();
+        let witness = Witness::parse("race(P0->chi1,chi0)").expect("parses");
+        let report = replay_witness(&mut system, &witness, 2);
+        // Last request wins the MTF boundary: chi0 stays in force.
+        assert_eq!(report.final_schedule, CHI0);
     }
 }

@@ -80,6 +80,16 @@ pub struct AirSystem {
     pub(crate) nominal_schedule: Option<ScheduleId>,
     /// Whether the system is currently in link-degraded mode.
     degraded_mode: bool,
+    /// Whether ARQ health is being tracked for abstract-state projection
+    /// (set when the configuration declares an `arq` directive).
+    arq_tracking: bool,
+    /// Whether the ARQ retransmit budget is currently exhausted (latched
+    /// from `DeliveryExhausted`, cleared by transport recovery).
+    arq_exhausted: bool,
+    /// Number of mesh edges tracked for abstract-state projection.
+    mesh_edge_count: u8,
+    /// Bitmask of mesh edges currently forced down.
+    mesh_down_mask: u16,
 }
 
 impl std::fmt::Debug for AirSystem {
@@ -131,6 +141,10 @@ impl AirSystem {
             degraded_schedule: None,
             nominal_schedule: None,
             degraded_mode: false,
+            arq_tracking: false,
+            arq_exhausted: false,
+            mesh_edge_count: 0,
+            mesh_down_mask: 0,
         }
     }
 
@@ -295,6 +309,40 @@ impl AirSystem {
         self.degraded_mode
     }
 
+    /// Turns on ARQ health tracking for abstract-state projection; the
+    /// builder calls this when the configuration declares an `arq`
+    /// directive.
+    pub fn enable_arq_tracking(&mut self) {
+        self.arq_tracking = true;
+    }
+
+    /// Whether ARQ health is tracked (the abstract `arq` dimension exists).
+    pub fn arq_tracking(&self) -> bool {
+        self.arq_tracking
+    }
+
+    /// Whether the ARQ retransmit budget is currently exhausted.
+    pub fn arq_exhausted(&self) -> bool {
+        self.arq_exhausted
+    }
+
+    /// Declares how many mesh edges this node routes over, for
+    /// abstract-state projection (clamped to the explorer's edge-mask
+    /// width of 16).
+    pub fn configure_mesh_edges(&mut self, count: u8) {
+        self.mesh_edge_count = count.min(16);
+    }
+
+    /// Number of mesh edges tracked for abstract-state projection.
+    pub fn mesh_edge_count(&self) -> u8 {
+        self.mesh_edge_count
+    }
+
+    /// Bitmask of mesh edges currently forced down.
+    pub fn mesh_edges_down(&self) -> u16 {
+        self.mesh_down_mask
+    }
+
     // -- fault/link injection (witness replay) -------------------------------
 
     /// Reports a partition-scoped fault against `m` to the health monitor
@@ -366,6 +414,87 @@ impl AirSystem {
     pub fn force_link_up(&mut self) {
         let now = Ticks(self.machine.clock.now());
         self.exit_degraded_mode(now);
+    }
+
+    /// Reports a deadline miss for partition `m`'s first process through
+    /// the regular HM path — the concrete counterpart of the explorer's
+    /// abstract `deadline(P)` event. Follows the same report/trace/enforce
+    /// sequence as a miss detected by the partition abstraction layer.
+    pub fn inject_deadline_fault(&mut self, m: PartitionId) {
+        let now = Ticks(self.machine.clock.now());
+        let gpid = GlobalProcessId::new(m, ProcessId(0));
+        let decision = self.hm.report(
+            now,
+            ErrorId::DeadlineMissed,
+            ErrorSource::Process(gpid),
+            "injected deadline miss (witness replay)",
+        );
+        self.trace.record(TraceEvent::HmReport {
+            at: now,
+            error: ErrorId::DeadlineMissed,
+            partition: Some(m),
+        });
+        self.apply_decision_for(ErrorId::DeadlineMissed, decision, now);
+    }
+
+    /// Latches ARQ retransmit exhaustion as if the reliable transport had
+    /// reported `DeliveryExhausted` — the concrete counterpart of the
+    /// explorer's abstract `arq_exhausted` event. Report-only at HM level,
+    /// exactly like the real exhaustion branch.
+    pub fn inject_arq_exhaustion(&mut self) {
+        let now = Ticks(self.machine.clock.now());
+        self.hm.report(
+            now,
+            ErrorId::LinkDegraded,
+            ErrorSource::Module,
+            "injected ARQ delivery exhaustion (witness replay)",
+        );
+        self.trace.record(TraceEvent::HmReport {
+            at: now,
+            error: ErrorId::LinkDegraded,
+            partition: None,
+        });
+        self.arq_exhausted = true;
+    }
+
+    /// Clears the latched ARQ exhaustion as a transport resynchronisation
+    /// would — the concrete counterpart of the explorer's abstract
+    /// `arq_recovered` event.
+    pub fn clear_arq_exhaustion(&mut self) {
+        self.arq_exhausted = false;
+    }
+
+    /// Forces mesh edge `edge` down in the projection mask and surfaces it
+    /// as a link-degraded HM report — the concrete counterpart of the
+    /// explorer's abstract `mesh_down(e)` event. Out-of-range edges are
+    /// ignored.
+    pub fn force_mesh_edge_down(&mut self, edge: u8) {
+        if edge >= self.mesh_edge_count {
+            return;
+        }
+        let now = Ticks(self.machine.clock.now());
+        self.hm.report(
+            now,
+            ErrorId::LinkDegraded,
+            ErrorSource::Module,
+            format!("forced mesh edge {edge} down (witness replay)"),
+        );
+        self.trace.record(TraceEvent::HmReport {
+            at: now,
+            error: ErrorId::LinkDegraded,
+            partition: None,
+        });
+        self.mesh_down_mask |= 1 << edge;
+    }
+
+    /// Restores mesh edge `edge` — the concrete counterpart of the
+    /// explorer's abstract `mesh_up(e)` event. Out-of-range edges are
+    /// ignored.
+    pub fn force_mesh_edge_up(&mut self, edge: u8) {
+        if edge >= self.mesh_edge_count {
+            return;
+        }
+        self.mesh_down_mask &= !(1 << edge);
     }
 
     /// Binds console key `key` to `action`.
@@ -717,7 +846,10 @@ impl AirSystem {
                         LinkRole::Primary => self.exit_degraded_mode(now),
                     }
                 }
-                LinkTransportEvent::Recovered => self.exit_degraded_mode(now),
+                LinkTransportEvent::Recovered => {
+                    self.arq_exhausted = false;
+                    self.exit_degraded_mode(now);
+                }
                 LinkTransportEvent::DeliveryExhausted { seq } => {
                     self.hm.report(
                         now,
@@ -730,6 +862,7 @@ impl AirSystem {
                         error: ErrorId::LinkDegraded,
                         partition: None,
                     });
+                    self.arq_exhausted = true;
                 }
                 _ => {}
             }

@@ -1,7 +1,7 @@
 //! `airlint`: lint AIR configuration files from the command line.
 //!
 //! ```text
-//! airlint [--json] [--explore [--depth N]] <config.air> [more.air ...]
+//! airlint [--json] [--explore [--depth N] [--max-states M] [--workers W] [--no-por]] <config.air> [more.air ...]
 //! airlint [--json] --cluster <node_a.air> <node_b.air> [more.air ...]
 //! airlint --explain AIRnnn
 //! ```
@@ -14,8 +14,12 @@
 //!
 //! `--explore` additionally walks the mode/HM configuration graph
 //! breadth-first up to `--depth` events (default 4) and reports invariant
-//! violations (AIR081–AIR086), each carrying a replayable counterexample
-//! witness.
+//! violations (AIR081–AIR086, AIR095–AIR098), each carrying a replayable
+//! counterexample witness. `--max-states` bounds the stored state count
+//! (hitting the cap is surfaced as the AIR098 warning), `--workers` runs
+//! the sharded parallel engine with that many threads, and `--no-por`
+//! disables the partial-order reduction (useful to cross-check that the
+//! reduction changed nothing).
 //!
 //! `--explain` prints the registry entry (severity, description, example)
 //! of a diagnostic code and exits.
@@ -26,13 +30,19 @@
 
 use std::process::ExitCode;
 
-use air_lint::{lint_config_text, lint_config_text_explored, lint_mesh_config_texts, Code};
+use air_lint::{
+    lint_config_text, lint_config_text_explored_with, lint_mesh_config_texts, Code,
+    ExploreConfig,
+};
 
 /// Default exploration depth for `--explore` without `--depth`.
 const DEFAULT_DEPTH: usize = 4;
 
 fn usage() {
-    eprintln!("usage: airlint [--json] [--explore [--depth N]] <config.air>...");
+    eprintln!(
+        "usage: airlint [--json] [--explore [--depth N] [--max-states M] \
+         [--workers W] [--no-por]] <config.air>..."
+    );
     eprintln!("       airlint [--json] --cluster <node_a.air> <node_b.air> [more.air ...]");
     eprintln!("       airlint --explain AIRnnn");
 }
@@ -55,7 +65,10 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut cluster = false;
     let mut explore = false;
-    let mut depth = DEFAULT_DEPTH;
+    let mut config = ExploreConfig {
+        depth: DEFAULT_DEPTH,
+        ..ExploreConfig::default()
+    };
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,16 +76,31 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--cluster" => cluster = true,
             "--explore" => explore = true,
-            "--depth" => {
+            "--no-por" => config.por = false,
+            "--depth" | "--max-states" | "--workers" => {
                 let Some(value) = args.next() else {
-                    eprintln!("airlint: --depth needs a value");
+                    eprintln!("airlint: {arg} needs a value");
                     return ExitCode::from(2);
                 };
-                match value.parse() {
-                    Ok(n) => depth = n,
-                    Err(_) => {
-                        eprintln!("airlint: invalid depth '{value}'");
-                        return ExitCode::from(2);
+                let Ok(n) = value.parse::<usize>() else {
+                    eprintln!("airlint: invalid {arg} value '{value}'");
+                    return ExitCode::from(2);
+                };
+                match arg.as_str() {
+                    "--depth" => config.depth = n,
+                    "--max-states" => {
+                        if n == 0 {
+                            eprintln!("airlint: --max-states must be at least 1");
+                            return ExitCode::from(2);
+                        }
+                        config.max_states = n;
+                    }
+                    _ => {
+                        if n == 0 {
+                            eprintln!("airlint: --workers must be at least 1");
+                            return ExitCode::from(2);
+                        }
+                        config.workers = n;
                     }
                 }
             }
@@ -84,7 +112,10 @@ fn main() -> ExitCode {
                 return explain(&code_text);
             }
             "--help" | "-h" => {
-                println!("usage: airlint [--json] [--explore [--depth N]] <config.air>...");
+                println!(
+                    "usage: airlint [--json] [--explore [--depth N] \
+                     [--max-states M] [--workers W] [--no-por]] <config.air>..."
+                );
                 println!("       airlint [--json] --cluster <node_a.air> <node_b.air> [more.air ...]");
                 println!("       airlint --explain AIRnnn");
                 println!("exit status: 0 clean, 1 errors found, 2 usage/I/O failure");
@@ -119,7 +150,7 @@ fn main() -> ExitCode {
     let mut any_error = false;
     for (file, text) in files.iter().zip(&texts) {
         let report = if explore {
-            lint_config_text_explored(text, depth)
+            lint_config_text_explored_with(text, &config)
         } else {
             lint_config_text(text)
         };

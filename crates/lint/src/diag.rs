@@ -205,6 +205,16 @@ codes! {
         "`route N7 via=N1` in a three-node mesh with no `node N7` document"),
     MeshNodeIdentityConflict = ("AIR094", Error, "mesh node identities are missing or duplicated",
         "two documents both declare `node N1`, or one cluster member has no `node` directive"),
+    DeadlineStarvationAcrossModes = ("AIR095", Warning, "a reachable schedule cannot satisfy a partition's process deadlines",
+        "a process is schedulable under the boot schedule but a commandable mode shrinks its window below its WCET"),
+    ArqExhaustionUnrecoverable = ("AIR096", Warning, "ARQ retransmit exhaustion is reachable with no recovery path",
+        "an `arq` transport over a link with no `degraded=` schedule: exhaustion has no repair path in any reachable state"),
+    FailoverScheduleTrap = ("AIR097", Warning, "link failover stops a partition that recovery never restarts",
+        "the degraded schedule stops a running partition and the nominal schedule has no restart action for the way back"),
+    ExplorationCapped = ("AIR098", Warning, "bounded exploration hit the state cap before the requested depth",
+        "a 16-edge mesh node explored to depth 8 with `--max-states 4096`; findings may be incomplete"),
+    FuzzDivergence = ("AIR099", Error, "a fuzzed configuration diverged between abstraction and concrete replay",
+        "a minimized witness replayed on the built system lands in a different abstract state than predicted"),
 }
 
 impl fmt::Display for Code {

@@ -1,11 +1,15 @@
-//! Bounded exploration of the mode/HM configuration graph (AIR081–AIR086).
+//! Bounded exploration of the mode/HM configuration graph (AIR081–AIR086,
+//! AIR095–AIR098).
 //!
 //! The per-schedule analyses check every scheduling table in isolation; this
 //! stage checks their *composition*. The system is abstracted into the
 //! finite transition system of [`air_model::explore`] — states are (active
-//! schedule, per-partition mode, link health), events are authority schedule
-//! requests, HM faults and link failover/recovery — and explored
-//! breadth-first up to a configurable event depth. Safety invariants are
+//! schedule, per-partition mode, link health, ARQ health, mesh edge mask),
+//! events are authority schedule requests (including racing request pairs),
+//! process deadline faults, HM faults, link failover/recovery, ARQ
+//! exhaustion/resync and per-edge mesh link toggles — and explored
+//! breadth-first up to a configurable event depth by the parallel sharded
+//! engine of [`air_model::explore::search`]. Safety invariants are
 //! evaluated in every reachable state; each violation carries a
 //! counterexample [`Witness`], the minimal event sequence from boot to the
 //! bad state (BFS order guarantees minimality), in a stable text form that
@@ -23,39 +27,77 @@
 //! * **AIR085** — a schedule that fails the per-schedule verification
 //!   conditions is actually reachable;
 //! * **AIR086** — in a degraded state, no running authority holds a window:
-//!   recovery depends solely on the link coming back.
+//!   recovery depends solely on the link coming back;
+//! * **AIR095** — a reachable schedule cannot satisfy a partition's process
+//!   deadlines even though the boot schedule can (deadline starvation
+//!   *across* modes, invisible to the per-schedule AIR012 warning alone);
+//! * **AIR096** — ARQ retransmit exhaustion is reachable and no recovery
+//!   path ever resynchronises the transport;
+//! * **AIR097** — link failover stops a partition that link recovery does
+//!   not restart (the failover ratchet);
+//! * **AIR098** — the exploration hit its state cap before the requested
+//!   depth, so any "no finding" verdict is incomplete.
 //!
 //! A *recovery path* is a sequence of controllable or design-transient
-//! events: authority schedule requests plus link recovery (`link_up`).
-//! Faults are adversarial — a path that needs a module fault to heal is not
-//! a recovery path. Link recovery is included because degraded mode is
-//! transient by design (the paper's failover protocol reverts on
-//! probation); configurations whose recovery *only* hangs on the link are
-//! still surfaced via AIR086.
+//! events: authority schedule requests plus link recovery (`link_up`) and
+//! ARQ resync (`arq_recovered`). Faults are adversarial — a path that needs
+//! a module fault to heal is not a recovery path. Link recovery is included
+//! because degraded mode is transient by design (the paper's failover
+//! protocol reverts on probation); configurations whose recovery *only*
+//! hangs on the link are still surfaced via AIR086.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 
+use air_hm::{ErrorId, ErrorLevel, EscalatedProcessAction, ProcessRecoveryAction};
+use air_model::explore::search::{
+    search, SearchConfig, SearchGraph, DEFAULT_MAX_STATES,
+};
 use air_model::explore::{
-    AbstractEvent, AbstractMode, AbstractState, ExploreOptions, LinkState,
-    TransitionSystem, Witness,
+    AbstractEvent, AbstractMode, AbstractState, ArqHealth, ExploreOptions,
+    LinkState, TransitionSystem, Witness,
 };
 use air_model::schedule::ScheduleSet;
 use air_model::verify::{verify_schedule, Report};
 use air_model::{PartitionId, ScheduleId};
-use air_hm::{ErrorId, ErrorLevel};
 
 use crate::diag::{Code, Diagnostic, LintReport};
 use crate::model::SystemModel;
+use crate::temporal::unschedulable_pairs;
 
-/// Hard cap on distinct states, guarding against pathological inputs (the
-/// state space is finite but exponential in the partition count).
-const STATE_CAP: usize = 65_536;
+/// Tuning knobs for [`explore_with`]: event depth, state cap, worker count
+/// and the partial-order reduction switch. Mirrors `airlint --explore
+/// --depth N --max-states M --workers W [--no-por]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Maximum number of events in an explored path.
+    pub depth: usize,
+    /// Bound on stored states; hitting it raises AIR098.
+    pub max_states: usize,
+    /// Worker threads for the parallel BFS (the calling thread is worker 0).
+    pub workers: usize,
+    /// Whether the partial-order reduction prunes commuting interleavings.
+    pub por: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            depth: 4,
+            max_states: DEFAULT_MAX_STATES,
+            workers: 1,
+            por: true,
+        }
+    }
+}
 
 /// One invariant violation with its replayable path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counterexample {
     /// The diagnostic code of the violated invariant.
     pub code: Code,
+    /// The dedup subject (a partition or schedule id, or 0), used by
+    /// [`minimize_witness`] to re-identify the violation.
+    pub subject: u32,
     /// Minimal event sequence from boot to the violating state.
     pub witness: Witness,
     /// The full diagnostic message.
@@ -69,6 +111,8 @@ pub struct Exploration {
     pub depth: usize,
     /// Number of distinct abstract states reached within the depth.
     pub states_explored: usize,
+    /// Whether the state cap truncated the search (also raised as AIR098).
+    pub cap_hit: bool,
     /// The invariant findings, sorted into presentation order.
     pub report: LintReport,
     /// The findings again, each paired with its witness, for programmatic
@@ -89,28 +133,67 @@ impl Exploration {
     }
 }
 
-/// Explores `model`'s mode/HM configuration graph up to `depth` events and
-/// checks the invariants in every reachable state.
+/// Explores `model`'s mode/HM configuration graph up to `depth` events with
+/// the default engine settings. See [`explore_with`].
+pub fn explore(model: &SystemModel, depth: usize) -> Exploration {
+    explore_with(
+        model,
+        &ExploreConfig {
+            depth,
+            ..ExploreConfig::default()
+        },
+    )
+}
+
+/// Explores `model`'s mode/HM configuration graph and checks the invariants
+/// in every reachable state.
 ///
 /// Structural preconditions (a non-empty, duplicate-free schedule set) are
 /// the province of the static analyses; when they fail, exploration returns
 /// an empty report rather than duplicating their findings.
-pub fn explore(model: &SystemModel, depth: usize) -> Exploration {
-    let Some(ts) = transition_system(model) else {
+pub fn explore_with(model: &SystemModel, config: &ExploreConfig) -> Exploration {
+    let Some(ts) = transition_system_for(model) else {
         return Exploration {
-            depth,
+            depth: config.depth,
             states_explored: 0,
+            cap_hit: false,
             report: LintReport::new(),
             counterexamples: Vec::new(),
             reachable_schedule_violations: 0,
         };
     };
-    let graph = bfs(&ts, depth);
+    let graph = search(
+        &ts,
+        &SearchConfig {
+            depth: config.depth,
+            max_states: config.max_states,
+            workers: config.workers,
+            por: config.por,
+        },
+    );
+    let ctx = InvariantCtx::new(model, &ts, config.max_states);
     let mut findings = Findings::default();
-    check_states(&ts, &graph, &mut findings);
+    check_states(&ctx, &graph, &mut findings);
+    check_failover_traps(&ctx, &graph, &mut findings);
     check_restart_loops(&ts, &graph, &mut findings);
     let reachable_schedule_violations =
         check_reachable_schedules(model, &ts, &graph, &mut findings);
+    if graph.cap_hit {
+        findings.push(
+            Code::ExplorationCapped,
+            0,
+            Witness::default(),
+            format!(
+                "exploration hit the state cap of {} ({} states kept, {} \
+                 frontier states pending, {} successors dropped); findings \
+                 may be incomplete — raise --max-states",
+                config.max_states,
+                graph.states.len(),
+                graph.frontier_at_cap,
+                graph.dropped_states
+            ),
+        );
+    }
 
     let mut report = LintReport::new();
     for c in &findings.counterexamples {
@@ -118,8 +201,9 @@ pub fn explore(model: &SystemModel, depth: usize) -> Exploration {
     }
     report.finish();
     Exploration {
-        depth,
+        depth: config.depth,
         states_explored: graph.states.len(),
+        cap_hit: graph.cap_hit,
         report,
         counterexamples: findings.counterexamples,
         reachable_schedule_violations,
@@ -128,7 +212,10 @@ pub fn explore(model: &SystemModel, depth: usize) -> Exploration {
 
 /// Builds the abstract transition system from the analysable snapshot, or
 /// `None` when the snapshot is structurally unfit for exploration.
-fn transition_system(model: &SystemModel) -> Option<TransitionSystem> {
+///
+/// Public so the fuzz farm (`air-core`) can cross-validate abstract
+/// predictions against concrete replay.
+pub fn transition_system_for(model: &SystemModel) -> Option<TransitionSystem> {
     let schedules = ScheduleSet::try_new(model.schedules.clone()).ok()?;
     let partitions: Vec<PartitionId> =
         model.partitions.iter().map(|p| p.id()).collect();
@@ -147,6 +234,9 @@ fn transition_system(model: &SystemModel) -> Option<TransitionSystem> {
         degraded_schedule: degraded,
         module_faults: module_faults_possible(model),
         partition_faults: partition_faults_possible(model),
+        deadline_faults: deadline_fault_partitions(model),
+        arq: model.arq.is_some() && model.link.is_some(),
+        mesh_edges: mesh_edge_count(model),
     };
     TransitionSystem::new(schedules, partitions, authorities, options).ok()
 }
@@ -180,97 +270,112 @@ fn partition_faults_possible(model: &SystemModel) -> bool {
     }
 }
 
-/// One discovered transition (both endpoints are explored states).
-struct Edge {
-    from: usize,
-    event: AbstractEvent,
-    restarted: Vec<PartitionId>,
-    to: usize,
+/// Partitions whose processes can miss deadlines as abstract self-loops:
+/// those with at least one declared process whose effective
+/// `deadline_missed` recovery cannot stop the partition (a stop would
+/// change the abstract tuple, breaking the self-loop soundness).
+fn deadline_fault_partitions(model: &SystemModel) -> Vec<PartitionId> {
+    let mut with_processes: Vec<PartitionId> =
+        model.processes.iter().map(|(p, _)| *p).collect();
+    with_processes.sort_unstable();
+    with_processes.dedup();
+    with_processes.retain(|&p| {
+        let handler = model
+            .handlers
+            .iter()
+            .find(|(hp, err, _)| *hp == p && *err == ErrorId::DeadlineMissed)
+            .map(|(_, _, action)| action);
+        !matches!(
+            handler,
+            Some(ProcessRecoveryAction::StopPartition)
+                | Some(ProcessRecoveryAction::LogThenAct {
+                    then: EscalatedProcessAction::StopPartition,
+                    ..
+                })
+        )
+    });
+    with_processes
 }
 
-/// The explored portion of the configuration graph.
-struct Graph {
-    /// Distinct states, in BFS discovery order.
-    states: Vec<AbstractState>,
-    /// Parent pointers for witness reconstruction (`None` for the root).
-    parents: Vec<Option<(usize, AbstractEvent)>>,
-    /// Every transition discovered while expanding states.
-    edges: Vec<Edge>,
+/// The number of distinct next-hop mesh edges this node routes over.
+fn mesh_edge_count(model: &SystemModel) -> u8 {
+    let mut vias: Vec<_> = model.routes.iter().map(|r| r.via).collect();
+    vias.sort_unstable();
+    vias.dedup();
+    vias.len()
+        .min(air_model::explore::MAX_MESH_EDGES as usize) as u8
 }
 
-impl Graph {
-    /// The minimal event sequence from the root to state `idx`.
-    fn witness_of(&self, idx: usize) -> Witness {
-        let mut events = Vec::new();
-        let mut at = idx;
-        while let Some((parent, event)) = self.parents[at] {
-            events.push(event);
-            at = parent;
+/// Precomputed facts shared by the per-state invariant checks and the
+/// witness minimizer.
+struct InvariantCtx<'a> {
+    ts: &'a TransitionSystem,
+    /// Partitions that require time under at least one schedule.
+    time_requiring: BTreeSet<PartitionId>,
+    /// `(schedule, partition)` pairs failing the supply-bound test.
+    unschedulable: BTreeSet<(ScheduleId, PartitionId)>,
+    /// Schedules failing the per-schedule verification conditions.
+    unclean_schedules: BTreeSet<ScheduleId>,
+    boot: ScheduleId,
+    multiple_schedules: bool,
+    has_authorities: bool,
+    /// Cap on recovery-closure sizes (mirrors the search cap).
+    closure_cap: usize,
+}
+
+impl<'a> InvariantCtx<'a> {
+    fn new(
+        model: &SystemModel,
+        ts: &'a TransitionSystem,
+        closure_cap: usize,
+    ) -> Self {
+        let time_requiring: BTreeSet<PartitionId> = ts
+            .schedules()
+            .iter()
+            .flat_map(|s| {
+                s.requirements()
+                    .iter()
+                    .filter(|q| !q.duration.is_zero())
+                    .map(|q| q.partition)
+            })
+            .collect();
+        let unclean_schedules: BTreeSet<ScheduleId> = ts
+            .schedules()
+            .iter()
+            .filter(|s| !verify_schedule(s, &model.partitions).is_ok())
+            .map(|s| s.id())
+            .collect();
+        Self {
+            ts,
+            time_requiring,
+            unschedulable: unschedulable_pairs(model),
+            unclean_schedules,
+            boot: ts.schedules().initial().id(),
+            multiple_schedules: ts.schedules().len() > 1,
+            has_authorities: !ts.authorities().is_empty(),
+            closure_cap: closure_cap.max(1),
         }
-        events.reverse();
-        Witness { events }
     }
-}
-
-/// Breadth-first exploration up to `depth` events.
-fn bfs(ts: &TransitionSystem, depth: usize) -> Graph {
-    let root = ts.initial_state();
-    let mut graph = Graph {
-        states: vec![root.clone()],
-        parents: vec![None],
-        edges: Vec::new(),
-    };
-    let mut index: BTreeMap<AbstractState, usize> = BTreeMap::new();
-    index.insert(root, 0);
-    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
-    queue.push_back((0, 0));
-
-    while let Some((at, dist)) = queue.pop_front() {
-        if dist == depth {
-            continue;
-        }
-        let state = graph.states[at].clone();
-        for event in ts.enabled_events(&state) {
-            let Some(t) = ts.step(&state, event) else {
-                continue;
-            };
-            let to = match index.get(&t.state) {
-                Some(&known) => known,
-                None => {
-                    if graph.states.len() >= STATE_CAP {
-                        continue;
-                    }
-                    let fresh = graph.states.len();
-                    graph.states.push(t.state.clone());
-                    graph.parents.push(Some((at, event)));
-                    index.insert(t.state, fresh);
-                    queue.push_back((fresh, dist + 1));
-                    fresh
-                }
-            };
-            graph.edges.push(Edge {
-                from: at,
-                event,
-                restarted: t.restarted,
-                to,
-            });
-        }
-    }
-    graph
 }
 
 /// States reachable from `start` along recovery paths: authority schedule
-/// requests plus link recovery. Faults are adversarial and excluded.
-fn recovery_closure(ts: &TransitionSystem, start: &AbstractState) -> Vec<AbstractState> {
+/// requests plus link recovery and ARQ resync. Faults are adversarial and
+/// excluded; mesh edge toggles are environmental and gate no invariant.
+fn recovery_closure(
+    ts: &TransitionSystem,
+    start: &AbstractState,
+    cap: usize,
+) -> Vec<AbstractState> {
     let mut seen: BTreeSet<AbstractState> = BTreeSet::new();
     seen.insert(start.clone());
-    let mut queue: VecDeque<AbstractState> = VecDeque::new();
-    queue.push_back(start.clone());
-    while let Some(state) = queue.pop_front() {
+    let mut queue: Vec<AbstractState> = vec![start.clone()];
+    while let Some(state) = queue.pop() {
         for event in ts.enabled_events(&state) {
             let controllable = matches!(
                 event,
-                AbstractEvent::ScheduleRequest { .. } | AbstractEvent::LinkUp
+                AbstractEvent::ScheduleRequest { .. }
+                    | AbstractEvent::LinkUp
+                    | AbstractEvent::ArqRecovered
             );
             if !controllable {
                 continue;
@@ -278,8 +383,8 @@ fn recovery_closure(ts: &TransitionSystem, start: &AbstractState) -> Vec<Abstrac
             let Some(t) = ts.step(&state, event) else {
                 continue;
             };
-            if seen.len() < STATE_CAP && seen.insert(t.state.clone()) {
-                queue.push_back(t.state);
+            if seen.len() < cap && seen.insert(t.state.clone()) {
+                queue.push(t.state);
             }
         }
     }
@@ -311,6 +416,7 @@ impl Findings {
         if self.flagged.insert((code, subject)) {
             self.counterexamples.push(Counterexample {
                 code,
+                subject,
                 witness,
                 message,
             });
@@ -319,37 +425,29 @@ impl Findings {
 }
 
 /// Per-state invariants: starvation (AIR081), lost authority (AIR082),
-/// unrecoverable stops (AIR083), degraded traps (AIR086).
-fn check_states(
-    ts: &TransitionSystem,
-    graph: &Graph,
-    findings: &mut Findings,
-) {
-    // Partitions that require time under at least one schedule.
-    let time_requiring: BTreeSet<PartitionId> = ts
-        .schedules()
-        .iter()
-        .flat_map(|s| {
-            s.requirements()
-                .iter()
-                .filter(|q| !q.duration.is_zero())
-                .map(|q| q.partition)
-        })
-        .collect();
-    let multiple_schedules = ts.schedules().len() > 1;
-    let has_authorities = !ts.authorities().is_empty();
-
+/// unrecoverable stops (AIR083), degraded traps (AIR086), cross-mode
+/// deadline starvation (AIR095) and unrecoverable ARQ exhaustion (AIR096).
+fn check_states(ctx: &InvariantCtx<'_>, graph: &SearchGraph, findings: &mut Findings) {
+    let ts = ctx.ts;
     for (idx, state) in graph.states.iter().enumerate() {
         // Computed lazily: most states need no closure at all.
         let mut cached: Option<Vec<AbstractState>> = None;
+        let closure_of = |state: &AbstractState,
+                              cached: &mut Option<Vec<AbstractState>>|
+         -> Vec<AbstractState> {
+            cached
+                .get_or_insert_with(|| {
+                    recovery_closure(ts, state, ctx.closure_cap)
+                })
+                .clone()
+        };
 
         for &p in ts.partitions() {
             let starved = state.mode_of(p) == AbstractMode::Running
-                && time_requiring.contains(&p)
+                && ctx.time_requiring.contains(&p)
                 && !ts.has_window(state.schedule, p);
             if starved {
-                let closure = cached
-                    .get_or_insert_with(|| recovery_closure(ts, state));
+                let closure = closure_of(state, &mut cached);
                 if !closure.iter().any(|s| has_service(ts, s, p)) {
                     findings.push(
                         Code::ModeStarvation,
@@ -366,8 +464,7 @@ fn check_states(
                 }
             }
             if state.mode_of(p) == AbstractMode::Stopped {
-                let closure = cached
-                    .get_or_insert_with(|| recovery_closure(ts, state));
+                let closure = closure_of(state, &mut cached);
                 if !closure
                     .iter()
                     .any(|s| s.mode_of(p) == AbstractMode::Running)
@@ -384,9 +481,53 @@ fn check_states(
                     );
                 }
             }
+            // AIR095: this state's schedule cannot satisfy p's process
+            // deadlines, while the boot schedule can — so a mode change
+            // (not the task set itself) starves the deadlines.
+            if state.mode_of(p) == AbstractMode::Running
+                && state.schedule != ctx.boot
+                && ctx.unschedulable.contains(&(state.schedule, p))
+                && !ctx.unschedulable.contains(&(ctx.boot, p))
+            {
+                findings.push(
+                    Code::DeadlineStarvationAcrossModes,
+                    p.as_u32(),
+                    graph.witness_of(idx),
+                    format!(
+                        "processes of {p} are schedulable under boot \
+                         schedule {} but may miss deadlines under reachable \
+                         schedule {}; reachable via: {}",
+                        ctx.boot,
+                        state.schedule,
+                        graph.witness_of(idx).render()
+                    ),
+                );
+            }
         }
 
-        if multiple_schedules && has_authorities && !has_command(ts, state) {
+        // AIR096: exhausted ARQ with no resync on any recovery path.
+        if state.arq == ArqHealth::Exhausted {
+            let closure = closure_of(state, &mut cached);
+            if !closure.iter().any(|s| s.arq == ArqHealth::Nominal) {
+                findings.push(
+                    Code::ArqExhaustionUnrecoverable,
+                    0,
+                    graph.witness_of(idx),
+                    format!(
+                        "the ARQ retransmit budget can be exhausted with no \
+                         recovery path that resynchronises the transport; \
+                         reachable via: {}; bind a degraded schedule to the \
+                         link so exhaustion has a repair path",
+                        graph.witness_of(idx).render()
+                    ),
+                );
+            }
+        }
+
+        if ctx.multiple_schedules
+            && ctx.has_authorities
+            && !has_command(ts, state)
+        {
             if let LinkState::Degraded { nominal } = state.link {
                 findings.push(
                     Code::DegradedScheduleTrap,
@@ -402,8 +543,7 @@ fn check_states(
                     ),
                 );
             } else {
-                let closure = cached
-                    .get_or_insert_with(|| recovery_closure(ts, state));
+                let closure = closure_of(state, &mut cached);
                 if !closure.iter().any(|s| has_command(ts, s)) {
                     findings.push(
                         Code::AuthorityLostAcrossModes,
@@ -423,12 +563,57 @@ fn check_states(
     }
 }
 
+/// AIR097: a `link_down` edge stops a partition that the matching
+/// `link_up` does not restart — the failover ratchets the partition off.
+fn check_failover_traps(
+    ctx: &InvariantCtx<'_>,
+    graph: &SearchGraph,
+    findings: &mut Findings,
+) {
+    let ts = ctx.ts;
+    for edge in &graph.edges {
+        if edge.event != AbstractEvent::LinkDown {
+            continue;
+        }
+        let before = &graph.states[edge.from];
+        let after = &graph.states[edge.to];
+        for &p in ts.partitions() {
+            if before.mode_of(p) != AbstractMode::Running
+                || after.mode_of(p) != AbstractMode::Stopped
+            {
+                continue;
+            }
+            let Some(recovered) = ts.step(after, AbstractEvent::LinkUp) else {
+                continue;
+            };
+            if recovered.state.mode_of(p) == AbstractMode::Stopped {
+                let mut witness = graph.witness_of(edge.to);
+                witness.events.push(AbstractEvent::LinkUp);
+                let rendered = witness.render();
+                findings.push(
+                    Code::FailoverScheduleTrap,
+                    p.as_u32(),
+                    witness,
+                    format!(
+                        "link failover into {} stops partition {p}, and link \
+                         recovery back to {} does not restart it; the \
+                         failover ratchets the partition off: {rendered}; \
+                         add a restart action for {p} to the nominal \
+                         schedule",
+                        after.schedule, recovered.state.schedule
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// AIR084: a cycle of commanded schedule switches that restarts the same
 /// partition on every lap.
-fn check_restart_loops(ts: &TransitionSystem, graph: &Graph, findings: &mut Findings) {
+fn check_restart_loops(ts: &TransitionSystem, graph: &SearchGraph, findings: &mut Findings) {
     for &p in ts.partitions() {
         // Subgraph of commanded-switch edges that restart `p`.
-        let edges: Vec<&Edge> = graph
+        let edges: Vec<&air_model::explore::search::SearchEdge> = graph
             .edges
             .iter()
             .filter(|e| {
@@ -462,10 +647,15 @@ fn check_restart_loops(ts: &TransitionSystem, graph: &Graph, findings: &mut Find
 
 /// Finds a directed cycle in `edges` (indices into a `node_count`-node
 /// graph), returning its edge sequence, or `None`.
-fn find_cycle<'e>(node_count: usize, edges: &[&'e Edge]) -> Option<Vec<&'e Edge>> {
+fn find_cycle<'e>(
+    node_count: usize,
+    edges: &[&'e air_model::explore::search::SearchEdge],
+) -> Option<Vec<&'e air_model::explore::search::SearchEdge>> {
+    use air_model::explore::search::SearchEdge;
     // Iterative DFS with an explicit path stack; the subgraphs here are
     // tiny (commanded switches only), so clarity wins over asymptotics.
-    let mut adjacency: BTreeMap<usize, Vec<&Edge>> = BTreeMap::new();
+    let mut adjacency: std::collections::BTreeMap<usize, Vec<&SearchEdge>> =
+        std::collections::BTreeMap::new();
     for e in edges {
         adjacency.entry(e.from).or_default().push(e);
     }
@@ -474,7 +664,7 @@ fn find_cycle<'e>(node_count: usize, edges: &[&'e Edge]) -> Option<Vec<&'e Edge>
         if visited[start] {
             continue;
         }
-        let mut path: Vec<&Edge> = Vec::new();
+        let mut path: Vec<&SearchEdge> = Vec::new();
         let mut on_path = vec![false; node_count];
         // Each stack entry is (node, next adjacency position to try).
         let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
@@ -493,7 +683,7 @@ fn find_cycle<'e>(node_count: usize, edges: &[&'e Edge]) -> Option<Vec<&'e Edge>
                     if on_path[edge.to] {
                         // Back edge: the cycle is the path suffix from
                         // `edge.to`, closed by `edge`.
-                        let mut cycle: Vec<&Edge> = path
+                        let mut cycle: Vec<&SearchEdge> = path
                             .iter()
                             .skip_while(|e| e.from != edge.to)
                             .copied()
@@ -526,10 +716,11 @@ fn find_cycle<'e>(node_count: usize, edges: &[&'e Edge]) -> Option<Vec<&'e Edge>
 fn check_reachable_schedules(
     model: &SystemModel,
     ts: &TransitionSystem,
-    graph: &Graph,
+    graph: &SearchGraph,
     findings: &mut Findings,
 ) -> usize {
-    let mut first_reached: BTreeMap<ScheduleId, usize> = BTreeMap::new();
+    let mut first_reached: std::collections::BTreeMap<ScheduleId, usize> =
+        std::collections::BTreeMap::new();
     for (idx, state) in graph.states.iter().enumerate() {
         first_reached.entry(state.schedule).or_insert(idx);
     }
@@ -563,6 +754,150 @@ fn check_reachable_schedules(
     merged.violations().len()
 }
 
+/// Greedy drop-one minimization of a counterexample witness.
+///
+/// Each event is tentatively removed; if the shortened sequence still steps
+/// through the transition system and its final state still violates the
+/// counterexample's `(code, subject)`, the removal sticks and the scan
+/// restarts. BFS witnesses are already length-minimal, but fuzz-farm and
+/// cap-limited witnesses can carry redundant events. Codes whose violation
+/// is not a single-state predicate (AIR084, AIR098, AIR099) are returned
+/// unchanged.
+pub fn minimize_witness(model: &SystemModel, cx: &Counterexample) -> Witness {
+    minimize_witness_with(model, cx, &ExploreConfig::default())
+}
+
+/// [`minimize_witness`] with an explicit engine configuration (the closure
+/// cap is taken from `config.max_states`).
+pub fn minimize_witness_with(
+    model: &SystemModel,
+    cx: &Counterexample,
+    config: &ExploreConfig,
+) -> Witness {
+    let Some(ts) = transition_system_for(model) else {
+        return cx.witness.clone();
+    };
+    let ctx = InvariantCtx::new(model, &ts, config.max_states);
+    if !violation_is_state_predicate(cx.code)
+        || !replays_to_violation(&ctx, &cx.witness.events, cx.code, cx.subject)
+    {
+        return cx.witness.clone();
+    }
+    let mut events = cx.witness.events.clone();
+    let mut i = 0;
+    while i < events.len() {
+        let mut trimmed = events.clone();
+        trimmed.remove(i);
+        if replays_to_violation(&ctx, &trimmed, cx.code, cx.subject) {
+            events = trimmed;
+            i = 0;
+        } else {
+            i += 1;
+        }
+    }
+    Witness { events }
+}
+
+fn violation_is_state_predicate(code: Code) -> bool {
+    matches!(
+        code,
+        Code::ModeStarvation
+            | Code::AuthorityLostAcrossModes
+            | Code::StoppedPartitionUnrecoverable
+            | Code::ReachableScheduleUnclean
+            | Code::DegradedScheduleTrap
+            | Code::DeadlineStarvationAcrossModes
+            | Code::ArqExhaustionUnrecoverable
+            | Code::FailoverScheduleTrap
+    )
+}
+
+fn replays_to_violation(
+    ctx: &InvariantCtx<'_>,
+    events: &[AbstractEvent],
+    code: Code,
+    subject: u32,
+) -> bool {
+    let mut state = ctx.ts.initial_state();
+    for &event in events {
+        match ctx.ts.step(&state, event) {
+            Some(t) => state = t.state,
+            None => return false,
+        }
+    }
+    state_violates(ctx, &state, code, subject)
+}
+
+/// Whether `state` exhibits the violation `(code, subject)` — the same
+/// predicates as [`check_states`], keyed for the minimizer.
+fn state_violates(
+    ctx: &InvariantCtx<'_>,
+    state: &AbstractState,
+    code: Code,
+    subject: u32,
+) -> bool {
+    let ts = ctx.ts;
+    match code {
+        Code::ModeStarvation => {
+            let p = PartitionId(subject);
+            state.mode_of(p) == AbstractMode::Running
+                && ctx.time_requiring.contains(&p)
+                && !ts.has_window(state.schedule, p)
+                && !recovery_closure(ts, state, ctx.closure_cap)
+                    .iter()
+                    .any(|s| has_service(ts, s, p))
+        }
+        Code::StoppedPartitionUnrecoverable => {
+            let p = PartitionId(subject);
+            state.mode_of(p) == AbstractMode::Stopped
+                && !recovery_closure(ts, state, ctx.closure_cap)
+                    .iter()
+                    .any(|s| s.mode_of(p) == AbstractMode::Running)
+        }
+        Code::AuthorityLostAcrossModes => {
+            ctx.multiple_schedules
+                && ctx.has_authorities
+                && !has_command(ts, state)
+                && !matches!(state.link, LinkState::Degraded { .. })
+                && !recovery_closure(ts, state, ctx.closure_cap)
+                    .iter()
+                    .any(|s| has_command(ts, s))
+        }
+        Code::DegradedScheduleTrap => {
+            ctx.multiple_schedules
+                && ctx.has_authorities
+                && state.schedule.as_u32() == subject
+                && matches!(state.link, LinkState::Degraded { .. })
+                && !has_command(ts, state)
+        }
+        Code::ReachableScheduleUnclean => {
+            state.schedule.as_u32() == subject
+                && ctx.unclean_schedules.contains(&state.schedule)
+        }
+        Code::DeadlineStarvationAcrossModes => {
+            let p = PartitionId(subject);
+            state.mode_of(p) == AbstractMode::Running
+                && state.schedule != ctx.boot
+                && ctx.unschedulable.contains(&(state.schedule, p))
+                && !ctx.unschedulable.contains(&(ctx.boot, p))
+        }
+        Code::ArqExhaustionUnrecoverable => {
+            state.arq == ArqHealth::Exhausted
+                && !recovery_closure(ts, state, ctx.closure_cap)
+                    .iter()
+                    .any(|s| s.arq == ArqHealth::Nominal)
+        }
+        Code::FailoverScheduleTrap => {
+            // The witness ends after the failed `link_up`: the partition is
+            // still stopped although the link is back.
+            let p = PartitionId(subject);
+            state.mode_of(p) == AbstractMode::Stopped
+                && state.link == LinkState::Nominal
+        }
+        _ => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,6 +906,11 @@ mod tests {
     fn explored(text: &str, depth: usize) -> Exploration {
         let doc = air_tools::config::parse(text).expect("config parses");
         explore(&SystemModel::from_config(&doc), depth)
+    }
+
+    fn model_of(text: &str) -> SystemModel {
+        let doc = air_tools::config::parse(text).expect("config parses");
+        SystemModel::from_config(&doc)
     }
 
     /// The seeded bad configuration of the acceptance criteria: per-schedule
@@ -784,13 +1124,216 @@ schedule chi2 name=c mtf=100
     }
 
     #[test]
-    fn single_schedule_full_system_is_explorer_clean() {
+    fn full_system_example_is_explorer_clean_and_nondegenerate() {
         let text = std::fs::read_to_string(
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/full_system.air"),
         )
         .expect("example readable");
         let ex = explored(&text, 3);
         assert!(ex.report.is_empty(), "{}", ex.report);
-        assert!(ex.states_explored >= 1);
+        assert!(
+            ex.states_explored > 16,
+            "the benchmark example must exercise the checker, got {}",
+            ex.states_explored
+        );
+    }
+
+    /// A second schedule that shrinks P1's supply below its WCET: AIR012
+    /// flags the pair statically, AIR095 flags that the mode is reachable.
+    const CROSS_MODE_DEADLINE: &str = "\
+partition P0 name=AOCS authority=true
+partition P1 name=SCIENCE
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=20
+  require P1 cycle=100 duration=60
+  window P0 offset=0 duration=20
+  window P1 offset=20 duration=60
+schedule chi1 name=comms mtf=100
+  require P0 cycle=100 duration=20
+  require P1 cycle=100 duration=10
+  window P0 offset=0 duration=20
+  window P1 offset=20 duration=10
+process P1 name=filter period=100 deadline=100 wcet=50 priority=1
+";
+
+    #[test]
+    fn cross_mode_deadline_starvation_is_air095() {
+        let ex = explored(CROSS_MODE_DEADLINE, 2);
+        assert!(
+            ex.report.has_code(Code::DeadlineStarvationAcrossModes),
+            "{}",
+            ex.report
+        );
+        assert!(!ex.report.has_errors(), "{}", ex.report);
+        let witness = ex
+            .witness_for(Code::DeadlineStarvationAcrossModes)
+            .expect("witness");
+        assert_eq!(witness.render(), "request(P0->chi1)");
+    }
+
+    #[test]
+    fn arq_without_degraded_schedule_is_air096() {
+        let text = "\
+partition P0 name=OBDH authority=true
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=80
+  window P0 offset=0 duration=80
+queuing P0 name=tm dir=source size=64 depth=8
+link primary_latency=3 secondary_latency=6 failover_threshold=2
+arq window=8 timeout=24
+channel 50 from=P0:tm to=remote:P0:tm
+";
+        let ex = explored(text, 2);
+        assert!(
+            ex.report.has_code(Code::ArqExhaustionUnrecoverable),
+            "{}",
+            ex.report
+        );
+        let witness = ex
+            .witness_for(Code::ArqExhaustionUnrecoverable)
+            .expect("witness");
+        assert_eq!(witness.render(), "arq_exhausted");
+    }
+
+    #[test]
+    fn arq_with_degraded_schedule_recovers() {
+        let text = "\
+partition P0 name=OBDH authority=true
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=80
+  window P0 offset=0 duration=80
+schedule chi1 name=degraded mtf=100
+  require P0 cycle=100 duration=80
+  window P0 offset=0 duration=80
+queuing P0 name=tm dir=source size=64 depth=8
+link primary_latency=3 secondary_latency=6 failover_threshold=2 degraded=chi1
+arq window=8 timeout=24
+channel 50 from=P0:tm to=remote:P0:tm
+";
+        let ex = explored(text, 3);
+        assert!(
+            !ex.report.has_code(Code::ArqExhaustionUnrecoverable),
+            "{}",
+            ex.report
+        );
+    }
+
+    #[test]
+    fn failover_stop_without_restart_is_air097() {
+        let text = "\
+partition P0 name=CMD authority=true
+partition P1 name=PAYLOAD
+schedule chi0 name=ops mtf=100
+  require P0 cycle=100 duration=40
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+  window P1 offset=40 duration=40
+schedule chi1 name=degraded mtf=100
+  require P0 cycle=100 duration=40
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+  window P1 offset=40 duration=40
+  action P1 stop
+schedule chi2 name=recover mtf=100
+  require P0 cycle=100 duration=40
+  require P1 cycle=100 duration=40
+  window P0 offset=0 duration=40
+  window P1 offset=40 duration=40
+  action P1 warm_restart
+link primary_latency=3 secondary_latency=6 degraded=chi1
+";
+        let ex = explored(text, 3);
+        assert!(
+            ex.report.has_code(Code::FailoverScheduleTrap),
+            "{}",
+            ex.report
+        );
+        // chi2 restarts P1 on command, so the stop is not unrecoverable.
+        assert!(
+            !ex.report.has_code(Code::StoppedPartitionUnrecoverable),
+            "{}",
+            ex.report
+        );
+        let witness = ex
+            .witness_for(Code::FailoverScheduleTrap)
+            .expect("witness");
+        assert_eq!(witness.render(), "link_down; link_up");
+    }
+
+    #[test]
+    fn state_cap_raises_air098_with_counts() {
+        let ex_capped = {
+            let model = model_of(STARVATION);
+            explore_with(
+                &model,
+                &ExploreConfig {
+                    depth: 3,
+                    max_states: 1,
+                    ..ExploreConfig::default()
+                },
+            )
+        };
+        assert!(ex_capped.cap_hit);
+        assert!(
+            ex_capped.report.has_code(Code::ExplorationCapped),
+            "{}",
+            ex_capped.report
+        );
+        assert_eq!(ex_capped.states_explored, 1);
+        // An uncapped run of the same system stays AIR098-free.
+        let ex_free = explored(STARVATION, 3);
+        assert!(!ex_free.cap_hit);
+        assert!(!ex_free.report.has_code(Code::ExplorationCapped));
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential() {
+        for workers in [2, 4] {
+            let model = model_of(STARVATION);
+            let seq = explore_with(
+                &model,
+                &ExploreConfig { depth: 3, ..ExploreConfig::default() },
+            );
+            let par = explore_with(
+                &model,
+                &ExploreConfig {
+                    depth: 3,
+                    workers,
+                    ..ExploreConfig::default()
+                },
+            );
+            assert_eq!(seq.states_explored, par.states_explored);
+            assert_eq!(seq.counterexamples, par.counterexamples);
+        }
+    }
+
+    #[test]
+    fn minimizer_drops_redundant_events() {
+        let model = model_of(STARVATION);
+        // Hand-build a counterexample padded with fault self-loops at boot.
+        let padded = Witness::parse(
+            "fault(P0); module_fault; fault(P1); request(P0->chi1)",
+        )
+        .expect("parses");
+        let cx = Counterexample {
+            code: Code::ModeStarvation,
+            subject: 0,
+            witness: padded,
+            message: String::new(),
+        };
+        let minimized = minimize_witness(&model, &cx);
+        assert_eq!(minimized.render(), "request(P0->chi1)");
+    }
+
+    #[test]
+    fn minimizer_returns_unsupported_witnesses_unchanged() {
+        let model = model_of(STARVATION);
+        let cx = Counterexample {
+            code: Code::ExplorationCapped,
+            subject: 0,
+            witness: Witness::parse("module_fault").expect("parses"),
+            message: String::new(),
+        };
+        assert_eq!(minimize_witness(&model, &cx), cx.witness);
     }
 }

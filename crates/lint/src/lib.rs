@@ -65,7 +65,10 @@ mod temporal;
 mod transport;
 
 pub use diag::{Code, Diagnostic, LintReport, Severity};
-pub use explore::{explore, Counterexample, Exploration};
+pub use explore::{
+    explore, explore_with, minimize_witness, minimize_witness_with,
+    transition_system_for, Counterexample, Exploration, ExploreConfig,
+};
 pub use model::SystemModel;
 
 /// Runs every analysis over `model` and returns the sorted report.
@@ -153,11 +156,23 @@ pub fn lint_mesh_config_texts<T: AsRef<str>>(texts: &[T]) -> LintReport {
 }
 
 /// Runs every static analysis plus a bounded mode/HM exploration
-/// (`explore.rs`, AIR081–AIR086) to `depth` events, returning one merged,
-/// sorted report.
+/// (`explore.rs`, AIR081–AIR086 and AIR095–AIR098) to `depth` events,
+/// returning one merged, sorted report.
 pub fn lint_explored(model: &SystemModel, depth: usize) -> LintReport {
+    lint_explored_with(
+        model,
+        &ExploreConfig {
+            depth,
+            ..ExploreConfig::default()
+        },
+    )
+}
+
+/// [`lint_explored`] with explicit exploration settings (state cap, worker
+/// count, partial-order reduction).
+pub fn lint_explored_with(model: &SystemModel, config: &ExploreConfig) -> LintReport {
     let mut report = lint(model);
-    for d in explore::explore(model, depth).report.diagnostics() {
+    for d in explore::explore_with(model, config).report.diagnostics() {
         report.push(d.clone());
     }
     report.finish();
@@ -167,8 +182,19 @@ pub fn lint_explored(model: &SystemModel, depth: usize) -> LintReport {
 /// Parses configuration text, lints it, and explores its mode/HM graph to
 /// `depth` events; a parse failure becomes a single `AIR000` diagnostic.
 pub fn lint_config_text_explored(text: &str, depth: usize) -> LintReport {
+    lint_config_text_explored_with(
+        text,
+        &ExploreConfig {
+            depth,
+            ..ExploreConfig::default()
+        },
+    )
+}
+
+/// [`lint_config_text_explored`] with explicit exploration settings.
+pub fn lint_config_text_explored_with(text: &str, config: &ExploreConfig) -> LintReport {
     match air_tools::config::parse(text) {
-        Ok(doc) => lint_explored(&SystemModel::from_config(&doc), depth),
+        Ok(doc) => lint_explored_with(&SystemModel::from_config(&doc), config),
         Err(e) => {
             let mut report = LintReport::new();
             report.push(

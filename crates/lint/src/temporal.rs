@@ -12,14 +12,57 @@
 //! interference; AIR012/AIR013 are warnings, not errors, because actual
 //! execution may stay below the declared worst case.
 
+use std::collections::BTreeSet;
+
 use air_model::process::{Deadline, ProcessAttributes, Recurrence};
 use air_model::verify::{verify_schedule, Violation};
-use air_model::{PartitionId, Schedule};
+use air_model::{PartitionId, Schedule, ScheduleId};
 use air_tools::config::span_key;
 use air_tools::schedulability::{analyze_partition_with_phasing, AnalysisError, Phasing};
 
 use crate::diag::{Code, Diagnostic, LintReport};
 use crate::model::SystemModel;
+
+/// The `(schedule, partition)` pairs where at least one analysable process
+/// may miss its deadline under the supply bound — the raw verdicts behind
+/// AIR012, reused by the exploration stage to flag deadline starvation
+/// *across* modes (AIR095).
+pub(crate) fn unschedulable_pairs(
+    model: &SystemModel,
+) -> BTreeSet<(ScheduleId, PartitionId)> {
+    let mut pairs = BTreeSet::new();
+    let mut partition_ids: Vec<PartitionId> =
+        model.processes.iter().map(|(pid, _)| *pid).collect();
+    partition_ids.sort();
+    partition_ids.dedup();
+    for pid in partition_ids {
+        let task_set: Vec<ProcessAttributes> = model
+            .processes
+            .iter()
+            .filter(|(p, a)| {
+                *p == pid && a.deadline() != Deadline::Infinite && analysable(a)
+            })
+            .map(|(_, a)| a.clone())
+            .collect();
+        if task_set.is_empty() {
+            continue;
+        }
+        for schedule in &model.schedules {
+            let analysis = analyze_partition_with_phasing(
+                schedule,
+                pid,
+                &task_set,
+                Phasing::MtfLocked,
+            );
+            if let Ok(result) = analysis {
+                if result.processes.iter().any(|v| !v.schedulable) {
+                    pairs.insert((schedule.id(), pid));
+                }
+            }
+        }
+    }
+    pairs
+}
 
 pub(crate) fn analyze(model: &SystemModel, report: &mut LintReport) {
     for schedule in &model.schedules {

@@ -11,7 +11,7 @@
 //! # The state tuple
 //!
 //! An [`AbstractState`] is `(active schedule, per-partition mode, link
-//! health)`:
+//! health, ARQ health, mesh edge mask)`:
 //!
 //! * the active schedule is the one in force after the last committed switch;
 //! * each partition is either [`AbstractMode::Running`] (operating mode
@@ -19,7 +19,19 @@
 //!   [`AbstractMode::Stopped`] (`Idle` after a `Stop` change action);
 //! * the link is [`LinkState::Absent`] (no degraded schedule configured),
 //!   [`LinkState::Nominal`], or [`LinkState::Degraded`] carrying the schedule
-//!   to restore on recovery.
+//!   to restore on recovery;
+//! * the ARQ transport is [`ArqHealth::Absent`] (not modelled),
+//!   [`ArqHealth::Nominal`], or [`ArqHealth::Exhausted`] after a go-back-N
+//!   retransmit budget ran out ([`AbstractEvent::ArqExhausted`]);
+//! * the mesh edge mask records which of the node's routed mesh links are
+//!   currently down, one bit per distinct next-hop edge.
+//!
+//! The alphabet also carries events that deliberately leave the tuple
+//! unchanged — process-level deadline faults
+//! ([`AbstractEvent::DeadlineFault`]) and racing operator requests
+//! ([`AbstractEvent::RaceRequest`], where the second request wins the MTF
+//! boundary) — so witnesses can demonstrate that the concrete system
+//! tolerates them without drifting from the abstraction.
 //!
 //! # Soundness caveats
 //!
@@ -39,6 +51,12 @@ use std::fmt;
 
 use crate::ids::{PartitionId, ScheduleId};
 use crate::schedule::{Schedule, ScheduleChangeAction, ScheduleSet};
+
+pub mod search;
+
+/// Maximum number of distinct mesh edges the abstraction can model (the
+/// width of [`AbstractState::mesh_down`]).
+pub const MAX_MESH_EDGES: u8 = 16;
 
 /// Abstract operating mode of one partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -66,6 +84,19 @@ pub enum LinkState {
     },
 }
 
+/// Abstract health of the go-back-N ARQ transport, for configurations that
+/// pair an `arq` directive with an inter-node link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArqHealth {
+    /// No ARQ transport is configured; ARQ events do not occur.
+    Absent,
+    /// The transport delivers within its retransmit budget.
+    Nominal,
+    /// The retransmit budget was exhausted (`ArqEvent::Exhausted`); delivery
+    /// guarantees are void until the transport resynchronises.
+    Exhausted,
+}
+
 /// One point in the abstract configuration graph.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AbstractState {
@@ -75,6 +106,11 @@ pub struct AbstractState {
     pub modes: BTreeMap<PartitionId, AbstractMode>,
     /// Health of the inter-node link.
     pub link: LinkState,
+    /// Health of the ARQ transport over that link.
+    pub arq: ArqHealth,
+    /// Bitmask of mesh edges currently down (bit `i` = edge `i`); always 0
+    /// when the node has no routed mesh edges.
+    pub mesh_down: u16,
 }
 
 impl AbstractState {
@@ -99,12 +135,21 @@ impl fmt::Display for AbstractState {
             write!(f, " {p}={tag}")?;
         }
         match self.link {
-            LinkState::Absent => Ok(()),
-            LinkState::Nominal => write!(f, " link=nominal"),
+            LinkState::Absent => {}
+            LinkState::Nominal => write!(f, " link=nominal")?,
             LinkState::Degraded { nominal } => {
-                write!(f, " link=degraded[{nominal}]")
+                write!(f, " link=degraded[{nominal}]")?;
             }
         }
+        match self.arq {
+            ArqHealth::Absent => {}
+            ArqHealth::Nominal => write!(f, " arq=nominal")?,
+            ArqHealth::Exhausted => write!(f, " arq=exhausted")?,
+        }
+        if self.mesh_down != 0 {
+            write!(f, " mesh_down={:#06x}", self.mesh_down)?;
+        }
+        Ok(())
     }
 }
 
@@ -134,6 +179,44 @@ pub enum AbstractEvent {
     LinkDown,
     /// The link recovers; the saved schedule is restored.
     LinkUp,
+    /// A process in `partition` misses its deadline; the process-level HM
+    /// recovery (ignore, log-then-act, or process restart) leaves the
+    /// abstract tuple unchanged. Only emitted for partitions whose effective
+    /// deadline recovery cannot stop the partition.
+    DeadlineFault {
+        /// The partition hosting the missed deadline.
+        partition: PartitionId,
+    },
+    /// The ARQ retransmit budget runs out (`ArqEvent::Exhausted`); delivery
+    /// guarantees are void until the transport resynchronises.
+    ArqExhausted,
+    /// The ARQ transport resynchronises after an exhaustion. Requires a
+    /// healthy link, so exhaustion is unrecoverable when no degraded
+    /// schedule gives the link a repair path (AIR096).
+    ArqRecovered,
+    /// Mesh edge `edge` (one next-hop link of the routed mesh) goes down.
+    MeshLinkDown {
+        /// Edge index, `< TransitionSystem::options().mesh_edges`.
+        edge: u8,
+    },
+    /// Mesh edge `edge` comes back up.
+    MeshLinkUp {
+        /// Edge index, `< TransitionSystem::options().mesh_edges`.
+        edge: u8,
+    },
+    /// Two racing `SET_MODULE_SCHEDULE` requests from `by` inside one MTF:
+    /// first `first`, then `second`. The scheduler keeps only the latest
+    /// pending request, so `second` wins the boundary — the transition is
+    /// identical to `ScheduleRequest { by, to: second }`, but the witness
+    /// records that the race was exercised.
+    RaceRequest {
+        /// The requesting (authority) partition.
+        by: PartitionId,
+        /// The overwritten first request.
+        first: ScheduleId,
+        /// The request that wins the MTF boundary.
+        second: ScheduleId,
+    },
 }
 
 impl fmt::Display for AbstractEvent {
@@ -148,6 +231,18 @@ impl fmt::Display for AbstractEvent {
             AbstractEvent::ModuleFault => write!(f, "module_fault"),
             AbstractEvent::LinkDown => write!(f, "link_down"),
             AbstractEvent::LinkUp => write!(f, "link_up"),
+            AbstractEvent::DeadlineFault { partition } => {
+                write!(f, "deadline({partition})")
+            }
+            AbstractEvent::ArqExhausted => write!(f, "arq_exhausted"),
+            AbstractEvent::ArqRecovered => write!(f, "arq_recovered"),
+            AbstractEvent::MeshLinkDown { edge } => {
+                write!(f, "mesh_down({edge})")
+            }
+            AbstractEvent::MeshLinkUp { edge } => write!(f, "mesh_up({edge})"),
+            AbstractEvent::RaceRequest { by, first, second } => {
+                write!(f, "race({by}->{first},{second})")
+            }
         }
     }
 }
@@ -231,6 +326,8 @@ fn parse_event(raw: &str) -> Result<AbstractEvent, WitnessParseError> {
         "module_fault" => return Ok(AbstractEvent::ModuleFault),
         "link_down" => return Ok(AbstractEvent::LinkDown),
         "link_up" => return Ok(AbstractEvent::LinkUp),
+        "arq_exhausted" => return Ok(AbstractEvent::ArqExhausted),
+        "arq_recovered" => return Ok(AbstractEvent::ArqRecovered),
         _ => {}
     }
     if let Some(inner) = raw
@@ -254,6 +351,44 @@ fn parse_event(raw: &str) -> Result<AbstractEvent, WitnessParseError> {
             partition: PartitionId(m),
         });
     }
+    if let Some(inner) = raw
+        .strip_prefix("deadline(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        let m = parse_id(inner.trim(), "P").ok_or_else(err)?;
+        return Ok(AbstractEvent::DeadlineFault {
+            partition: PartitionId(m),
+        });
+    }
+    if let Some(inner) = raw
+        .strip_prefix("mesh_down(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        let edge: u8 = inner.trim().parse().map_err(|_| err())?;
+        return Ok(AbstractEvent::MeshLinkDown { edge });
+    }
+    if let Some(inner) = raw
+        .strip_prefix("mesh_up(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        let edge: u8 = inner.trim().parse().map_err(|_| err())?;
+        return Ok(AbstractEvent::MeshLinkUp { edge });
+    }
+    if let Some(inner) = raw
+        .strip_prefix("race(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        let (by, targets) = inner.split_once("->").ok_or_else(err)?;
+        let by = parse_id(by.trim(), "P").ok_or_else(err)?;
+        let (first, second) = targets.split_once(',').ok_or_else(err)?;
+        let first = parse_id(first.trim(), "chi").ok_or_else(err)?;
+        let second = parse_id(second.trim(), "chi").ok_or_else(err)?;
+        return Ok(AbstractEvent::RaceRequest {
+            by: PartitionId(by),
+            first: ScheduleId(first),
+            second: ScheduleId(second),
+        });
+    }
     Err(err())
 }
 
@@ -263,7 +398,7 @@ fn parse_id(text: &str, prefix: &str) -> Option<u32> {
 
 /// Which environment events the transition system models, beyond the
 /// always-present schedule requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExploreOptions {
     /// Schedule entered on link failover; `None` disables link events.
     pub degraded_schedule: Option<ScheduleId>,
@@ -271,6 +406,16 @@ pub struct ExploreOptions {
     pub module_faults: bool,
     /// Whether partition-level faults (HM warm-restart recovery) can occur.
     pub partition_faults: bool,
+    /// Partitions whose processes can miss deadlines with a process-level
+    /// recovery (one that cannot stop the partition). Sorted and
+    /// deduplicated by [`TransitionSystem::new`].
+    pub deadline_faults: Vec<PartitionId>,
+    /// Whether the ARQ transport is modelled (exhaustion/resync events).
+    pub arq: bool,
+    /// Number of distinct routed mesh edges (next hops) the node has; each
+    /// can independently go down and come back. Clamped to
+    /// [`MAX_MESH_EDGES`].
+    pub mesh_edges: u8,
 }
 
 /// Error constructing a [`TransitionSystem`].
@@ -349,6 +494,11 @@ impl TransitionSystem {
         let mut authorities = authorities;
         authorities.sort_unstable();
         authorities.dedup();
+        let mut options = options;
+        options.deadline_faults.sort_unstable();
+        options.deadline_faults.dedup();
+        options.deadline_faults.retain(|p| partitions.contains(p));
+        options.mesh_edges = options.mesh_edges.min(MAX_MESH_EDGES);
         Ok(Self {
             schedules,
             partitions,
@@ -372,13 +522,14 @@ impl TransitionSystem {
         &self.authorities
     }
 
-    /// The environment-event options the system was built with.
-    pub fn options(&self) -> ExploreOptions {
-        self.options
+    /// The environment-event options the system was built with (after
+    /// canonicalisation by [`TransitionSystem::new`]).
+    pub fn options(&self) -> &ExploreOptions {
+        &self.options
     }
 
     /// The initial state: the boot schedule, every partition running, link
-    /// nominal (or absent when no degraded schedule is configured).
+    /// and ARQ nominal (or absent when unconfigured), all mesh edges up.
     pub fn initial_state(&self) -> AbstractState {
         let modes = self
             .partitions
@@ -390,10 +541,17 @@ impl TransitionSystem {
         } else {
             LinkState::Absent
         };
+        let arq = if self.options.arq {
+            ArqHealth::Nominal
+        } else {
+            ArqHealth::Absent
+        };
         AbstractState {
             schedule: self.schedules.initial().id(),
             modes,
             link,
+            arq,
+            mesh_down: 0,
         }
     }
 
@@ -410,7 +568,9 @@ impl TransitionSystem {
 
     /// Enumerates the events enabled in `state`, in a canonical
     /// deterministic order: schedule requests sorted by (requester, target),
-    /// then partition faults, then module fault, then link events.
+    /// then racing request pairs, then deadline faults, then partition
+    /// faults, then module fault, then link events, then ARQ events, then
+    /// mesh edge events.
     pub fn enabled_events(&self, state: &AbstractState) -> Vec<AbstractEvent> {
         let mut events = Vec::new();
         for &by in &self.authorities {
@@ -427,6 +587,28 @@ impl TransitionSystem {
                     });
                 }
             }
+            for first in self.schedules.iter() {
+                if first.id() == state.schedule {
+                    continue;
+                }
+                for second in self.schedules.iter() {
+                    if second.id() == state.schedule
+                        || second.id() == first.id()
+                    {
+                        continue;
+                    }
+                    events.push(AbstractEvent::RaceRequest {
+                        by,
+                        first: first.id(),
+                        second: second.id(),
+                    });
+                }
+            }
+        }
+        for &p in &self.options.deadline_faults {
+            if state.mode_of(p) == AbstractMode::Running {
+                events.push(AbstractEvent::DeadlineFault { partition: p });
+            }
         }
         if self.options.partition_faults {
             for &p in &self.partitions {
@@ -442,6 +624,25 @@ impl TransitionSystem {
             LinkState::Nominal => events.push(AbstractEvent::LinkDown),
             LinkState::Degraded { .. } => events.push(AbstractEvent::LinkUp),
             LinkState::Absent => {}
+        }
+        match state.arq {
+            ArqHealth::Absent => {}
+            ArqHealth::Nominal => events.push(AbstractEvent::ArqExhausted),
+            ArqHealth::Exhausted => {
+                // Resync needs a healthy link; with no degraded schedule
+                // the abstraction has no repair path (LinkState::Absent),
+                // making exhaustion terminal.
+                if state.link == LinkState::Nominal {
+                    events.push(AbstractEvent::ArqRecovered);
+                }
+            }
+        }
+        for edge in 0..self.options.mesh_edges {
+            if state.mesh_down & (1 << edge) == 0 {
+                events.push(AbstractEvent::MeshLinkDown { edge });
+            } else {
+                events.push(AbstractEvent::MeshLinkUp { edge });
+            }
         }
         events
     }
@@ -519,6 +720,61 @@ impl TransitionSystem {
                         &mut restarted,
                     );
                 }
+            }
+            AbstractEvent::DeadlineFault { partition } => {
+                if !self.options.deadline_faults.contains(&partition)
+                    || state.mode_of(partition) != AbstractMode::Running
+                {
+                    return None;
+                }
+                // Process-level recovery only; the tuple is unchanged.
+            }
+            AbstractEvent::ArqExhausted => {
+                if state.arq != ArqHealth::Nominal {
+                    return None;
+                }
+                next.arq = ArqHealth::Exhausted;
+            }
+            AbstractEvent::ArqRecovered => {
+                if state.arq != ArqHealth::Exhausted
+                    || state.link != LinkState::Nominal
+                {
+                    return None;
+                }
+                next.arq = ArqHealth::Nominal;
+            }
+            AbstractEvent::MeshLinkDown { edge } => {
+                if edge >= self.options.mesh_edges
+                    || state.mesh_down & (1 << edge) != 0
+                {
+                    return None;
+                }
+                next.mesh_down |= 1 << edge;
+            }
+            AbstractEvent::MeshLinkUp { edge } => {
+                if edge >= self.options.mesh_edges
+                    || state.mesh_down & (1 << edge) == 0
+                {
+                    return None;
+                }
+                next.mesh_down &= !(1 << edge);
+            }
+            AbstractEvent::RaceRequest { by, first, second } => {
+                if !self.authorities.contains(&by)
+                    || state.mode_of(by) != AbstractMode::Running
+                    || !self.has_window(state.schedule, by)
+                    || first == state.schedule
+                    || second == state.schedule
+                    || first == second
+                    || self.schedules.get(first).is_none()
+                {
+                    return None;
+                }
+                // Last request wins the MTF boundary (Sect. 4.1): the
+                // transition is exactly a committed switch to `second`.
+                let target = self.schedules.get(second)?;
+                next.schedule = second;
+                self.apply_change_actions(target, &mut next, &mut restarted);
             }
         }
         Some(Transition {
@@ -696,6 +952,7 @@ mod tests {
             degraded_schedule: Some(CHI1),
             module_faults: true,
             partition_faults: true,
+            ..ExploreOptions::default()
         });
         let s0 = ts.initial_state();
         let events = ts.enabled_events(&s0);
@@ -712,6 +969,175 @@ mod tests {
         for e in events {
             assert!(ts.step(&s0, e).is_some(), "enabled event {e} must step");
         }
+    }
+
+    #[test]
+    fn full_alphabet_is_canonical_and_steppable() {
+        let ts = two_schedule_system(ExploreOptions {
+            degraded_schedule: Some(CHI1),
+            module_faults: true,
+            partition_faults: true,
+            deadline_faults: vec![P1, P0, P1],
+            arq: true,
+            mesh_edges: 2,
+        });
+        let s0 = ts.initial_state();
+        let events = ts.enabled_events(&s0);
+        assert_eq!(
+            events,
+            vec![
+                AbstractEvent::ScheduleRequest { by: P0, to: CHI1 },
+                AbstractEvent::DeadlineFault { partition: P0 },
+                AbstractEvent::DeadlineFault { partition: P1 },
+                AbstractEvent::PartitionFault { partition: P0 },
+                AbstractEvent::PartitionFault { partition: P1 },
+                AbstractEvent::ModuleFault,
+                AbstractEvent::LinkDown,
+                AbstractEvent::ArqExhausted,
+                AbstractEvent::MeshLinkDown { edge: 0 },
+                AbstractEvent::MeshLinkDown { edge: 1 },
+            ]
+        );
+        for e in events {
+            assert!(ts.step(&s0, e).is_some(), "enabled event {e} must step");
+        }
+    }
+
+    #[test]
+    fn deadline_fault_is_a_self_loop() {
+        let ts = two_schedule_system(ExploreOptions {
+            deadline_faults: vec![P0],
+            ..ExploreOptions::default()
+        });
+        let s0 = ts.initial_state();
+        let t = ts
+            .step(&s0, AbstractEvent::DeadlineFault { partition: P0 })
+            .unwrap();
+        assert_eq!(t.state, s0);
+        assert!(t.restarted.is_empty());
+        // Not listed => not enabled.
+        assert!(ts
+            .step(&s0, AbstractEvent::DeadlineFault { partition: P1 })
+            .is_none());
+    }
+
+    #[test]
+    fn arq_exhaustion_recovers_only_on_a_nominal_link() {
+        let ts = two_schedule_system(ExploreOptions {
+            degraded_schedule: Some(CHI1),
+            arq: true,
+            ..ExploreOptions::default()
+        });
+        let s0 = ts.initial_state();
+        assert_eq!(s0.arq, ArqHealth::Nominal);
+        let ex = ts.step(&s0, AbstractEvent::ArqExhausted).unwrap().state;
+        assert_eq!(ex.arq, ArqHealth::Exhausted);
+        let down = ts.step(&ex, AbstractEvent::LinkDown).unwrap().state;
+        // Degraded link: the transport cannot resync yet.
+        assert!(ts.step(&down, AbstractEvent::ArqRecovered).is_none());
+        let up = ts.step(&down, AbstractEvent::LinkUp).unwrap().state;
+        let rec = ts.step(&up, AbstractEvent::ArqRecovered).unwrap().state;
+        assert_eq!(rec.arq, ArqHealth::Nominal);
+    }
+
+    #[test]
+    fn arq_without_degraded_schedule_is_terminal() {
+        let ts = two_schedule_system(ExploreOptions {
+            arq: true,
+            ..ExploreOptions::default()
+        });
+        let s0 = ts.initial_state();
+        assert_eq!(s0.link, LinkState::Absent);
+        let ex = ts.step(&s0, AbstractEvent::ArqExhausted).unwrap().state;
+        assert!(ts.step(&ex, AbstractEvent::ArqRecovered).is_none());
+        assert!(!ts
+            .enabled_events(&ex)
+            .contains(&AbstractEvent::ArqRecovered));
+    }
+
+    #[test]
+    fn mesh_edges_toggle_independently() {
+        let ts = two_schedule_system(ExploreOptions {
+            mesh_edges: 3,
+            ..ExploreOptions::default()
+        });
+        let s0 = ts.initial_state();
+        let d1 = ts
+            .step(&s0, AbstractEvent::MeshLinkDown { edge: 1 })
+            .unwrap()
+            .state;
+        assert_eq!(d1.mesh_down, 0b010);
+        assert!(ts
+            .step(&d1, AbstractEvent::MeshLinkDown { edge: 1 })
+            .is_none());
+        let d2 = ts
+            .step(&d1, AbstractEvent::MeshLinkDown { edge: 2 })
+            .unwrap()
+            .state;
+        assert_eq!(d2.mesh_down, 0b110);
+        let back = ts
+            .step(&d2, AbstractEvent::MeshLinkUp { edge: 1 })
+            .unwrap()
+            .state;
+        assert_eq!(back.mesh_down, 0b100);
+        assert!(ts
+            .step(&s0, AbstractEvent::MeshLinkDown { edge: 3 })
+            .is_none());
+    }
+
+    #[test]
+    fn race_request_commits_the_second_target() {
+        let chi2 = Schedule::new(
+            ScheduleId(2),
+            "alt",
+            Ticks(100),
+            vec![req(P0), req(P1)],
+            vec![win(P0, 0, 40), win(P1, 40, 40)],
+        );
+        let base = two_schedule_system(ExploreOptions::default());
+        let mut schedules: Vec<Schedule> =
+            base.schedules().iter().cloned().collect();
+        schedules.push(chi2);
+        let ts = TransitionSystem::new(
+            ScheduleSet::try_new(schedules).unwrap(),
+            vec![P0, P1],
+            vec![P0],
+            ExploreOptions::default(),
+        )
+        .unwrap();
+        let s0 = ts.initial_state();
+        let race = AbstractEvent::RaceRequest {
+            by: P0,
+            first: ScheduleId(2),
+            second: CHI1,
+        };
+        let plain = ts
+            .step(&s0, AbstractEvent::ScheduleRequest { by: P0, to: CHI1 })
+            .unwrap();
+        let raced = ts.step(&s0, race).unwrap();
+        assert_eq!(raced.state, plain.state);
+        assert!(ts.enabled_events(&s0).contains(&race));
+        // Racing the active schedule, or itself, is not a race.
+        assert!(ts
+            .step(
+                &s0,
+                AbstractEvent::RaceRequest {
+                    by: P0,
+                    first: CHI0,
+                    second: CHI1
+                }
+            )
+            .is_none());
+        assert!(ts
+            .step(
+                &s0,
+                AbstractEvent::RaceRequest {
+                    by: P0,
+                    first: CHI1,
+                    second: CHI1
+                }
+            )
+            .is_none());
     }
 
     #[test]
@@ -773,5 +1199,30 @@ mod tests {
         assert_eq!(err.segment, "explode");
         assert!(Witness::parse("request(chi1->P0)").is_err());
         assert!(Witness::parse("fault(tau3)").is_err());
+    }
+
+    #[test]
+    fn extended_witness_round_trips() {
+        let w = Witness {
+            events: vec![
+                AbstractEvent::DeadlineFault { partition: P1 },
+                AbstractEvent::ArqExhausted,
+                AbstractEvent::MeshLinkDown { edge: 3 },
+                AbstractEvent::RaceRequest {
+                    by: P0,
+                    first: CHI1,
+                    second: ScheduleId(2),
+                },
+                AbstractEvent::MeshLinkUp { edge: 3 },
+                AbstractEvent::ArqRecovered,
+            ],
+        };
+        let text = w.render();
+        assert_eq!(
+            text,
+            "deadline(P1); arq_exhausted; mesh_down(3); \
+             race(P0->chi1,chi2); mesh_up(3); arq_recovered"
+        );
+        assert_eq!(Witness::parse(&text).unwrap(), w);
     }
 }

@@ -1,0 +1,563 @@
+//! Parallel bounded breadth-first search over a [`TransitionSystem`].
+//!
+//! The engine is level-synchronous: each BFS level runs three phases —
+//!
+//! 1. **Expand** (parallel): the frontier is split into contiguous slices,
+//!    one per worker (`std::thread::scope`, the calling thread doubles as
+//!    worker 0 — the air-fleet sharding idiom). Each worker applies every
+//!    enabled event to its slice and emits successor candidates, tagged with
+//!    the FNV-1a shard of the successor state. Workers write into
+//!    preallocated per-worker buffers, concatenated in worker order so the
+//!    candidate sequence is identical to a sequential expansion.
+//! 2. **Dedup** (parallel): the seen-set is sharded by FNV-1a into
+//!    [`SEEN_SHARDS`] hash maps; worker `w` owns the shards `s` with
+//!    `s % workers == w` and classifies each of its candidates as already
+//!    known, fresh, or a duplicate of an earlier candidate in the same
+//!    batch. Outcomes depend only on the seen-set contents and the candidate
+//!    order, never on the worker layout.
+//! 3. **Commit** (sequential): fresh states get indices in candidate order
+//!    (bounded by [`SearchConfig::max_states`]), parent pointers for minimal
+//!    witnesses, and edges — so the resulting graph is byte-identical for
+//!    every worker count.
+//!
+//! # Partial-order reduction
+//!
+//! Events that toggle private state dimensions — ARQ exhaustion/resync
+//! (component 0) and each mesh edge (component `1 + edge`) — commute with
+//! each other: no such event reads or writes another component's dimension,
+//! the schedule, the modes, or the link, and `ArqRecovered`'s
+//! link-enabledness is untouched by mesh toggles. The reduction explores
+//! only the sorted interleavings: from a state whose BFS tree-parent event
+//! has component `c`, independent successors with component `< c` are
+//! pruned. Soundness: take any minimal word reaching a state and, among its
+//! reorderings, one whose last independent event has maximal component; a
+//! pruning of that event at its predecessor would, by commuting it one step
+//! earlier, produce an equal-length word ending in a higher component —
+//! contradiction. Global events are never pruned, so every state is still
+//! discovered at its true BFS depth and witnesses stay minimal
+//! (`tests/explore_parallel_prop.rs` cross-checks this on random systems).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::thread;
+
+use super::{AbstractEvent, AbstractState, TransitionSystem, Witness};
+use crate::ids::PartitionId;
+
+/// Default bound on stored states (raise via `airlint --max-states`).
+pub const DEFAULT_MAX_STATES: usize = 262_144;
+
+/// Number of FNV shards in the seen-set; worker counts that divide it
+/// balance exactly.
+pub const SEEN_SHARDS: usize = 16;
+
+/// Tuning knobs for [`search`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Maximum number of events in an explored path.
+    pub depth: usize,
+    /// Bound on stored states; exceeding it sets [`SearchGraph::cap_hit`].
+    pub max_states: usize,
+    /// Worker threads (the calling thread is worker 0); 0 behaves as 1.
+    pub workers: usize,
+    /// Whether the partial-order reduction prunes commuting interleavings.
+    pub por: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            depth: 4,
+            max_states: DEFAULT_MAX_STATES,
+            workers: 1,
+            por: true,
+        }
+    }
+}
+
+/// One explored transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchEdge {
+    /// Index of the source state.
+    pub from: usize,
+    /// The event applied.
+    pub event: AbstractEvent,
+    /// Partitions restarted during the transition.
+    pub restarted: Vec<PartitionId>,
+    /// Index of the successor state.
+    pub to: usize,
+}
+
+/// The explored portion of the state graph.
+#[derive(Debug, Clone, Default)]
+pub struct SearchGraph {
+    /// Discovered states, in BFS discovery order (index 0 = initial).
+    pub states: Vec<AbstractState>,
+    /// BFS tree-parent of each state (`None` for the initial state).
+    pub parents: Vec<Option<(usize, AbstractEvent)>>,
+    /// Every explored edge, including edges to already-known states.
+    pub edges: Vec<SearchEdge>,
+    /// Whether the state cap truncated the search.
+    pub cap_hit: bool,
+    /// Size of the BFS frontier when the cap was first hit.
+    pub frontier_at_cap: usize,
+    /// Successor occurrences dropped because the cap was reached.
+    pub dropped_states: usize,
+}
+
+impl SearchGraph {
+    /// The minimal event sequence from the initial state to state `index`.
+    pub fn witness_of(&self, index: usize) -> Witness {
+        let mut events = Vec::new();
+        let mut cursor = index;
+        while let Some((parent, event)) =
+            self.parents.get(cursor).copied().flatten()
+        {
+            events.push(event);
+            cursor = parent;
+        }
+        events.reverse();
+        Witness { events }
+    }
+}
+
+/// FNV-1a over the state's stable `Hash` encoding — the fleet sharding
+/// hash, reused so shard ownership is layout-independent.
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+fn shard_of(state: &AbstractState) -> usize {
+    let mut hasher = FnvHasher(0xcbf2_9ce4_8422_2325);
+    state.hash(&mut hasher);
+    (hasher.finish() % SEEN_SHARDS as u64) as usize
+}
+
+/// The independence component of an event, or `None` for global events.
+///
+/// Events in distinct components commute (each toggles a private state
+/// dimension); global events never commute and are never pruned.
+fn por_component(event: AbstractEvent) -> Option<u16> {
+    match event {
+        AbstractEvent::ArqExhausted | AbstractEvent::ArqRecovered => Some(0),
+        AbstractEvent::MeshLinkDown { edge }
+        | AbstractEvent::MeshLinkUp { edge } => Some(1 + u16::from(edge)),
+        _ => None,
+    }
+}
+
+/// A successor produced by the expand phase, waiting for dedup + commit.
+struct Candidate {
+    from: usize,
+    event: AbstractEvent,
+    restarted: Vec<PartitionId>,
+    state: AbstractState,
+    shard: usize,
+}
+
+#[derive(Clone, Copy)]
+enum Outcome {
+    /// Already in the seen-set at this state index.
+    Known(usize),
+    /// First occurrence of a new state in this batch.
+    Fresh,
+    /// Duplicate of the fresh candidate at this batch position.
+    Dup(usize),
+}
+
+fn expand_slice(
+    ts: &TransitionSystem,
+    states: &[AbstractState],
+    parents: &[Option<(usize, AbstractEvent)>],
+    frontier: &[usize],
+    por: bool,
+    out: &mut Vec<Candidate>,
+) {
+    for &index in frontier {
+        let state = &states[index];
+        let parent_component = if por {
+            parents[index].and_then(|(_, event)| por_component(event))
+        } else {
+            None
+        };
+        for event in ts.enabled_events(state) {
+            if let (Some(ce), Some(cf)) =
+                (parent_component, por_component(event))
+            {
+                if cf < ce {
+                    continue;
+                }
+            }
+            if let Some(transition) = ts.step(state, event) {
+                let shard = shard_of(&transition.state);
+                out.push(Candidate {
+                    from: index,
+                    event,
+                    restarted: transition.restarted,
+                    state: transition.state,
+                    shard,
+                });
+            }
+        }
+    }
+}
+
+fn dedup_shards(
+    shards: &[HashMap<AbstractState, usize>],
+    candidates: &[Candidate],
+    worker: usize,
+    workers: usize,
+) -> Vec<(usize, Outcome)> {
+    let mut out = Vec::new();
+    let mut first_in_batch: HashMap<&AbstractState, usize> = HashMap::new();
+    for (position, candidate) in candidates.iter().enumerate() {
+        if candidate.shard % workers != worker {
+            continue;
+        }
+        let outcome =
+            if let Some(&index) = shards[candidate.shard].get(&candidate.state)
+            {
+                Outcome::Known(index)
+            } else if let Some(&first) = first_in_batch.get(&candidate.state) {
+                Outcome::Dup(first)
+            } else {
+                first_in_batch.insert(&candidate.state, position);
+                Outcome::Fresh
+            };
+        out.push((position, outcome));
+    }
+    out
+}
+
+/// Runs the bounded BFS. The resulting graph is identical for every
+/// `workers` value.
+pub fn search(ts: &TransitionSystem, config: &SearchConfig) -> SearchGraph {
+    let workers = config.workers.max(1);
+    let max_states = config.max_states.max(1);
+    let mut graph = SearchGraph {
+        states: vec![ts.initial_state()],
+        parents: vec![None],
+        ..SearchGraph::default()
+    };
+    let mut shards: Vec<HashMap<AbstractState, usize>> =
+        (0..SEEN_SHARDS).map(|_| HashMap::new()).collect();
+    shards[shard_of(&graph.states[0])].insert(graph.states[0].clone(), 0);
+    let mut frontier: Vec<usize> = vec![0];
+
+    for _ in 0..config.depth {
+        if frontier.is_empty() {
+            break;
+        }
+
+        // Phase 1: expand the frontier into successor candidates.
+        let candidates: Vec<Candidate> = {
+            let states = graph.states.as_slice();
+            let parents = graph.parents.as_slice();
+            let lanes = workers.min(frontier.len());
+            if lanes <= 1 {
+                let mut out = Vec::new();
+                expand_slice(
+                    ts, states, parents, &frontier, config.por, &mut out,
+                );
+                out
+            } else {
+                let chunk = frontier.len().div_ceil(lanes);
+                let mut slots: Vec<Vec<Candidate>> =
+                    (0..lanes).map(|_| Vec::new()).collect();
+                thread::scope(|scope| {
+                    let (mine, rest) = slots.split_at_mut(1);
+                    for (i, slot) in rest.iter_mut().enumerate() {
+                        let lo = ((i + 1) * chunk).min(frontier.len());
+                        let hi = ((i + 2) * chunk).min(frontier.len());
+                        let slice = &frontier[lo..hi];
+                        let por = config.por;
+                        scope.spawn(move || {
+                            expand_slice(
+                                ts, states, parents, slice, por, slot,
+                            );
+                        });
+                    }
+                    expand_slice(
+                        ts,
+                        states,
+                        parents,
+                        &frontier[..chunk.min(frontier.len())],
+                        config.por,
+                        &mut mine[0],
+                    );
+                });
+                slots.into_iter().flatten().collect()
+            }
+        };
+
+        // Phase 2: classify candidates against the sharded seen-set.
+        let mut outcomes: Vec<Outcome> =
+            vec![Outcome::Fresh; candidates.len()];
+        if workers <= 1 {
+            for (position, outcome) in
+                dedup_shards(&shards, &candidates, 0, 1)
+            {
+                outcomes[position] = outcome;
+            }
+        } else {
+            let mut results: Vec<Vec<(usize, Outcome)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            thread::scope(|scope| {
+                let shard_ref = shards.as_slice();
+                let candidate_ref = candidates.as_slice();
+                let (mine, rest) = results.split_at_mut(1);
+                for (i, slot) in rest.iter_mut().enumerate() {
+                    scope.spawn(move || {
+                        *slot = dedup_shards(
+                            shard_ref,
+                            candidate_ref,
+                            i + 1,
+                            workers,
+                        );
+                    });
+                }
+                mine[0] = dedup_shards(shard_ref, candidate_ref, 0, workers);
+            });
+            for pairs in results {
+                for (position, outcome) in pairs {
+                    outcomes[position] = outcome;
+                }
+            }
+        }
+
+        // Phase 3: commit fresh states, parents and edges in candidate
+        // order — index assignment is therefore worker-count independent.
+        let mut next_frontier = Vec::new();
+        let mut assigned: HashMap<usize, usize> = HashMap::new();
+        for (position, candidate) in candidates.into_iter().enumerate() {
+            match outcomes[position] {
+                Outcome::Known(index) => graph.edges.push(SearchEdge {
+                    from: candidate.from,
+                    event: candidate.event,
+                    restarted: candidate.restarted,
+                    to: index,
+                }),
+                Outcome::Fresh => {
+                    if graph.states.len() < max_states {
+                        let index = graph.states.len();
+                        shards[candidate.shard]
+                            .insert(candidate.state.clone(), index);
+                        graph.states.push(candidate.state);
+                        graph
+                            .parents
+                            .push(Some((candidate.from, candidate.event)));
+                        graph.edges.push(SearchEdge {
+                            from: candidate.from,
+                            event: candidate.event,
+                            restarted: candidate.restarted,
+                            to: index,
+                        });
+                        assigned.insert(position, index);
+                        next_frontier.push(index);
+                    } else {
+                        if !graph.cap_hit {
+                            graph.cap_hit = true;
+                            graph.frontier_at_cap = frontier.len();
+                        }
+                        graph.dropped_states += 1;
+                    }
+                }
+                Outcome::Dup(first) => {
+                    if let Some(&index) = assigned.get(&first) {
+                        graph.edges.push(SearchEdge {
+                            from: candidate.from,
+                            event: candidate.event,
+                            restarted: candidate.restarted,
+                            to: index,
+                        });
+                    } else {
+                        // The first occurrence itself fell past the cap.
+                        graph.dropped_states += 1;
+                    }
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ArqHealth, ExploreOptions};
+    use super::*;
+    use crate::ids::ScheduleId;
+    use crate::schedule::{
+        PartitionRequirement, Schedule, ScheduleChangeAction, ScheduleSet,
+        TimeWindow,
+    };
+    use crate::time::Ticks;
+
+    const P0: PartitionId = PartitionId(0);
+    const P1: PartitionId = PartitionId(1);
+
+    fn rich_system() -> TransitionSystem {
+        let win = |p, o, d| TimeWindow::new(p, Ticks(o), Ticks(d));
+        let req = |p| PartitionRequirement::new(p, Ticks(100), Ticks(40));
+        let mk = |id: u32, name: &str| {
+            Schedule::new(
+                ScheduleId(id),
+                name,
+                Ticks(100),
+                vec![req(P0), req(P1)],
+                vec![win(P0, 0, 40), win(P1, 40, 40)],
+            )
+        };
+        let chi1 = mk(1, "shed")
+            .with_change_action(P1, ScheduleChangeAction::Stop);
+        let schedules =
+            ScheduleSet::try_new(vec![mk(0, "nominal"), chi1, mk(2, "alt")])
+                .unwrap();
+        TransitionSystem::new(
+            schedules,
+            vec![P0, P1],
+            vec![P0],
+            ExploreOptions {
+                degraded_schedule: Some(ScheduleId(2)),
+                module_faults: true,
+                partition_faults: true,
+                deadline_faults: vec![P0, P1],
+                arq: true,
+                mesh_edges: 3,
+            },
+        )
+        .unwrap()
+    }
+
+    /// Naive frontier BFS used as the ground truth for state coverage.
+    fn naive_states(ts: &TransitionSystem, depth: usize) -> Vec<AbstractState> {
+        let mut seen = vec![ts.initial_state()];
+        let mut frontier = vec![ts.initial_state()];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for state in &frontier {
+                for event in ts.enabled_events(state) {
+                    if let Some(t) = ts.step(state, event) {
+                        if !seen.contains(&t.state) {
+                            seen.push(t.state.clone());
+                            next.push(t.state);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        seen
+    }
+
+    #[test]
+    fn search_covers_the_naive_state_set() {
+        let ts = rich_system();
+        let expected = naive_states(&ts, 3);
+        for por in [false, true] {
+            let graph = search(
+                &ts,
+                &SearchConfig {
+                    depth: 3,
+                    por,
+                    ..SearchConfig::default()
+                },
+            );
+            assert_eq!(
+                graph.states.len(),
+                expected.len(),
+                "por={por} must preserve state coverage"
+            );
+            for state in &expected {
+                assert!(
+                    graph.states.contains(state),
+                    "missing state {state} with por={por}"
+                );
+            }
+            assert!(!graph.cap_hit);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_graph() {
+        let ts = rich_system();
+        let base = search(&ts, &SearchConfig { depth: 4, ..SearchConfig::default() });
+        for workers in [2, 4, 8] {
+            let other = search(
+                &ts,
+                &SearchConfig {
+                    depth: 4,
+                    workers,
+                    ..SearchConfig::default()
+                },
+            );
+            assert_eq!(base.states, other.states, "workers={workers}");
+            assert_eq!(base.parents, other.parents, "workers={workers}");
+            assert_eq!(base.edges, other.edges, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cap_hit_is_reported_with_counts() {
+        let ts = rich_system();
+        let graph = search(
+            &ts,
+            &SearchConfig {
+                depth: 4,
+                max_states: 8,
+                ..SearchConfig::default()
+            },
+        );
+        assert!(graph.cap_hit);
+        assert_eq!(graph.states.len(), 8);
+        assert!(graph.dropped_states > 0);
+        assert!(graph.frontier_at_cap > 0);
+    }
+
+    #[test]
+    fn witnesses_are_minimal_event_sequences() {
+        let ts = rich_system();
+        let graph = search(&ts, &SearchConfig { depth: 3, ..SearchConfig::default() });
+        // Replaying each witness abstractly must land on its state, and the
+        // length must match the BFS level of the state.
+        for (index, state) in graph.states.iter().enumerate() {
+            let witness = graph.witness_of(index);
+            let mut cursor = ts.initial_state();
+            for event in &witness.events {
+                cursor = ts.step(&cursor, *event).expect("witness steps").state;
+            }
+            assert_eq!(&cursor, state);
+        }
+    }
+
+    #[test]
+    fn por_prunes_commuting_interleavings() {
+        let ts = rich_system();
+        let full = search(
+            &ts,
+            &SearchConfig { depth: 3, por: false, ..SearchConfig::default() },
+        );
+        let reduced =
+            search(&ts, &SearchConfig { depth: 3, ..SearchConfig::default() });
+        assert_eq!(full.states.len(), reduced.states.len());
+        assert!(
+            reduced.edges.len() < full.edges.len(),
+            "POR must drop some commuting edges ({} vs {})",
+            reduced.edges.len(),
+            full.edges.len()
+        );
+        // The initial state's arq must still be nominal in both.
+        assert_eq!(full.states[0].arq, ArqHealth::Nominal);
+    }
+}

@@ -45,6 +45,7 @@ echo "== lint: airlint mesh cross-check over the five-node example =="
 
 echo "== lint: bounded mode/HM exploration of the examples (depth 3) =="
 "$airlint" --explore --depth 3 examples/full_system.air
+"$airlint" --explore --depth 3 examples/constellation_hub.air
 "$airlint" --explore --depth 3 \
     examples/cluster_degraded_a.air examples/cluster_degraded_b.air
 
@@ -53,12 +54,21 @@ corpus_out=$(mktemp)
 trap 'rm -f "$corpus_out"' EXIT
 for case in tests/lint_corpus/*.air; do
     case "$case" in *_pair_a.air|*_pair_b.air|*_mesh_[a-z].air) continue ;; esac
-    # A first-line '#!explore depth=N' marker runs the case through the
-    # bounded exploration at that depth, matching the corpus test harness.
+    # A first-line '#!explore depth=N [max_states=M]' marker runs the
+    # case through the bounded exploration under those settings, matching
+    # the corpus test harness.
     args=(--json)
     marker=$(head -n 1 "$case")
-    if [[ "$marker" == '#!explore depth='* ]]; then
-        args+=(--explore --depth "${marker##*depth=}")
+    if [[ "$marker" == '#!explore '* ]]; then
+        args+=(--explore)
+        for token in ${marker#'#!explore'}; do
+            case "$token" in
+                depth=*)      args+=(--depth "${token#depth=}") ;;
+                max_states=*) args+=(--max-states "${token#max_states=}") ;;
+                *) echo "unrecognised #!explore token '$token' in $case" >&2
+                   exit 1 ;;
+            esac
+        done
     fi
     # airlint exits 1 on Error-level findings -- expected for the corpus.
     "$airlint" "${args[@]}" "$case" > "$corpus_out" || true
@@ -94,6 +104,9 @@ cargo run --release -q -p bench --bin fleet -- --smoke-fleet
 echo "== smoke mesh (24 five-node line meshes, $AIR_FLEET_WORKERS workers) =="
 cargo run --release -q -p bench --bin mesh -- --smoke-mesh
 
+echo "== smoke fuzz farm (64 generated configs, explore -> replay, 0 divergences) =="
+cargo run --release -q -p bench --bin fuzz -- --smoke-fuzz
+
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== hotpath before/after comparison =="
     cargo run --release -p bench --bin hotpath
@@ -103,6 +116,10 @@ if [[ "${1:-}" == "--bench" ]]; then
     cargo run --release -p bench --bin fleet
     echo "== mesh matrix (line/star/ring x 3/5/9 nodes) =="
     cargo run --release -p bench --bin mesh
+    echo "== lint stage timings (corpus, depth curve, worker scaling) =="
+    cargo run --release -p bench --bin lint
+    echo "== fuzz soak sweep (256 generated configs, depth 4) =="
+    cargo run --release -p bench --bin fuzz
 fi
 
 echo "CI OK"

@@ -11,7 +11,9 @@
 #
 # The lint crate is held to the same bar: `SystemBuilder::build()` runs
 # it on every construction, so a panic in an analysis pass would turn a
-# diagnosable configuration error into a crash.
+# diagnosable configuration error into a crash. The model crate's
+# exploration engine (transition system + parallel search) sits on that
+# same path via `airlint --explore`, so it is scanned too.
 #
 #   scripts/forbid.sh            # scan the default directories below
 #   scripts/forbid.sh <dirs...>  # scan specific directories
@@ -20,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 dirs=("$@")
 if [[ ${#dirs[@]} -eq 0 ]]; then
-    dirs=(crates/pmk/src crates/hw/src crates/lint/src)
+    dirs=(crates/pmk/src crates/hw/src crates/lint/src crates/model/src/explore)
 fi
 
 fail=0

@@ -1,0 +1,111 @@
+//! Engine-equivalence property: the parallel sharded BFS and the
+//! partial-order reduction change *how* the state space is walked, never
+//! *what* is found.
+//!
+//! For 50 generated configurations ([`air_core::fuzz::generate_config_text`]
+//! — the same corpus the fuzz farm draws from), the exploration is run
+//! sequentially (1 worker) and in parallel (4 workers): the state counts
+//! and the full counterexample lists (codes, subjects *and* witnesses)
+//! must be identical. The partial-order reduction is cross-checked the
+//! same way: POR on and off must reach the same states and report the same
+//! `(code, subject)` finding set — POR may pick different representative
+//! witnesses of the same length, so witness texts are not compared there.
+
+use std::collections::BTreeSet;
+
+use air_core::fuzz::generate_config_text;
+use air_lint::{explore_with, ExploreConfig, SystemModel};
+
+const SEEDS: u64 = 50;
+const DEPTH: usize = 3;
+
+fn model_of(seed: u64) -> SystemModel {
+    let text = generate_config_text(seed);
+    let doc = air_tools::config::parse(&text)
+        .unwrap_or_else(|e| panic!("seed {seed}: unparsable generation: {e:?}"));
+    SystemModel::from_config(&doc)
+}
+
+#[test]
+fn parallel_and_sequential_exploration_agree() {
+    for seed in 0..SEEDS {
+        let model = model_of(seed);
+        let sequential = explore_with(
+            &model,
+            &ExploreConfig {
+                depth: DEPTH,
+                workers: 1,
+                ..ExploreConfig::default()
+            },
+        );
+        let parallel = explore_with(
+            &model,
+            &ExploreConfig {
+                depth: DEPTH,
+                workers: 4,
+                ..ExploreConfig::default()
+            },
+        );
+        assert_eq!(
+            sequential.states_explored, parallel.states_explored,
+            "seed {seed}: state counts diverge"
+        );
+        assert_eq!(
+            sequential.counterexamples, parallel.counterexamples,
+            "seed {seed}: finding sets diverge between 1 and 4 workers"
+        );
+        assert_eq!(sequential.cap_hit, parallel.cap_hit, "seed {seed}");
+    }
+}
+
+#[test]
+fn partial_order_reduction_preserves_states_and_findings() {
+    for seed in 0..SEEDS {
+        let model = model_of(seed);
+        let with_por = explore_with(
+            &model,
+            &ExploreConfig {
+                depth: DEPTH,
+                por: true,
+                ..ExploreConfig::default()
+            },
+        );
+        let without_por = explore_with(
+            &model,
+            &ExploreConfig {
+                depth: DEPTH,
+                por: false,
+                ..ExploreConfig::default()
+            },
+        );
+        assert_eq!(
+            with_por.states_explored, without_por.states_explored,
+            "seed {seed}: POR dropped or added reachable states"
+        );
+        let keys = |ex: &air_lint::Exploration| -> BTreeSet<(air_lint::Code, u32)> {
+            ex.counterexamples
+                .iter()
+                .map(|c| (c.code, c.subject))
+                .collect()
+        };
+        assert_eq!(
+            keys(&with_por),
+            keys(&without_por),
+            "seed {seed}: POR changed the (code, subject) finding set"
+        );
+        // Witnesses may differ in representative but never in length:
+        // BFS minimality is engine-independent.
+        for (a, b) in with_por
+            .counterexamples
+            .iter()
+            .zip(without_por.counterexamples.iter())
+        {
+            assert_eq!(
+                a.witness.events.len(),
+                b.witness.events.len(),
+                "seed {seed}: POR changed the minimal witness length for {}",
+                a.code
+            );
+        }
+    }
+}

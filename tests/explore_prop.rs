@@ -5,11 +5,15 @@
 //! For 50 seeds, a two-schedule system is synthesized (every partition
 //! windowed in both schedules, random change actions — including `Stop` —
 //! on the alternate schedule), the matching abstract
-//! [`TransitionSystem`] is built over the same tables, and a random
-//! sequence of abstractly-enabled events is driven through the *real*
-//! tick loop via the replay hooks. After each event the concrete system
-//! is projected back into the abstract state space and must land inside
-//! the set of states the explorer reaches within that many events.
+//! [`TransitionSystem`] is built over the same tables — with the full
+//! event alphabet enabled: schedule requests and request races, partition,
+//! module and process-deadline faults, link failover/recovery into a
+//! degraded schedule, ARQ exhaustion/resync and per-edge mesh link
+//! toggles — and a random sequence of abstractly-enabled events is driven
+//! through the *real* tick loop via the replay hooks. After each event the
+//! concrete system is projected back into the abstract state space and
+//! must land inside the set of states the explorer reaches within that
+//! many events.
 
 use std::collections::BTreeSet;
 
@@ -93,12 +97,15 @@ fn concrete_traces_never_leave_the_explored_state_space() {
         let ids: Vec<PartitionId> = partitions.iter().map(Partition::id).collect();
         let ts = TransitionSystem::new(
             schedules.clone(),
-            ids,
+            ids.clone(),
             vec![PartitionId(0)],
             ExploreOptions {
-                degraded_schedule: None,
+                degraded_schedule: Some(ScheduleId(1)),
                 module_faults: true,
                 partition_faults: true,
+                deadline_faults: ids.clone(),
+                arq: true,
+                mesh_edges: 2,
             },
         )
         .expect("valid transition system");
@@ -110,6 +117,9 @@ fn concrete_traces_never_leave_the_explored_state_space() {
         // The campaign drives deliberately adversarial event sequences;
         // the unchecked path keeps the run independent of lint verdicts.
         let mut system = builder.build_unchecked().expect("assembles");
+        system.set_degraded_schedule(ScheduleId(1));
+        system.enable_arq_tracking();
+        system.configure_mesh_edges(2);
 
         let initial = observe_abstract_state(&system);
         assert_eq!(

@@ -7,9 +7,11 @@
 //!
 //! - `clean_*` cases lint without errors, `warn_*` cases have findings
 //!   but no errors, everything else must produce at least one error;
-//! - a first line `#!explore depth=N` (a comment to the parser) runs the
-//!   case through [`lint_config_text_explored`] at that depth, so the
-//!   golden pins the exploration diagnostics (AIR081–AIR086) too;
+//! - a first line `#!explore depth=N [max_states=M]` (a comment to the
+//!   parser) runs the case through [`lint_config_text_explored_with`] at
+//!   that depth (and, when given, under that state cap), so the golden
+//!   pins the exploration diagnostics (AIR081–AIR086, AIR095–AIR098)
+//!   too;
 //! - `<base>_pair_a.air` / `<base>_pair_b.air` describe the two nodes of
 //!   a cluster; they are excluded from the per-file loops and checked
 //!   against `<base>_pair.expected`, the concatenation of both per-node
@@ -23,7 +25,8 @@
 //!
 //! To regenerate a golden after an intentional change:
 //! `cargo run -p air-lint --bin airlint -- --json tests/lint_corpus/<case>.air`
-//! (add `--explore --depth N` for marked cases,
+//! (add `--explore --depth N` — plus `--max-states M` when the marker
+//! carries a `max_states=` token — for marked cases,
 //! `--cluster <base>_pair_a.air <base>_pair_b.air` for pairs, or
 //! `--cluster <base>_mesh_a.air <base>_mesh_b.air …` for mesh sets) and
 //! review the diff by hand before committing it.
@@ -32,8 +35,8 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use air_lint::{
-    lint_cluster_config_texts, lint_config_text, lint_config_text_explored, lint_mesh_config_texts,
-    Code,
+    lint_cluster_config_texts, lint_config_text, lint_config_text_explored_with,
+    lint_mesh_config_texts, Code, ExploreConfig,
 };
 
 fn corpus_dir() -> PathBuf {
@@ -77,19 +80,35 @@ fn is_mesh_member(path: &Path) -> bool {
     })
 }
 
-/// Lints `text` honouring the `#!explore depth=N` first-line marker.
+/// Lints `text` honouring the `#!explore depth=N [max_states=M]`
+/// first-line marker.
 fn report_for(text: &str) -> air_lint::LintReport {
-    if let Some(depth) = explore_depth(text) {
-        lint_config_text_explored(text, depth)
+    if let Some(config) = explore_marker(text) {
+        lint_config_text_explored_with(text, &config)
     } else {
         lint_config_text(text)
     }
 }
 
-fn explore_depth(text: &str) -> Option<usize> {
+/// Parses the first-line marker into an [`ExploreConfig`]: `depth=` is
+/// mandatory, `max_states=` optional, anything else is a corpus bug.
+fn explore_marker(text: &str) -> Option<ExploreConfig> {
     let first = text.lines().next()?;
     let rest = first.strip_prefix("#!explore")?;
-    rest.trim().strip_prefix("depth=")?.trim().parse().ok()
+    let mut config = ExploreConfig::default();
+    let mut saw_depth = false;
+    for token in rest.split_whitespace() {
+        if let Some(depth) = token.strip_prefix("depth=") {
+            config.depth = depth.parse().expect("well-formed depth= token");
+            saw_depth = true;
+        } else if let Some(cap) = token.strip_prefix("max_states=") {
+            config.max_states = cap.parse().expect("well-formed max_states= token");
+        } else {
+            panic!("unrecognised #!explore token '{token}'");
+        }
+    }
+    assert!(saw_depth, "#!explore marker is missing its depth= token");
+    Some(config)
 }
 
 #[test]
@@ -204,9 +223,11 @@ fn mesh_sets_match_goldens() {
 fn corpus_exercises_every_registered_code() {
     // Codes the text corpus cannot reach: the parser rejects duplicate
     // partition/schedule ids before lint runs (AIR070/AIR071 guard the
-    // programmatic path), and AIR014 is the catch-all for model
-    // verification violations that have no dedicated code yet.
-    let exempt: BTreeSet<&str> = ["AIR014", "AIR070", "AIR071"].into();
+    // programmatic path), AIR014 is the catch-all for model verification
+    // violations that have no dedicated code yet, and AIR099 only exists
+    // at fuzz-farm runtime — it marks an abstraction/replay divergence,
+    // which by construction no committed config may exhibit.
+    let exempt: BTreeSet<&str> = ["AIR014", "AIR070", "AIR071", "AIR099"].into();
     let mut covered = BTreeSet::new();
     for entry in std::fs::read_dir(corpus_dir()).expect("corpus directory exists") {
         let path = entry.expect("readable entry").path();
